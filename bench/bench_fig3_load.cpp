@@ -1,0 +1,51 @@
+// Figure 3 — Load Measured in Number of Queries vs. Time (30-minute bins).
+//
+// Min / average / max number of kept user queries per 30-minute bin across
+// simulated days, per region.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Figure 3", "Query load per 30-minute bin (min/avg/max)");
+
+  const auto load = analysis::query_load(bench::bench_data().dataset);
+
+  for (geo::Region region : geo::kMainRegions) {
+    const auto r = geo::region_index(region);
+    std::cout << "\n(" << geo::region_name(region) << ")\n";
+    std::cout << "time    min     avg     max\n";
+    const auto& bins = load.bins[r];
+    for (std::size_t b = 0; b < bins.size(); b += 2) {  // print hourly
+      const int hour = static_cast<int>(b) / 2;
+      std::cout << std::setw(2) << hour << ":00  " << std::setw(6)
+                << std::setprecision(1) << std::fixed << bins[b].min << "  "
+                << std::setw(6) << bins[b].mean << "  " << std::setw(6)
+                << bins[b].max << "\n"
+                << std::defaultfloat;
+    }
+  }
+
+  // Shape checks from Section 4.2: identify per-region peak hours.
+  auto peak_hour = [&](geo::Region region) {
+    const auto& bins = load.bins[geo::region_index(region)];
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < bins.size(); ++b) {
+      if (bins[b].mean > bins[best].mean) best = b;
+    }
+    return static_cast<double>(best) / 2.0;
+  };
+  std::cout << "\nPeak-load hours (paper: NA peaks in the Dortmund night,\n"
+               "EU around midday/evening, Asia in the Dortmund morning):\n";
+  std::cout << "  North America peak bin: " << peak_hour(geo::Region::kNorthAmerica)
+            << ":00\n";
+  std::cout << "  Europe peak bin:        " << peak_hour(geo::Region::kEurope)
+            << ":00\n";
+  std::cout << "  Asia peak bin:          " << peak_hour(geo::Region::kAsia)
+            << ":00\n";
+  std::cout << "\nThe min/max envelopes are wide relative to the mean — the\n"
+               "per-bin variance the paper attributes to small-sample\n"
+               "fluctuations in per-session query counts.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Search-design evaluation under the synthetic workload — the use case
+// the paper's introduction motivates (Chawathe et al., Ge et al.):
+// comparing unstructured flooding, flooding with response caching, and a
+// Chord-style structured lookup, all driven by the Figure 12 workload.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+#include "search/evaluation.hpp"
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Design evaluation",
+                      "Flooding vs cached flooding vs Chord");
+
+  search::EvaluationConfig config;
+  config.peers = 600;
+  config.degree = 4;
+  config.flood_ttl = 4;
+  config.cache_ttl = 600.0;
+  config.workload_peers = 300;
+  config.workload_hours = 6.0;
+  config.seed = 11;
+
+  std::cerr << "[bench] driving 3 designs with a " << config.workload_hours
+            << "-hour synthetic workload...\n";
+  const auto results =
+      search::evaluate_designs(core::WorkloadModel::paper_default(), config);
+
+  std::cout << "\noverlay: " << config.peers << " peers, degree "
+            << config.degree << ", flood TTL " << config.flood_ttl
+            << ", cache TTL " << config.cache_ttl << " s\n\n";
+  std::cout << std::left << std::setw(18) << "design" << std::right
+            << std::setw(9) << "queries" << std::setw(13) << "msgs/query"
+            << std::setw(10) << "success" << std::setw(13) << "cache hits"
+            << "\n";
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(18) << r.design << std::right
+              << std::setw(9) << r.queries << std::setw(13) << std::fixed
+              << std::setprecision(2) << r.messages_per_query() << std::setw(10)
+              << std::setprecision(3) << r.success_rate() << std::setw(13)
+              << r.cache_answers << "\n"
+              << std::defaultfloat;
+  }
+
+  const double flood_cost = results[0].messages_per_query();
+  const double chord_cost = results[2].messages_per_query();
+  std::cout << "\nStructured lookup advantage: " << std::setprecision(1)
+            << std::fixed << flood_cost / chord_cost
+            << "x fewer messages per query than flooding\n"
+            << std::defaultfloat
+            << "(at the cost of maintaining the ring + finger tables), with\n"
+               "guaranteed recall on published keys — the trade-off the\n"
+               "paper's workload model lets designers quantify.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Multi-day stability — the paper's first-half vs second-half checks.
+//
+// §4.3: "the fraction of passive peers does not change" between halves;
+// §4.4: "the distribution of session duration is nearly identical in the
+// first and the second half"; §4.5: "no significant difference" for
+// #queries per session.  KS distances between the halves quantify this.
+#include "bench_common.hpp"
+
+#include <iomanip>
+
+#include "analysis/stability.hpp"
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Stability", "First vs second half of the trace");
+
+  const auto report = analysis::stability_report(bench::bench_data().dataset);
+  std::cout << "\nsplit at t = " << report.split_time / 3600.0 << " h\n\n";
+  std::cout << std::left << std::setw(15) << "region" << std::right
+            << std::setw(10) << "n(1st)" << std::setw(10) << "n(2nd)"
+            << std::setw(12) << "passive1" << std::setw(12) << "passive2"
+            << std::setw(10) << "KS dur" << std::setw(10) << "KS #q"
+            << std::setw(10) << "KS IA" << "\n";
+  for (geo::Region region : geo::kMainRegions) {
+    const auto& r = report.regions[geo::region_index(region)];
+    std::cout << std::left << std::setw(15) << geo::region_name(region)
+              << std::right << std::setw(10) << r.sessions_first
+              << std::setw(10) << r.sessions_second << std::fixed
+              << std::setprecision(3) << std::setw(12)
+              << r.passive_fraction_first << std::setw(12)
+              << r.passive_fraction_second << std::setw(10)
+              << r.passive_duration_ks << std::setw(10)
+              << r.queries_per_session_ks << std::setw(10) << r.interarrival_ks
+              << "\n"
+              << std::defaultfloat;
+  }
+
+  const auto& na = report.regions[geo::region_index(geo::Region::kNorthAmerica)];
+  std::cout << "\nPaper claims vs measured:\n";
+  bench::print_compare("passive fraction change (NA), ~0",
+                       0.0,
+                       na.passive_fraction_second - na.passive_fraction_first);
+  std::cout << "  KS distances are small (same-distribution halves); the\n"
+               "  workload is stationary across the simulated period, as the\n"
+               "  paper found for its 40 days.  (Hot-set DRIFT still happens\n"
+               "  within each half — stationarity of the distributions does\n"
+               "  not mean the popular queries stay the same; see Figure 10.)\n";
+  return 0;
+}

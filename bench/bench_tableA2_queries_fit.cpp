@@ -1,0 +1,41 @@
+// Table A.2 — Active Session Length (number of queries per session).
+//
+// Rounding-censored lognormal MLE per region, paper-vs-fitted.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Table A.2", "#Queries per active session model fit");
+
+  const auto fits = analysis::fit_appendix_tables(bench::bench_measures());
+
+  struct Row {
+    geo::Region region;
+    double paper_mu, paper_sigma;
+  };
+  const Row rows[] = {
+      {geo::Region::kNorthAmerica, -0.0673, 1.360},
+      {geo::Region::kEurope, 0.520, 1.306},
+      {geo::Region::kAsia, -1.029, 1.618},
+  };
+
+  for (const auto& row : rows) {
+    const auto& fit = fits.queries[geo::region_index(row.region)];
+    std::cout << "\n" << geo::region_name(row.region) << ":\n";
+    if (fit.sigma <= 0.0) {
+      std::cout << "  (not enough samples at this scale)\n";
+      continue;
+    }
+    bench::print_compare("lognormal mu", row.paper_mu, fit.mu);
+    bench::print_compare("lognormal sigma", row.paper_sigma, fit.sigma);
+  }
+
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  const auto eu = geo::region_index(geo::Region::kEurope);
+  std::cout << "\nShape check: mu(EU) > mu(NA) — Europeans issue more queries"
+            << "\nper session (measured: " << fits.queries[eu].mu << " > "
+            << fits.queries[na].mu << ").\n"
+            << "Asia's fit is biased upward by pre-connect replay bursts\n"
+               "(the paper notes the same contamination in Figure 6(c)).\n";
+  return 0;
+}

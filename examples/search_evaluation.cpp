@@ -1,0 +1,100 @@
+// p2pgen search evaluation — the downstream use case the paper motivates.
+//
+// "Accurate characterization of peer query behavior is needed when
+// evaluating design alternatives for future P2P systems."  This example
+// drives the p2pgen::search library with the Figure 12 synthetic workload
+// and compares:
+//
+//   1. plain TTL-limited flooding (the Gnutella baseline),
+//   2. flooding with response caching (cf. Sripanidkulchai's proposal),
+//   3. a Chord-style structured lookup (the alternative the paper's
+//      introduction contrasts),
+// and, per Section 4.6's conclusion, the effect of aggressive client
+// re-queries on the value of caching.
+//
+//   $ ./search_evaluation [peers] [hours]
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "search/evaluation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace p2pgen;
+
+  search::EvaluationConfig config;
+  config.peers = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 500;
+  config.workload_hours = argc > 2 ? std::atof(argv[2]) : 6.0;
+
+  std::cout << "p2pgen search evaluation — design comparison\n"
+            << "overlay: " << config.peers << " peers, degree "
+            << config.degree << ", TTL " << config.flood_ttl << "; workload: "
+            << config.workload_hours << " h of the IMC'04 synthetic model\n\n";
+
+  const auto model = core::WorkloadModel::paper_default();
+  const auto results = search::evaluate_designs(model, config);
+
+  std::cout << std::left << std::setw(18) << "design" << std::right
+            << std::setw(9) << "queries" << std::setw(13) << "msgs/query"
+            << std::setw(10) << "success" << std::setw(13) << "cache hits"
+            << "\n";
+  for (const auto& r : results) {
+    std::cout << std::left << std::setw(18) << r.design << std::right
+              << std::setw(9) << r.queries << std::setw(13) << std::fixed
+              << std::setprecision(2) << r.messages_per_query() << std::setw(10)
+              << std::setprecision(3) << r.success_rate() << std::setw(13)
+              << r.cache_answers << "\n"
+              << std::defaultfloat;
+  }
+
+  // ---- Section 4.6's caching conclusion, quantified --------------------
+  // Re-issue every user query twice more at 300 s intervals from the same
+  // peer — the automated client behavior the filter rules remove from the
+  // *characterization* but which real systems still carry on the wire.
+  stats::Rng rng(config.seed ^ 0xABCDEF);
+  const search::Overlay overlay(config.peers, config.degree, rng);
+  const auto catalog = search::build_catalog(model.popularity);
+  const search::ContentIndex index(config.peers, catalog.keys,
+                                   catalog.replicas, rng);
+  search::FloodSearch plain(overlay, index, {config.flood_ttl, 0.0});
+  search::FloodSearch cached(overlay, index,
+                             {config.flood_ttl, config.cache_ttl});
+
+  core::WorkloadGenerator::Config wl;
+  wl.num_peers = config.workload_peers;
+  wl.duration = config.workload_hours * 3600.0;
+  wl.seed = config.seed;
+  core::WorkloadGenerator generator(model, wl);
+  generator.generate([&](const core::GeneratedSession& session) {
+    if (session.passive) return;
+    const search::PeerId origin = rng.uniform_index(config.peers);
+    for (const auto& query : session.queries) {
+      const auto key = search::key_of(query);
+      for (int r = 0; r < 3; ++r) {  // the user query + 2 automated re-sends
+        const double t = query.time + 300.0 * r;
+        (void)plain.search(origin, key, t);
+        (void)cached.search(origin, key, t);
+      }
+    }
+  });
+
+  const double factor_user =
+      results[0].messages_per_query() / results[1].messages_per_query();
+  const double factor_requery =
+      (static_cast<double>(plain.total_messages()) /
+       static_cast<double>(plain.total_queries())) /
+      (static_cast<double>(cached.total_messages()) /
+       static_cast<double>(cached.total_queries()));
+
+  std::cout << "\ntraffic reduction from caching:\n" << std::fixed
+            << std::setprecision(2)
+            << "  user-only workload:        " << factor_user << "x\n"
+            << "  aggressive re-query load:  " << factor_requery << "x\n"
+            << std::defaultfloat
+            << "\nSection 4.6's conclusion, quantified: response caching is\n"
+               "far more effective for systems with aggressive automated\n"
+               "re-queries than for user-action-only query streams (cf. the\n"
+               "3.7x reduction reported on unfiltered Gnutella traffic).\n";
+  return 0;
+}

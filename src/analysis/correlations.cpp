@@ -1,0 +1,86 @@
+#include "analysis/correlations.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+/// Median of a small scratch vector (destructive).
+double median_of(std::vector<double>& v) {
+  const auto mid = v.begin() + static_cast<long>(v.size() / 2);
+  std::nth_element(v.begin(), mid, v.end());
+  return *mid;
+}
+
+}  // namespace
+
+CorrelationReport correlation_report(const TraceDataset& dataset,
+                                     std::size_t min_sessions) {
+  // Per-region per-session columns.
+  struct Columns {
+    std::vector<double> queries;
+    std::vector<double> duration;
+    std::vector<double> first_gap;
+    std::vector<double> last_gap;
+    // interarrival medians exist only for sessions with >= 2 usable gaps
+    std::vector<double> ia_queries;
+    std::vector<double> ia_median;
+  };
+  std::array<Columns, geo::kRegionCount> columns;
+
+  for (const auto& session : dataset.sessions) {
+    if (session.removed || !session.region || !session.active()) continue;
+    auto& c = columns[geo::region_index(*session.region)];
+
+    const auto n = static_cast<double>(session.counted_queries());
+    const ObservedQuery* first = nullptr;
+    const ObservedQuery* last = nullptr;
+    const ObservedQuery* prev = nullptr;
+    std::vector<double> gaps;
+    for (const auto& query : session.queries) {
+      if (!query.kept()) continue;
+      if (prev != nullptr && !query.excluded_from_interarrival) {
+        gaps.push_back(query.time - prev->time);
+      }
+      prev = &query;
+      if (query.excluded_from_interarrival) continue;
+      if (first == nullptr) first = &query;
+      last = &query;
+    }
+    if (first == nullptr) continue;
+
+    c.queries.push_back(n);
+    c.duration.push_back(session.duration());
+    c.first_gap.push_back(first->time - session.start);
+    c.last_gap.push_back(session.end - last->time);
+    if (!gaps.empty()) {
+      c.ia_queries.push_back(n);
+      c.ia_median.push_back(median_of(gaps));
+    }
+  }
+
+  CorrelationReport report;
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    auto& out = report.regions[r];
+    const auto& c = columns[r];
+    out.active_sessions = c.queries.size();
+    if (c.queries.size() >= min_sessions) {
+      out.duration_vs_queries =
+          stats::spearman_correlation(c.duration, c.queries);
+      out.first_query_vs_queries =
+          stats::spearman_correlation(c.first_gap, c.queries);
+      out.after_last_vs_queries =
+          stats::spearman_correlation(c.last_gap, c.queries);
+    }
+    if (c.ia_queries.size() >= min_sessions) {
+      out.interarrival_vs_queries =
+          stats::spearman_correlation(c.ia_median, c.ia_queries);
+    }
+  }
+  return report;
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,47 @@
+// p2pgen — correlation analysis (paper Section 4.5).
+//
+// The paper's correlation findings, which the synthetic workload model
+// must encode as conditional distributions:
+//   * session duration correlates with the number of queries issued
+//     (positively — "a significant correlation between session duration
+//     and the number of queries issued during the session");
+//   * query interarrival time does NOT correlate with the query count for
+//     North American peers, but DOES (negatively) for European peers
+//     (Figure 8(b));
+//   * time until first query and time after last query both grow with the
+//     session's query count (Figures 7(b), 9(b)).
+// This module computes those correlations from a measured dataset using
+// Spearman rank correlation (robust under the heavy-tailed measures).
+#pragma once
+
+#include <array>
+
+#include "analysis/dataset.hpp"
+#include "core/conditions.hpp"
+
+namespace p2pgen::analysis {
+
+/// Per-region correlation coefficients between per-session measures.
+/// Entries are NaN when fewer than `min_sessions` sessions contribute.
+struct CorrelationReport {
+  struct PerRegion {
+    std::size_t active_sessions = 0;
+    /// Spearman rho between session duration and #queries (counted).
+    double duration_vs_queries = 0.0;
+    /// Spearman rho between a session's MEDIAN interarrival gap and its
+    /// query count (the Figure 8(b) question).
+    double interarrival_vs_queries = 0.0;
+    /// Spearman rho between time-until-first-query and #queries.
+    double first_query_vs_queries = 0.0;
+    /// Spearman rho between time-after-last-query and #queries.
+    double after_last_vs_queries = 0.0;
+  };
+
+  std::array<PerRegion, geo::kRegionCount> regions{};
+};
+
+/// Computes the report over active, filtered sessions.
+CorrelationReport correlation_report(const TraceDataset& dataset,
+                                     std::size_t min_sessions = 30);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,86 @@
+#include "analysis/dataset.hpp"
+
+#include <unordered_map>
+
+#include "gnutella/message.hpp"
+
+namespace p2pgen::analysis {
+
+TraceDataset build_dataset(const trace::Trace& trace,
+                           const geo::GeoIpDatabase& geodb) {
+  TraceDataset ds;
+  ds.stats = trace.stats();
+  ds.trace_end = ds.stats.last_time;
+
+  std::unordered_map<std::uint64_t, std::size_t> index;  // session id -> slot
+
+  for (const auto& event : trace.events()) {
+    if (const auto* start = std::get_if<trace::SessionStart>(&event)) {
+      ObservedSession session;
+      session.id = start->session_id;
+      session.start = start->time;
+      session.ip = start->ip;
+      session.region = geodb.lookup(start->ip);
+      session.ultrapeer = start->ultrapeer;
+      session.user_agent = start->user_agent;
+      index[session.id] = ds.sessions.size();
+      ds.sessions.push_back(std::move(session));
+    } else if (const auto* msg = std::get_if<trace::MessageEvent>(&event)) {
+      switch (msg->type) {
+        case gnutella::MessageType::kQuery: {
+          if (msg->hops != 1) break;  // only one-hop peers are measurable
+          ++ds.hop1_queries;
+          const auto it = index.find(msg->session_id);
+          if (it == index.end()) break;
+          ObservedQuery query;
+          query.time = msg->time;
+          query.canonical = gnutella::canonical_keywords(msg->query);
+          query.sha1 = msg->sha1;
+          query.guid_hash = msg->guid_hash;
+          ds.sessions[it->second].queries.push_back(std::move(query));
+          break;
+        }
+        case gnutella::MessageType::kPong: {
+          if (msg->hops >= 2) {
+            ds.all_peer_addresses.push_back(
+                {msg->time, geodb.lookup(msg->source_ip)});
+            ds.all_peer_shared_files.push_back(msg->shared_files);
+          } else {
+            ds.onehop_shared_files.push_back(msg->shared_files);
+          }
+          break;
+        }
+        case gnutella::MessageType::kQueryHit: {
+          if (msg->hops >= 2) {
+            ds.all_peer_addresses.push_back(
+                {msg->time, geodb.lookup(msg->source_ip)});
+          }
+          if (msg->guid_hash != 0) ++ds.queryhits_by_guid[msg->guid_hash];
+          break;
+        }
+        default:
+          break;
+      }
+    } else {
+      const auto& end = std::get<trace::SessionEnd>(event);
+      const auto it = index.find(end.session_id);
+      if (it == index.end()) continue;
+      auto& session = ds.sessions[it->second];
+      session.end = end.time;
+      session.has_end = true;
+      session.end_reason = end.reason;
+    }
+  }
+
+  // Sessions still open when the measurement stopped cannot contribute
+  // duration or per-session measures.
+  for (auto& session : ds.sessions) {
+    if (!session.has_end) {
+      session.end = ds.trace_end;
+      session.removed = true;
+    }
+  }
+  return ds;
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,117 @@
+// p2pgen — trace dataset: reconstructed sessions + auxiliary samples.
+//
+// Mirrors Section 3.2 of the paper: connected sessions are bounded by
+// handshake completion and connection teardown; the queries attributed to
+// a session are the QUERY descriptors with hop count 1 received over it;
+// peer regions come from a GeoIP lookup on the connection's address; the
+// "all peers" samples (Figures 1 and 2) come from the addresses and
+// shared-file counts advertised in PONG and QUERYHIT payloads.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <string>
+#include <vector>
+
+#include "geo/geoip.hpp"
+#include "trace/trace.hpp"
+
+namespace p2pgen::analysis {
+
+/// One hop-1 QUERY, with the filter pipeline's verdicts.
+struct ObservedQuery {
+  double time = 0.0;
+  std::string canonical;  // canonical keyword set (identity per the paper)
+  bool sha1 = false;
+  std::uint64_t guid_hash = 0;  // correlates with QUERYHITs (hit-rate study)
+
+  /// 0 = kept; 1/2 = removed by that filter rule.  Rules 4/5 do not
+  /// remove a query, they only exclude it from the interarrival measure.
+  int removed_by_rule = 0;
+  bool excluded_from_interarrival = false;  // rules 4/5
+
+  bool kept() const noexcept { return removed_by_rule == 0; }
+};
+
+/// One reconstructed connected session.
+struct ObservedSession {
+  std::uint64_t id = 0;
+  double start = 0.0;
+  double end = 0.0;
+  bool has_end = false;  // false: still open when the trace stopped
+  std::uint32_t ip = 0;
+  std::optional<geo::Region> region;  // nullopt = unknown origin
+  bool ultrapeer = false;
+  std::string user_agent;
+  trace::EndReason end_reason = trace::EndReason::kTeardown;
+  std::vector<ObservedQuery> queries;
+
+  /// Whether rule 3 (or truncation) removed the whole session.
+  bool removed = false;
+
+  double duration() const noexcept { return end - start; }
+
+  /// Queries surviving rules 1-3 (call after filtering).  This is the
+  /// Figure 6(c) count ("rules 4 & 5 not applied").
+  std::size_t kept_queries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& q : queries) n += q.kept() ? 1 : 0;
+    return n;
+  }
+
+  /// Queries surviving rules 1-3 AND not excluded by rules 4/5 — the
+  /// query count the paper bases Section 4.5 on (Figure 6(a)/(b),
+  /// Tables A.2/A.3/A.5).
+  std::size_t counted_queries() const noexcept {
+    std::size_t n = 0;
+    for (const auto& q : queries) {
+      n += (q.kept() && !q.excluded_from_interarrival) ? 1 : 0;
+    }
+    return n;
+  }
+
+  /// Post-filter activity classification (Section 4): active sessions
+  /// issue at least one counted query.
+  bool active() const noexcept { return counted_queries() > 0; }
+};
+
+/// A timestamped address sample (for the geography measures).
+struct AddressSample {
+  double time = 0.0;
+  std::optional<geo::Region> region;
+};
+
+/// Everything the characterization consumes.
+struct TraceDataset {
+  std::vector<ObservedSession> sessions;
+
+  /// Addresses advertised in PONG/QUERYHIT payloads with hops >= 2 — the
+  /// "all peers" population sample.
+  std::vector<AddressSample> all_peer_addresses;
+
+  /// Shared-file counts from remote PONGs ("all peers", Figure 2)...
+  std::vector<std::uint32_t> all_peer_shared_files;
+
+  /// ...and from hop-1 PONGs (one-hop peers).
+  std::vector<std::uint32_t> onehop_shared_files;
+
+  /// QUERYHIT counts keyed by the GUID hash of the query they answer
+  /// (only populated when the trace carries GUID hashes — format v2).
+  std::unordered_map<std::uint64_t, std::uint32_t> queryhits_by_guid;
+
+  /// Raw Table-1 counters.
+  trace::TraceStats stats;
+
+  /// Total number of hop-1 queries (pre-filter).
+  std::uint64_t hop1_queries = 0;
+
+  double trace_end = 0.0;
+};
+
+/// Builds the dataset from a trace.  Sessions that never ended are marked
+/// removed (has_end = false) so they don't pollute duration measures —
+/// there are at most ~max_connections of them.
+TraceDataset build_dataset(const trace::Trace& trace,
+                           const geo::GeoIpDatabase& geodb);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,90 @@
+#include "analysis/filters.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace p2pgen::analysis {
+
+FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options) {
+  FilterReport report;
+
+  for (auto& session : dataset.sessions) {
+    if (!session.has_end) continue;  // truncated: never counted
+    session.removed = false;
+    ++report.initial_sessions;
+    report.initial_queries += session.queries.size();
+
+    // Rule 3 first marks the session (the paper applies 1, 2, 3 in
+    // sequence to the *query* counts; session-level removal is
+    // independent of the query-level rules).
+    const bool short_session =
+        options.rule3_short_sessions &&
+        session.duration() < options.min_session_seconds;
+
+    std::unordered_set<std::string> seen;
+    std::size_t surviving = 0;
+    for (auto& query : session.queries) {
+      query.removed_by_rule = 0;
+      query.excluded_from_interarrival = false;
+
+      // Rule 1: SHA1 source-search re-queries (empty keyword set).
+      if (options.rule1_sha1 && query.sha1 && query.canonical.empty()) {
+        query.removed_by_rule = 1;
+        ++report.rule1_removed;
+        continue;
+      }
+      // Rule 2: identical keyword set already issued in this session.
+      if (options.rule2_repeats && !seen.insert(query.canonical).second) {
+        query.removed_by_rule = 2;
+        ++report.rule2_removed;
+        continue;
+      }
+      // Rule 3: the whole session goes.
+      if (short_session) {
+        query.removed_by_rule = 3;
+        ++report.rule3_removed_queries;
+        continue;
+      }
+      ++surviving;
+    }
+
+    if (short_session) {
+      session.removed = true;
+      ++report.rule3_removed_sessions;
+      continue;
+    }
+    ++report.final_sessions;
+    report.final_queries += surviving;
+
+    // Rules 4/5: mark exclusions from the interarrival measure among the
+    // surviving queries.
+    const ObservedQuery* prev = nullptr;
+    double prev_gap = -1.0;
+    for (auto& query : session.queries) {
+      if (!query.kept()) continue;
+      if (prev == nullptr) {
+        // First query: no interarrival observation either way.
+        prev = &query;
+        prev_gap = -1.0;
+        ++report.interarrival_queries;
+        continue;
+      }
+      const double gap = query.time - prev->time;
+      if (options.rule4_subsecond && gap < options.min_interarrival_seconds) {
+        query.excluded_from_interarrival = true;
+        ++report.rule4_excluded;
+      } else if (options.rule5_identical_gaps && prev_gap >= 0.0 &&
+                 std::abs(gap - prev_gap) <= options.identical_gap_epsilon) {
+        query.excluded_from_interarrival = true;
+        ++report.rule5_excluded;
+      } else {
+        ++report.interarrival_queries;
+      }
+      prev = &query;
+      prev_gap = gap;
+    }
+  }
+  return report;
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,91 @@
+#include "analysis/hitrate.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace p2pgen::analysis {
+
+HitRateReport hit_rate_report(const TraceDataset& dataset) {
+  HitRateReport report;
+
+  // Issue frequency per canonical keyword set (kept queries only), for
+  // the popularity split.
+  std::unordered_map<std::string, std::uint32_t> frequency;
+  for (const auto& session : dataset.sessions) {
+    if (session.removed) continue;
+    for (const auto& query : session.queries) {
+      if (query.kept() && !query.canonical.empty()) {
+        ++frequency[query.canonical];
+      }
+    }
+  }
+  std::uint32_t popular_threshold = 0;
+  if (!frequency.empty()) {
+    std::vector<std::uint32_t> counts;
+    counts.reserve(frequency.size());
+    for (const auto& [q, c] : frequency) counts.push_back(c);
+    auto decile = counts.begin() + static_cast<long>(counts.size() * 9 / 10);
+    std::nth_element(counts.begin(), decile, counts.end());
+    popular_threshold = *decile;
+  }
+
+  std::array<std::uint64_t, geo::kRegionCount> answered_by_region{};
+  std::uint64_t popular_queries = 0;
+  std::uint64_t popular_answered = 0;
+  std::uint64_t unpopular_queries = 0;
+  std::uint64_t unpopular_answered = 0;
+
+  for (const auto& session : dataset.sessions) {
+    if (session.removed || !session.region) continue;
+    const auto r = geo::region_index(*session.region);
+    for (const auto& query : session.queries) {
+      if (!query.kept() || query.guid_hash == 0 || query.canonical.empty()) {
+        continue;
+      }
+      ++report.queries;
+      ++report.queries_by_region[r];
+      const auto it = dataset.queryhits_by_guid.find(query.guid_hash);
+      const std::uint32_t hits = it == dataset.queryhits_by_guid.end()
+                                     ? 0
+                                     : it->second;
+      report.hits_per_query.push_back(static_cast<double>(hits));
+      report.total_hits += hits;
+      const bool answered = hits > 0;
+      if (answered) {
+        ++report.answered;
+        ++answered_by_region[r];
+      }
+      const bool popular =
+          popular_threshold > 0 && frequency[query.canonical] >= popular_threshold;
+      if (popular) {
+        ++popular_queries;
+        popular_answered += answered ? 1 : 0;
+      } else {
+        ++unpopular_queries;
+        unpopular_answered += answered ? 1 : 0;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    if (report.queries_by_region[r] > 0) {
+      report.answered_fraction_by_region[r] =
+          static_cast<double>(answered_by_region[r]) /
+          static_cast<double>(report.queries_by_region[r]);
+    }
+  }
+  if (popular_queries > 0) {
+    report.popular_answered_fraction =
+        static_cast<double>(popular_answered) /
+        static_cast<double>(popular_queries);
+  }
+  if (unpopular_queries > 0) {
+    report.unpopular_answered_fraction =
+        static_cast<double>(unpopular_answered) /
+        static_cast<double>(unpopular_queries);
+  }
+  return report;
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,54 @@
+// p2pgen — query hit-rate characterization (the paper's stated future
+// work: "characterizing the query hit rate of the peers, including the
+// correlation of hit rate with other measures").
+//
+// Works on format-v2 traces where QUERY and QUERYHIT descriptors carry
+// GUID hashes: the hits a user query attracted are the QUERYHITs with the
+// same GUID.  Requires a measurement node that forwards queries
+// (MeasurementNode::Config::forward_fanout > 0), so responders actually
+// see them.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+
+namespace p2pgen::analysis {
+
+/// Hit-rate characterization of the kept user queries.
+struct HitRateReport {
+  std::uint64_t queries = 0;   // kept hop-1 queries with known GUIDs
+  std::uint64_t answered = 0;  // queries that attracted >= 1 QUERYHIT
+  std::uint64_t total_hits = 0;
+
+  /// Hits per query (one entry per query, zeros included) — the CCDF of
+  /// this sample is the hit-rate distribution.
+  std::vector<double> hits_per_query;
+
+  /// Fraction of queries answered, per region of the asking peer.
+  std::array<double, geo::kRegionCount> answered_fraction_by_region{};
+  std::array<std::uint64_t, geo::kRegionCount> queries_by_region{};
+
+  /// Correlation with popularity: answered fraction for queries whose
+  /// keyword set falls in the top popularity decile (by issue frequency)
+  /// vs the rest.
+  double popular_answered_fraction = 0.0;
+  double unpopular_answered_fraction = 0.0;
+
+  double answered_fraction() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(answered) /
+                              static_cast<double>(queries);
+  }
+  double hits_per_answered() const {
+    return answered == 0 ? 0.0
+                         : static_cast<double>(total_hits) /
+                               static_cast<double>(answered);
+  }
+};
+
+/// Computes the hit-rate report over kept queries of surviving sessions.
+HitRateReport hit_rate_report(const TraceDataset& dataset);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,253 @@
+#include "analysis/popularity_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "sim/simulator.hpp"
+#include "stats/zipf.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+using core::Region;
+
+/// Index of a main region (NA=0, EU=1, Asia=2) or npos.
+std::size_t main_region_index(const std::optional<Region>& region) {
+  if (!region) return static_cast<std::size_t>(-1);
+  const auto i = geo::region_index(*region);
+  return i < 3 ? i : static_cast<std::size_t>(-1);
+}
+
+/// Ranked query list of one day for one region (or the whole class logic
+/// below): sorted by frequency desc, then lexicographically for
+/// determinism.
+std::vector<std::pair<std::string, std::uint32_t>> ranked(
+    const std::unordered_map<std::string, std::uint32_t>& freq) {
+  std::vector<std::pair<std::string, std::uint32_t>> items(freq.begin(),
+                                                           freq.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return items;
+}
+
+}  // namespace
+
+DailyQueryTables::DailyQueryTables(const TraceDataset& dataset) {
+  const auto total_days = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(dataset.trace_end / sim::kSecondsPerDay)));
+  per_day_.resize(total_days);
+  for (const auto& session : dataset.sessions) {
+    if (session.removed) continue;
+    const std::size_t r = main_region_index(session.region);
+    if (r == static_cast<std::size_t>(-1)) continue;
+    for (const auto& query : session.queries) {
+      if (!query.kept() || query.canonical.empty()) continue;
+      const auto day = static_cast<std::size_t>(
+          std::max(0.0, query.time) / sim::kSecondsPerDay);
+      if (day >= per_day_.size()) continue;
+      per_day_[day][query.canonical][r] += 1;
+    }
+  }
+}
+
+std::vector<QueryClassSizes> query_class_sizes(
+    const DailyQueryTables& tables, const std::vector<std::size_t>& periods) {
+  std::vector<QueryClassSizes> out;
+  for (std::size_t period : periods) {
+    QueryClassSizes row;
+    row.period_days = period;
+    if (period == 0 || tables.days() < period) {
+      out.push_back(row);
+      continue;
+    }
+    const std::size_t windows = tables.days() / period;
+    for (std::size_t w = 0; w < windows; ++w) {
+      // Union the per-region sets over the window.
+      std::array<std::unordered_set<std::string>, 3> sets;
+      for (std::size_t d = w * period; d < (w + 1) * period; ++d) {
+        for (const auto& [query, counts] : tables.day(d)) {
+          for (std::size_t r = 0; r < 3; ++r) {
+            if (counts[r] > 0) sets[r].insert(query);
+          }
+        }
+      }
+      row.na += static_cast<double>(sets[0].size());
+      row.eu += static_cast<double>(sets[1].size());
+      row.asia += static_cast<double>(sets[2].size());
+      auto intersect2 = [](const std::unordered_set<std::string>& a,
+                           const std::unordered_set<std::string>& b) {
+        const auto& small = a.size() <= b.size() ? a : b;
+        const auto& large = a.size() <= b.size() ? b : a;
+        std::size_t n = 0;
+        for (const auto& q : small) n += large.count(q);
+        return static_cast<double>(n);
+      };
+      row.na_eu += intersect2(sets[0], sets[1]);
+      row.na_asia += intersect2(sets[0], sets[2]);
+      row.eu_asia += intersect2(sets[1], sets[2]);
+      std::size_t triple = 0;
+      for (const auto& q : sets[2]) {
+        if (sets[0].count(q) && sets[1].count(q)) ++triple;
+      }
+      row.all3 += static_cast<double>(triple);
+    }
+    const auto n = static_cast<double>(windows);
+    row.na /= n;
+    row.eu /= n;
+    row.asia /= n;
+    row.na_eu /= n;
+    row.na_asia /= n;
+    row.eu_asia /= n;
+    row.all3 /= n;
+    out.push_back(row);
+  }
+  return out;
+}
+
+HotSetDrift hot_set_drift(const DailyQueryTables& tables, core::Region region) {
+  const std::size_t r = geo::region_index(region);
+  if (r >= 3) throw std::invalid_argument("hot_set_drift: main regions only");
+
+  // Per-day frequency map for the region, then ranked lists.
+  std::vector<std::vector<std::pair<std::string, std::uint32_t>>> days;
+  days.reserve(tables.days());
+  for (std::size_t d = 0; d < tables.days(); ++d) {
+    std::unordered_map<std::string, std::uint32_t> freq;
+    for (const auto& [query, counts] : tables.day(d)) {
+      if (counts[r] > 0) freq[query] = counts[r];
+    }
+    days.push_back(ranked(freq));
+  }
+
+  static constexpr std::array<std::pair<std::size_t, std::size_t>, 3> kBands = {
+      {{1, 10}, {11, 20}, {21, 100}}};
+  static constexpr std::array<std::size_t, 3> kTargets = {10, 20, 100};
+
+  HotSetDrift drift;
+  for (std::size_t d = 0; d + 1 < days.size(); ++d) {
+    const auto& today = days[d];
+    const auto& tomorrow = days[d + 1];
+    if (today.empty() || tomorrow.empty()) continue;
+    for (std::size_t t = 0; t < kTargets.size(); ++t) {
+      const std::size_t top_n = std::min(kTargets[t], tomorrow.size());
+      std::unordered_set<std::string> target;
+      for (std::size_t i = 0; i < top_n; ++i) target.insert(tomorrow[i].first);
+      for (std::size_t b = 0; b < kBands.size(); ++b) {
+        const auto [lo, hi] = kBands[b];
+        int found = 0;
+        for (std::size_t rank = lo; rank <= std::min(hi, today.size()); ++rank) {
+          if (target.count(today[rank - 1].first)) ++found;
+        }
+        drift.counts[b][t].push_back(found);
+      }
+    }
+  }
+  return drift;
+}
+
+PopularityDistributions popularity_distributions(const DailyQueryTables& tables,
+                                                 std::size_t max_rank) {
+  // Class of a query on a day: which of {NA, EU} issued it (Asia ignored
+  // for the three Figure 11 panels).
+  std::vector<double> na_acc(max_rank, 0.0);
+  std::vector<double> eu_acc(max_rank, 0.0);
+  std::vector<double> int_acc(max_rank, 0.0);
+  std::size_t na_days = 0;
+  std::size_t eu_days = 0;
+  std::size_t int_days = 0;
+
+  for (std::size_t d = 0; d < tables.days(); ++d) {
+    std::unordered_map<std::string, std::uint32_t> na_only;
+    std::unordered_map<std::string, std::uint32_t> eu_only;
+    std::unordered_map<std::string, std::uint32_t> both;
+    for (const auto& [query, counts] : tables.day(d)) {
+      const bool in_na = counts[0] > 0;
+      const bool in_eu = counts[1] > 0;
+      if (in_na && in_eu) {
+        both[query] = counts[0] + counts[1];
+      } else if (in_na) {
+        na_only[query] = counts[0];
+      } else if (in_eu) {
+        eu_only[query] = counts[1];
+      }
+    }
+    auto accumulate = [max_rank](
+                          const std::unordered_map<std::string, std::uint32_t>&
+                              freq,
+                          std::vector<double>& acc, std::size_t& day_count) {
+      if (freq.empty()) return;
+      const auto items = ranked(freq);
+      double total = 0.0;
+      for (const auto& [q, c] : items) total += c;
+      for (std::size_t i = 0; i < std::min(max_rank, items.size()); ++i) {
+        acc[i] += static_cast<double>(items[i].second) / total;
+      }
+      ++day_count;
+    };
+    accumulate(na_only, na_acc, na_days);
+    accumulate(eu_only, eu_acc, eu_days);
+    accumulate(both, int_acc, int_days);
+  }
+
+  auto finalize = [](std::vector<double> acc, std::size_t day_count) {
+    ClassPopularity cp;
+    if (day_count == 0) return cp;
+    for (double& v : acc) v /= static_cast<double>(day_count);
+    while (!acc.empty() && acc.back() <= 0.0) acc.pop_back();
+    cp.pmf = std::move(acc);
+    cp.fit_extent = cp.pmf.size();
+    if (cp.fit_extent >= 2) {
+      cp.zipf_alpha = stats::fit_zipf_alpha(cp.pmf, 1, cp.fit_extent);
+    }
+    return cp;
+  };
+
+  PopularityDistributions dist;
+  dist.na_only = finalize(std::move(na_acc), na_days);
+  dist.eu_only = finalize(std::move(eu_acc), eu_days);
+  dist.intersection = finalize(std::move(int_acc), int_days);
+  const std::size_t extent = dist.intersection.fit_extent;
+  if (extent >= 4) {
+    const std::size_t split = std::min<std::size_t>(45, extent - 1);
+    dist.intersection_body_alpha =
+        stats::fit_zipf_alpha(dist.intersection.pmf, 1, split);
+    if (extent - split >= 2) {
+      dist.intersection_tail_alpha =
+          stats::fit_zipf_alpha(dist.intersection.pmf, split + 1, extent);
+    }
+  }
+  return dist;
+}
+
+double estimate_daily_drift(const DailyQueryTables& tables, core::Region region,
+                            std::size_t window) {
+  const std::size_t r = geo::region_index(region);
+  if (r >= 3) throw std::invalid_argument("estimate_daily_drift: main regions only");
+  if (window == 0) throw std::invalid_argument("estimate_daily_drift: window > 0");
+
+  double lost = 0.0;
+  double total = 0.0;
+  for (std::size_t d = 0; d + 1 < tables.days(); ++d) {
+    std::unordered_map<std::string, std::uint32_t> today_freq;
+    for (const auto& [query, counts] : tables.day(d)) {
+      if (counts[r] > 0) today_freq[query] = counts[r];
+    }
+    if (today_freq.empty()) continue;
+    const auto today = ranked(today_freq);
+    const auto& tomorrow = tables.day(d + 1);
+    const std::size_t n = std::min(window, today.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto it = tomorrow.find(today[i].first);
+      const bool present = it != tomorrow.end() && it->second[r] > 0;
+      lost += present ? 0.0 : 1.0;
+      total += 1.0;
+    }
+  }
+  return total > 0.0 ? lost / total : 0.0;
+}
+
+}  // namespace p2pgen::analysis

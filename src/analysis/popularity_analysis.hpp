@@ -1,0 +1,96 @@
+// p2pgen — query popularity analysis (paper Section 4.6).
+//
+// Works on the popularity query set: queries surviving rules 1-3 (rules
+// 4/5 queries are included — they are genuine user queries issued before
+// the session connected).  Produces:
+//   * Table 3 — per-region distinct-query set sizes and their
+//     intersections for 1/2/4-day windows;
+//   * Figure 10 — hot-set drift: how many of day n's top-10 / rank-11-20 /
+//     rank-21-100 queries reappear in day n+1's top N;
+//   * Figure 11 — the average per-day popularity pmf for the NA-only,
+//     EU-only, and NA∩EU classes with fitted Zipf exponents.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "core/conditions.hpp"
+
+namespace p2pgen::analysis {
+
+/// Per-day, per-region frequency tables of canonical query strings.
+class DailyQueryTables {
+ public:
+  /// Builds from the dataset.  Only the three main regions are tracked.
+  explicit DailyQueryTables(const TraceDataset& dataset);
+
+  std::size_t days() const noexcept { return per_day_.size(); }
+
+  /// Frequency map of one day: canonical string -> per-region counts
+  /// (index 0 = NA, 1 = EU, 2 = Asia, following geo::Region values).
+  using DayTable = std::unordered_map<std::string, std::array<std::uint32_t, 3>>;
+  const DayTable& day(std::size_t d) const { return per_day_.at(d); }
+
+ private:
+  std::vector<DayTable> per_day_;
+};
+
+/// One Table 3 row set (averaged over all complete windows of the period).
+struct QueryClassSizes {
+  std::size_t period_days = 1;
+  double na = 0.0;       // distinct queries from NA peers
+  double eu = 0.0;
+  double asia = 0.0;
+  double na_eu = 0.0;    // |NA set ∩ EU set|
+  double na_asia = 0.0;
+  double eu_asia = 0.0;
+  double all3 = 0.0;
+};
+
+/// Computes Table 3 for the given window lengths (paper: 4, 2, 1 days).
+std::vector<QueryClassSizes> query_class_sizes(
+    const DailyQueryTables& tables, const std::vector<std::size_t>& periods);
+
+/// Figure 10 raw data: per day transition n -> n+1, the number of queries
+/// in a source rank band of day n that appear in the top N of day n+1.
+struct HotSetDrift {
+  /// Source bands: [0] = ranks 1-10, [1] = 11-20, [2] = 21-100.
+  /// Targets:      [0] = top 10,     [1] = top 20, [2] = top 100.
+  /// counts[band][target] has one entry per day transition.
+  std::array<std::array<std::vector<int>, 3>, 3> counts;
+};
+
+/// Drift of the popularity hot set for peers in `region`.
+HotSetDrift hot_set_drift(const DailyQueryTables& tables, core::Region region);
+
+/// Figure 11: average per-day pmf by rank for one query class, plus Zipf
+/// fits.
+struct ClassPopularity {
+  std::vector<double> pmf;  // index 0 = rank 1; averaged across days
+  double zipf_alpha = 0.0;  // single fit over ranks [1, fit_extent]
+  std::size_t fit_extent = 0;
+};
+
+struct PopularityDistributions {
+  ClassPopularity na_only;
+  ClassPopularity eu_only;
+  ClassPopularity intersection;  // NA ∩ EU
+  double intersection_body_alpha = 0.0;  // ranks 1..45
+  double intersection_tail_alpha = 0.0;  // ranks 46..max
+};
+
+/// Computes the Figure 11 panels (max_rank caps the pmf extent).
+PopularityDistributions popularity_distributions(const DailyQueryTables& tables,
+                                                 std::size_t max_rank = 100);
+
+/// Estimate of the daily hot-set drift probability (the fraction of day
+/// n's top-`window` queries that do NOT reappear anywhere in day n+1's
+/// catalog) — used by fit_workload_model to rebuild PopularityModel.
+double estimate_daily_drift(const DailyQueryTables& tables, core::Region region,
+                            std::size_t window = 20);
+
+}  // namespace p2pgen::analysis

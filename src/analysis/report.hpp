@@ -1,0 +1,39 @@
+// p2pgen — figure-data export.
+//
+// Writes the data series behind every figure of the paper as CSV files
+// plus a gnuplot script (`plots.gp`) that renders the panels with the
+// paper's axes (log-log CCDFs, time-of-day bins, rank pmfs).  This is the
+// "regenerate the figures" path for people who want plots rather than the
+// bench binaries' tables.
+#pragma once
+
+#include <string>
+
+#include "analysis/dataset.hpp"
+
+namespace p2pgen::analysis {
+
+/// Exported file inventory.
+struct FigureExport {
+  std::string directory;
+  std::vector<std::string> files;  // relative names, plots.gp included
+};
+
+/// Computes all measures of `dataset` and writes:
+///   fig1_geography.csv        hour, region, all_peers, one_hop
+///   fig2_shared_files.csv     shared_files, all_peers, one_hop
+///   fig3_load.csv             bin_start_hour, region, min, mean, max
+///   fig4_passive.csv          hour, region, min, mean, max
+///   fig5_passive_duration.csv region, x_minutes, ccdf
+///   fig6_queries.csv          region, x, ccdf
+///   fig7_first_query.csv      region, x_seconds, ccdf
+///   fig8_interarrival.csv     region, x_seconds, ccdf
+///   fig9_after_last.csv       region, x_seconds, ccdf
+///   fig11_popularity.csv      class, rank, frequency
+///   plots.gp                  gnuplot script rendering all panels
+/// The directory must already exist.  Throws std::runtime_error on I/O
+/// failure.  Returns the inventory.
+FigureExport export_figure_data(const TraceDataset& dataset,
+                                const std::string& directory);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,81 @@
+#include "analysis/stability.hpp"
+
+#include <vector>
+
+#include "stats/ecdf.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+/// Per-half sample columns for one region.
+struct HalfSamples {
+  std::size_t sessions = 0;
+  std::size_t passive = 0;
+  std::vector<double> passive_duration;
+  std::vector<double> queries;
+  std::vector<double> interarrival;
+};
+
+double ks_or_zero(const std::vector<double>& a, const std::vector<double>& b,
+                  std::size_t min_samples) {
+  if (a.size() < min_samples || b.size() < min_samples) return 0.0;
+  return stats::ks_distance(stats::Ecdf(a), stats::Ecdf(b));
+}
+
+}  // namespace
+
+StabilityReport stability_report(const TraceDataset& dataset,
+                                 std::size_t min_samples) {
+  StabilityReport report;
+  report.split_time = (dataset.stats.first_time + dataset.trace_end) / 2.0;
+
+  std::array<std::array<HalfSamples, 2>, geo::kRegionCount> halves;
+
+  for (const auto& session : dataset.sessions) {
+    if (session.removed || !session.region) continue;
+    const std::size_t half = session.start < report.split_time ? 0 : 1;
+    auto& h = halves[geo::region_index(*session.region)][half];
+    ++h.sessions;
+    if (!session.active()) {
+      ++h.passive;
+      h.passive_duration.push_back(session.duration());
+      continue;
+    }
+    h.queries.push_back(static_cast<double>(session.counted_queries()));
+    const ObservedQuery* prev = nullptr;
+    for (const auto& query : session.queries) {
+      if (!query.kept()) continue;
+      if (prev != nullptr && !query.excluded_from_interarrival) {
+        h.interarrival.push_back(query.time - prev->time);
+      }
+      prev = &query;
+    }
+  }
+
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    auto& out = report.regions[r];
+    const auto& first = halves[r][0];
+    const auto& second = halves[r][1];
+    out.sessions_first = first.sessions;
+    out.sessions_second = second.sessions;
+    if (first.sessions > 0) {
+      out.passive_fraction_first =
+          static_cast<double>(first.passive) /
+          static_cast<double>(first.sessions);
+    }
+    if (second.sessions > 0) {
+      out.passive_fraction_second =
+          static_cast<double>(second.passive) /
+          static_cast<double>(second.sessions);
+    }
+    out.passive_duration_ks =
+        ks_or_zero(first.passive_duration, second.passive_duration, min_samples);
+    out.queries_per_session_ks =
+        ks_or_zero(first.queries, second.queries, min_samples);
+    out.interarrival_ks =
+        ks_or_zero(first.interarrival, second.interarrival, min_samples);
+  }
+  return report;
+}
+
+}  // namespace p2pgen::analysis

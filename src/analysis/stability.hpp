@@ -1,0 +1,42 @@
+// p2pgen — multi-day stability analysis.
+//
+// The paper repeatedly checks that its measures are stable across the
+// measurement period by "separating the first and the second half of the
+// measurement period" (passive fraction, §4.3; session duration, §4.4;
+// #queries per session, §4.5) and finding "no significant difference".
+// This module performs those comparisons: per region, the passive
+// fraction of each half and two-sample KS distances between the halves'
+// distributions of the key per-session measures.
+#pragma once
+
+#include <array>
+
+#include "analysis/dataset.hpp"
+
+namespace p2pgen::analysis {
+
+/// Half-vs-half comparison for one region.
+struct HalfComparison {
+  std::size_t sessions_first = 0;
+  std::size_t sessions_second = 0;
+
+  double passive_fraction_first = 0.0;
+  double passive_fraction_second = 0.0;
+
+  /// Two-sample KS distances between the halves (0 when a half has fewer
+  /// than `min_samples` observations for that measure).
+  double passive_duration_ks = 0.0;
+  double queries_per_session_ks = 0.0;
+  double interarrival_ks = 0.0;
+};
+
+struct StabilityReport {
+  std::array<HalfComparison, geo::kRegionCount> regions{};
+  double split_time = 0.0;  // sessions starting before this go to half 1
+};
+
+/// Splits the (filtered) dataset at the trace midpoint and compares.
+StabilityReport stability_report(const TraceDataset& dataset,
+                                 std::size_t min_samples = 30);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,112 @@
+// p2pgen — Gnutella client implementation profiles.
+//
+// The paper's central methodological point (Section 3.3) is that client
+// *software* generates a large share of observed queries: SHA1 re-queries
+// hunting for more download sources (filter rule 1), automatic re-sends of
+// earlier user queries (rules 2 and 5), pre-connect replay bursts (rule
+// 4), and software-initiated quick disconnects (rule 3; ~70 % of
+// connections end within 64 s).  Because the real trace is unavailable,
+// the simulator reproduces these artifacts with per-client-implementation
+// profiles: each simulated peer runs a "client" whose User-Agent is
+// exchanged during the handshake — exactly the attribution path the paper
+// used.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/rng.hpp"
+
+namespace p2pgen::behavior {
+
+/// Behavior of one client implementation.
+struct ClientProfile {
+  std::string user_agent;
+
+  /// Relative share of the peer population running this client.
+  double weight = 1.0;
+
+  /// Probability the client runs in ultrapeer mode (paper: ~40 % of
+  /// connections are from ultrapeers).
+  double ultrapeer_prob = 0.4;
+
+  /// Probability a connection is a software quick-disconnect (< 64 s,
+  /// rule 3).  Aggregate target across profiles: ~0.70.
+  double quick_disconnect_prob = 0.70;
+
+  /// Probability of sending BYE before closing (most clients just go
+  /// silent — Section 3.2).
+  double bye_prob = 0.15;
+
+  /// Probability of closing the transport without BYE (visible teardown);
+  /// the remainder goes silent and is reaped by the idle probe.
+  double teardown_prob = 0.25;
+
+  /// Rate (events/second) of SHA1 source-search queries while a download
+  /// is plausibly in progress (active sessions, after the first user
+  /// query).  Rule 1 artifacts.  0 disables.
+  double sha1_requery_rate = 0.0;
+
+  /// If > 0, every user query is automatically re-sent at this interval
+  /// (seconds) until the next user query or session end (rule 2
+  /// artifacts; with jitter 0 the gaps are also rule-5 regular).
+  double auto_requery_interval = 0.0;
+
+  /// Fractional jitter applied to auto re-query gaps (0 = perfectly
+  /// regular).
+  double auto_requery_jitter = 0.0;
+
+  /// Maximum automatic re-sends per user query.
+  int auto_requery_max = 0;
+
+  /// Probability that a connection starts with a pre-connect replay burst
+  /// (the user must actually have issued queries before reconnecting).
+  double preconnect_replay_prob = 0.35;
+
+  /// Number of pre-connect user queries the client replays right after
+  /// the handshake (rules 4/5).  0 disables.
+  int preconnect_replay_queries = 0;
+
+  /// Gap between replayed queries, seconds.  < 1 s triggers rule 4;
+  /// >= 1 s with repeats triggers rule 5.
+  double preconnect_replay_gap = 0.5;
+
+  /// How many times the replay rotation cycles through its query list.
+  int preconnect_replay_cycles = 1;
+
+  /// Keep-alive PING interval, seconds (jittered ±20 %).  ~25 s matches
+  /// the paper's Table-1 PING volume (6.2 PINGs per connection).
+  double ping_interval = 25.0;
+
+  /// Library size advertised in PONG responses (Figure 2's measure).
+  stats::DistributionPtr shared_files;
+};
+
+/// A weighted population of client profiles.
+class ClientPopulation {
+ public:
+  explicit ClientPopulation(std::vector<ClientProfile> profiles);
+
+  /// Draws a profile according to the weights.
+  const ClientProfile& sample(stats::Rng& rng) const;
+
+  const std::vector<ClientProfile>& profiles() const noexcept { return profiles_; }
+
+  /// The default mix of early-2004 Gnutella servents, calibrated so the
+  /// aggregate artifact volumes land near Table 2's proportions
+  /// (rule 1 ≈ 24 %, rule 2 ≈ 48 %, rule 3 sessions ≈ 70 %, rules
+  /// 4+5 ≈ 5 % of hop-1 queries).
+  static ClientPopulation default_population();
+
+ private:
+  std::vector<ClientProfile> profiles_;
+  std::vector<double> cumulative_;
+};
+
+/// Duration model for software quick-disconnects (rule 3): 29 % under
+/// 10 s, 32 % between 20 and 25 s, remainder spread up to 64 s —
+/// the connection-duration anomaly spectrum of Section 3.3.
+double sample_quick_disconnect_duration(stats::Rng& rng);
+
+}  // namespace p2pgen::behavior

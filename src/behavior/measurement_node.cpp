@@ -1,0 +1,274 @@
+#include "behavior/measurement_node.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p2pgen::behavior {
+
+MeasurementNode::MeasurementNode(sim::Network& network, trace::TraceSink& sink,
+                                 Config config, std::uint64_t seed)
+    : network_(network),
+      sink_(sink),
+      config_(std::move(config)),
+      rng_(seed),
+      routing_(600.0) {}
+
+sim::NodeId MeasurementNode::attach() {
+  if (attached_) throw std::logic_error("MeasurementNode: already attached");
+  attached_ = true;
+  id_ = network_.add_node(*this);
+  network_.set_address(id_, config_.ip);
+  return id_;
+}
+
+void MeasurementNode::on_connection_open(sim::ConnId conn, sim::NodeId peer) {
+  pending_[conn] = PendingConn{peer, {}, false, false};
+}
+
+void MeasurementNode::on_handshake(sim::ConnId conn,
+                                   const gnutella::Handshake& handshake) {
+  const auto it = pending_.find(conn);
+  if (it == pending_.end()) return;
+
+  if (handshake.is_connect_request) {
+    // Step 2: accept or refuse based on capacity.
+    it->second.user_agent = handshake.user_agent();
+    it->second.ultrapeer = handshake.is_ultrapeer();
+    if (sessions_.size() + accepted_pending_ >= config_.max_connections) {
+      ++rejected_;
+      gnutella::Handshake refusal =
+          gnutella::Handshake::ok_response(config_.user_agent, true);
+      refusal.status_code = 503;
+      refusal.status_phrase = "Busy";
+      network_.send_handshake(conn, id_, refusal);
+      network_.close(conn);
+      pending_.erase(it);
+      return;
+    }
+    it->second.accepted = true;
+    ++accepted_pending_;
+    network_.send_handshake(
+        conn, id_, gnutella::Handshake::ok_response(config_.user_agent, true));
+    return;
+  }
+
+  // Step 3 (the peer's acknowledgement): the connected session starts now.
+  if (!it->second.accepted) return;
+  PendingConn pending = std::move(it->second);
+  pending_.erase(it);
+  --accepted_pending_;
+  establish(conn, std::move(pending));
+}
+
+void MeasurementNode::establish(sim::ConnId conn, PendingConn pending) {
+  Session session;
+  session.session_id = next_session_id_++;
+  session.peer = pending.peer;
+  session.ultrapeer = pending.ultrapeer;
+  session.last_activity = network_.simulator().now();
+
+  trace::SessionStart start;
+  start.time = session.last_activity;
+  start.session_id = session.session_id;
+  start.ip = network_.address_of(pending.peer);
+  start.ultrapeer = pending.ultrapeer;
+  start.user_agent = std::move(pending.user_agent);
+  sink_.on_event(start);
+
+  const auto [it, inserted] = sessions_.emplace(conn, std::move(session));
+  (void)inserted;
+  arm_watchdog(conn, it->second.last_activity + config_.idle_threshold);
+}
+
+void MeasurementNode::record_message(std::uint64_t session_id,
+                                     const gnutella::Message& message) {
+  trace::MessageEvent event;
+  event.time = network_.simulator().now();
+  event.session_id = session_id;
+  event.type = message.type();
+  event.ttl = message.ttl;
+  event.hops = message.hops;
+  event.guid_hash = gnutella::GuidHash{}(message.guid);
+  switch (message.type()) {
+    case gnutella::MessageType::kQuery: {
+      const auto& q = std::get<gnutella::QueryPayload>(message.payload);
+      event.query = q.keywords;
+      event.sha1 = q.has_sha1();
+      break;
+    }
+    case gnutella::MessageType::kPong: {
+      const auto& p = std::get<gnutella::PongPayload>(message.payload);
+      event.source_ip = p.ip;
+      event.shared_files = p.shared_files;
+      break;
+    }
+    case gnutella::MessageType::kQueryHit: {
+      const auto& h = std::get<gnutella::QueryHitPayload>(message.payload);
+      event.source_ip = h.ip;
+      break;
+    }
+    default:
+      break;
+  }
+  sink_.on_event(std::move(event));
+}
+
+void MeasurementNode::on_message(sim::ConnId conn,
+                                 const gnutella::Message& message) {
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;  // pre-establishment or raced close
+  Session& session = it->second;
+  note_activity(session);
+
+  // The trace records everything the client receives, duplicates included
+  // (duplicate suppression affects forwarding, not logging).
+  record_message(session.session_id, message);
+
+  const double now = network_.simulator().now();
+  const bool first_seen = routing_.note_seen(message.guid, conn, now);
+  if (!first_seen) ++duplicates_;
+
+  switch (message.type()) {
+    case gnutella::MessageType::kPing: {
+      // Answer with our own PONG (routed back by GUID, per the protocol).
+      gnutella::Message pong = gnutella::make_pong(
+          message.guid, config_.ip, config_.shared_files, 0, 1);
+      pong.hops = 1;
+      network_.send(conn, id_, std::move(pong));
+      break;
+    }
+    case gnutella::MessageType::kQuery: {
+      if (first_seen && config_.forward_fanout > 0 && message.forwardable()) {
+        forward_query(conn, message);
+      }
+      break;
+    }
+    case gnutella::MessageType::kQueryHit: {
+      // Route the response back along the reverse path of its QUERY.
+      const auto route = routing_.reverse_route(message.guid, now);
+      if (route && *route != conn && message.forwardable() &&
+          network_.is_open(*route)) {
+        network_.send(*route, id_, message.forwarded());
+      }
+      break;
+    }
+    case gnutella::MessageType::kBye: {
+      session.bye_seen = true;
+      break;
+    }
+    case gnutella::MessageType::kRouteTableUpdate: {
+      const auto& payload =
+          std::get<gnutella::RouteTablePayload>(message.payload);
+      try {
+        session.qrp = gnutella::QrpTable::from_patch(payload.patch);
+      } catch (const std::invalid_argument&) {
+        // Malformed patch: keep forwarding everything to this leaf.
+        session.qrp.reset();
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void MeasurementNode::forward_query(sim::ConnId from,
+                                    const gnutella::Message& message) {
+  const auto& payload = std::get<gnutella::QueryPayload>(message.payload);
+  int sent = 0;
+  for (auto& [conn, session] : sessions_) {
+    if (conn == from) continue;
+    if (!network_.is_open(conn)) continue;
+    if (!session.ultrapeer) {
+      // Section 3.1: leaves receive a query only if their QRP table says
+      // they are likely to respond.  Leaves that never sent a table share
+      // nothing and are skipped entirely.
+      if (!session.qrp || !session.qrp->might_match(payload.keywords)) {
+        ++qrp_suppressed_;
+        continue;
+      }
+    }
+    network_.send(conn, id_, message.forwarded());
+    ++forwarded_;
+    if (++sent >= config_.forward_fanout) break;
+  }
+}
+
+void MeasurementNode::note_activity(Session& session) {
+  session.last_activity = network_.simulator().now();
+  session.probe_outstanding = false;
+}
+
+void MeasurementNode::arm_watchdog(sim::ConnId conn, double at) {
+  auto& sim = network_.simulator();
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
+  // Strictly in the future: re-arming at exactly now() would spin the
+  // event loop when floating-point rounding puts `at` an ulp below now.
+  it->second.watchdog_event = sim.schedule_at(
+      std::max(at, sim.now() + 1e-6), [this, conn] { watchdog_fire(conn); });
+}
+
+void MeasurementNode::watchdog_fire(sim::ConnId conn) {
+  // Comparisons use a small tolerance: `now` is often last_activity +
+  // threshold computed in doubles, so `idle` can land an ulp under the
+  // threshold.
+  constexpr double kEps = 1e-6;
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  session.watchdog_event = 0;
+  const double now = network_.simulator().now();
+  const double idle = now - session.last_activity;
+
+  if (session.probe_outstanding) {
+    if (idle >= config_.probe_timeout - kEps) {
+      // Silent peer: close and record the end (overestimating the real
+      // session end by ~idle_threshold + probe_timeout, per the paper).
+      trace::SessionEnd end;
+      end.time = now;
+      end.session_id = session.session_id;
+      end.reason = trace::EndReason::kIdleProbe;
+      sink_.on_event(end);
+      const std::uint64_t sid = session.session_id;
+      (void)sid;
+      sessions_.erase(it);
+      network_.close(conn);
+      return;
+    }
+    arm_watchdog(conn, session.last_activity + config_.probe_timeout);
+    return;
+  }
+
+  if (idle >= config_.idle_threshold - kEps) {
+    // Send a single probe PING and wait another probe_timeout.
+    network_.send(conn, id_, gnutella::make_ping(rng_, 1));
+    session.probe_outstanding = true;
+    arm_watchdog(conn, now + config_.probe_timeout);
+    return;
+  }
+  arm_watchdog(conn, session.last_activity + config_.idle_threshold);
+}
+
+void MeasurementNode::on_connection_closed(sim::ConnId conn) {
+  const auto pending_it = pending_.find(conn);
+  if (pending_it != pending_.end()) {
+    if (pending_it->second.accepted) --accepted_pending_;
+    pending_.erase(pending_it);
+  }
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.watchdog_event != 0) {
+    network_.simulator().cancel(session.watchdog_event);
+  }
+  trace::SessionEnd end;
+  end.time = network_.simulator().now();
+  end.session_id = session.session_id;
+  end.reason = session.bye_seen ? trace::EndReason::kBye
+                                : trace::EndReason::kTeardown;
+  sink_.on_event(end);
+  sessions_.erase(it);
+}
+
+}  // namespace p2pgen::behavior

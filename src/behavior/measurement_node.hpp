@@ -1,0 +1,113 @@
+// p2pgen — the measurement ultrapeer (paper Section 3).
+//
+// A faithful re-implementation of the paper's modified mutella client:
+// an ultrapeer accepting up to 200 simultaneous connections, performing
+// the 0.6 handshake (recording the peer's User-Agent), time-stamping
+// every received descriptor into a TraceSink, answering PINGs, running
+// the GUID routing table for duplicate suppression / reverse routing,
+// optionally forwarding queries to other ultrapeer neighbors, and
+// detecting silent peers with the 15 s idle + 15 s probe rule — which
+// overestimates silent session ends by ~30 s, exactly as the paper notes.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "gnutella/qrp.hpp"
+#include "gnutella/routing.hpp"
+#include "sim/network.hpp"
+#include "trace/trace.hpp"
+
+namespace p2pgen::behavior {
+
+class MeasurementNode final : public sim::Node {
+ public:
+  struct Config {
+    std::size_t max_connections = 200;
+    double idle_threshold = 15.0;  // seconds of silence before probing
+    double probe_timeout = 15.0;   // seconds to wait for the probe answer
+    std::string user_agent = "mutella-0.4.5";
+    std::uint32_t ip = 0;
+    std::uint32_t shared_files = 0;  // passive node shares nothing
+    /// If > 0, received first-seen queries are forwarded to up to this
+    /// many other established ultrapeer connections (TTL permitting).
+    int forward_fanout = 0;
+  };
+
+  MeasurementNode(sim::Network& network, trace::TraceSink& sink, Config config,
+                  std::uint64_t seed);
+
+  /// Registers with the network; must be called exactly once before use.
+  sim::NodeId attach();
+
+  sim::NodeId id() const noexcept { return id_; }
+
+  /// Number of currently established sessions.
+  std::size_t active_sessions() const noexcept { return sessions_.size(); }
+
+  /// Connections refused because the node was at capacity.
+  std::uint64_t rejected_connections() const noexcept { return rejected_; }
+
+  /// Messages whose GUID was already in the routing table.
+  std::uint64_t duplicate_messages() const noexcept { return duplicates_; }
+
+  /// Messages forwarded to neighbors (only when forward_fanout > 0).
+  std::uint64_t forwarded_messages() const noexcept { return forwarded_; }
+
+  /// Leaf forwards suppressed by a QRP miss.
+  std::uint64_t qrp_suppressed() const noexcept { return qrp_suppressed_; }
+
+  // sim::Node interface.
+  void on_connection_open(sim::ConnId conn, sim::NodeId peer) override;
+  void on_connection_closed(sim::ConnId conn) override;
+  void on_handshake(sim::ConnId conn, const gnutella::Handshake& handshake) override;
+  void on_message(sim::ConnId conn, const gnutella::Message& message) override;
+
+ private:
+  struct PendingConn {
+    sim::NodeId peer = 0;
+    std::string user_agent;
+    bool ultrapeer = false;
+    bool accepted = false;
+  };
+
+  struct Session {
+    std::uint64_t session_id = 0;
+    sim::NodeId peer = 0;
+    bool ultrapeer = false;
+    bool bye_seen = false;
+    double last_activity = 0.0;
+    bool probe_outstanding = false;
+    std::uint64_t watchdog_event = 0;
+    /// The leaf's QRP table, once received: queries are forwarded to this
+    /// leaf only if every keyword hits the table (Section 3.1).
+    std::optional<gnutella::QrpTable> qrp;
+  };
+
+  void establish(sim::ConnId conn, PendingConn pending);
+  void record_message(std::uint64_t session_id, const gnutella::Message& message);
+  void note_activity(Session& session);
+  void arm_watchdog(sim::ConnId conn, double at);
+  void watchdog_fire(sim::ConnId conn);
+  void forward_query(sim::ConnId from, const gnutella::Message& message);
+
+  sim::Network& network_;
+  trace::TraceSink& sink_;
+  Config config_;
+  stats::Rng rng_;
+  gnutella::RoutingTable routing_;
+
+  sim::NodeId id_ = 0;
+  bool attached_ = false;
+  std::uint64_t next_session_id_ = 1;
+  std::unordered_map<sim::ConnId, PendingConn> pending_;
+  std::unordered_map<sim::ConnId, Session> sessions_;
+  std::size_t accepted_pending_ = 0;  // accepted handshakes not yet established
+  std::uint64_t rejected_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t qrp_suppressed_ = 0;
+};
+
+}  // namespace p2pgen::behavior

@@ -1,0 +1,107 @@
+#include "behavior/trace_simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pgen::behavior {
+
+TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
+                                 TraceSimulationConfig config,
+                                 trace::TraceSink& sink)
+    : config_(config),
+      gated_sink_(sink, config.warmup_days * sim::kSecondsPerDay),
+      net_(sim_, config.network),
+      geodb_(geo::GeoIpDatabase::synthetic()),
+      allocator_(geodb_),
+      sampler_(std::move(ground_truth), config.seed ^ 0x1234567890ABCDEFULL),
+      planner_(sampler_, allocator_, config.background),
+      node_(net_, gated_sink_, config.node, config.seed ^ 0xFEDCBA0987654321ULL),
+      rng_(config.seed) {
+  if (!(config_.duration_days > 0.0)) {
+    throw std::invalid_argument("TraceSimulation: duration must be > 0");
+  }
+  if (!(config_.arrival_rate > 0.0)) {
+    throw std::invalid_argument("TraceSimulation: arrival rate must be > 0");
+  }
+  if (config_.diurnal_amplitude < 0.0 || config_.diurnal_amplitude >= 1.0) {
+    throw std::invalid_argument(
+        "TraceSimulation: diurnal amplitude must be in [0, 1)");
+  }
+  if (config_.warmup_days < 0.0) {
+    throw std::invalid_argument("TraceSimulation: negative warmup");
+  }
+  node_id_ = node_.attach();
+  horizon_ = (config_.warmup_days + config_.duration_days) * sim::kSecondsPerDay;
+}
+
+double TraceSimulation::arrival_rate_at(double t) const {
+  // Peaks around ~01:00 at the node (Figure 3: the global query load is
+  // highest in the night hours, when North America is most active).
+  const double phase =
+      2.0 * M_PI * (sim::time_of_day(t) - 3600.0) / sim::kSecondsPerDay;
+  return config_.arrival_rate *
+         (1.0 + config_.diurnal_amplitude * std::cos(phase));
+}
+
+void TraceSimulation::schedule_next_arrival(const ClientPopulation& clients) {
+  // Thinning-free approximation: draw the gap from the rate at "now".
+  const double gap = rng_.exponential(arrival_rate_at(sim_.now()));
+  const double at = sim_.now() + gap;
+  if (at >= horizon_) return;
+  sim_.schedule_at(at, [this, &clients] {
+    spawn_peer(clients);
+    schedule_next_arrival(clients);
+  });
+}
+
+core::Region TraceSimulation::sample_arrival_region(double now) {
+  const auto hour = static_cast<std::size_t>(sim::hour_of_day(now));
+  const auto& mix = sampler_.model().region_mix[hour];
+  std::array<double, geo::kRegionCount> weights{};
+  double total = 0.0;
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    weights[r] = mix[r] * config_.region_flow_correction[r];
+    total += weights[r];
+  }
+  double u = rng_.uniform() * total;
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    u -= weights[r];
+    if (u < 0.0) return static_cast<core::Region>(r);
+  }
+  return core::Region::kOther;
+}
+
+void TraceSimulation::spawn_peer(const ClientPopulation& clients) {
+  const double now = sim_.now();
+  const core::Region region = sample_arrival_region(now);
+  const ClientProfile& profile = clients.sample(rng_);
+  const bool ultrapeer = rng_.bernoulli(profile.ultrapeer_prob);
+  const geo::IpV4 ip = allocator_.allocate(region, rng_);
+  PeerPlan plan = planner_.plan(now, region, profile, rng_);
+
+  auto peer = std::make_unique<SimulatedPeer>(
+      net_, planner_, std::move(plan), profile.user_agent, ultrapeer,
+      profile.ping_interval, rng_.split(peers_spawned_ + 1),
+      [this](sim::NodeId id) {
+        // Destroy the peer via a deferred event: the callback runs inside
+        // the peer's own on_connection_closed frame.
+        sim_.schedule_after(0.0, [this, id] { peers_.erase(id); });
+      });
+  peer->start(node_id_, ip);
+  peers_.emplace(peer->id(), std::move(peer));
+  ++peers_spawned_;
+}
+
+void TraceSimulation::run() { run_with_clients(ClientPopulation::default_population()); }
+
+void TraceSimulation::run_with_clients(const ClientPopulation& clients) {
+  if (ran_) throw std::logic_error("TraceSimulation: already ran");
+  ran_ = true;
+  schedule_next_arrival(clients);
+  // The measurement simply stops at the horizon, like the paper's trace:
+  // sessions still open at that point have no SessionEnd record and the
+  // analysis layer ignores them.
+  sim_.run_until(horizon_);
+}
+
+}  // namespace p2pgen::behavior

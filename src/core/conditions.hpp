@@ -1,0 +1,144 @@
+// p2pgen — conditioning taxonomy of the IMC'04 workload model.
+//
+// The paper captures correlations by *conditioning* each workload measure
+// on a small set of discrete factors (Section 4):
+//   * geographic region (North America / Europe / Asia),
+//   * time of day, reduced to peak vs non-peak hours per region (§4.2
+//     identifies the key periods 03:00–04:00, 11:00–12:00, 13:00–14:00,
+//     19:00–20:00 at the measurement node),
+//   * the session's query count, bucketed differently per measure:
+//     Table A.3 uses {<3, =3, >3}, Table A.5 uses {1, 2–7, >7}, and the
+//     European interarrival conditioning of Figure 8(b) uses {=2, 3–7, >7}.
+// This header defines those factors and the bucketing functions.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "geo/region.hpp"
+
+namespace p2pgen::core {
+
+using geo::Region;
+
+/// Peak vs non-peak classification of an hour for a region.
+enum class DayPeriod : std::uint8_t { kPeak = 0, kNonPeak = 1 };
+
+inline constexpr std::size_t kDayPeriodCount = 2;
+
+constexpr std::string_view day_period_name(DayPeriod p) noexcept {
+  return p == DayPeriod::kPeak ? "peak" : "non-peak";
+}
+
+/// The four key one-hour periods of Section 4.2, in measurement-node local
+/// time.  The figures' per-period CCDFs ((b)/(c) panels of Figures 5–9)
+/// are computed over sessions/queries falling in these windows.
+struct KeyPeriod {
+  int start_hour;  // period covers [start_hour, start_hour + 1)
+  std::string_view label;
+};
+
+inline constexpr std::array<KeyPeriod, 4> kKeyPeriods = {{
+    {3, "03:00-04:00"},   // peak North America, sink Europe
+    {11, "11:00-12:00"},  // sink North America, peak Europe
+    {13, "13:00-14:00"},  // sink NA, peak Europe, peak Asia
+    {19, "19:00-20:00"},  // joint peak North America + Europe
+}};
+
+/// Peak-hours classification per region, in measurement-node local hours.
+/// Derived from the load curves of Figure 3: a region is "in peak" while
+/// its local time is afternoon/evening.  With the region offsets of
+/// region.hpp this yields (at the measurement node):
+///   North America (UTC-7 rel.): peak 19:00–07:00
+///   Europe:                      peak 12:00–24:00
+///   Asia (+7 rel.):              peak 05:00–17:00
+constexpr DayPeriod day_period(Region region, int hour_at_node) noexcept {
+  const int h = ((hour_at_node % 24) + 24) % 24;
+  switch (region) {
+    case Region::kNorthAmerica:
+      return (h >= 19 || h < 7) ? DayPeriod::kPeak : DayPeriod::kNonPeak;
+    case Region::kEurope:
+      return (h >= 12) ? DayPeriod::kPeak : DayPeriod::kNonPeak;
+    case Region::kAsia:
+      return (h >= 5 && h < 17) ? DayPeriod::kPeak : DayPeriod::kNonPeak;
+    case Region::kOther:
+      return (h >= 12) ? DayPeriod::kPeak : DayPeriod::kNonPeak;
+  }
+  return DayPeriod::kNonPeak;
+}
+
+/// Query-count bucket for the time-until-first-query model (Table A.3).
+enum class FirstQueryClass : std::uint8_t {
+  kFewerThanThree = 0,
+  kExactlyThree = 1,
+  kMoreThanThree = 2,
+};
+
+inline constexpr std::size_t kFirstQueryClassCount = 3;
+
+constexpr FirstQueryClass first_query_class(std::size_t queries) noexcept {
+  if (queries < 3) return FirstQueryClass::kFewerThanThree;
+  if (queries == 3) return FirstQueryClass::kExactlyThree;
+  return FirstQueryClass::kMoreThanThree;
+}
+
+constexpr std::string_view first_query_class_name(FirstQueryClass c) noexcept {
+  switch (c) {
+    case FirstQueryClass::kFewerThanThree: return "< 3 queries";
+    case FirstQueryClass::kExactlyThree: return "= 3 queries";
+    case FirstQueryClass::kMoreThanThree: return "> 3 queries";
+  }
+  return "?";
+}
+
+/// Query-count bucket for the time-after-last-query model (Table A.5).
+enum class LastQueryClass : std::uint8_t {
+  kOne = 0,
+  kTwoToSeven = 1,
+  kMoreThanSeven = 2,
+};
+
+inline constexpr std::size_t kLastQueryClassCount = 3;
+
+constexpr LastQueryClass last_query_class(std::size_t queries) noexcept {
+  if (queries <= 1) return LastQueryClass::kOne;
+  if (queries <= 7) return LastQueryClass::kTwoToSeven;
+  return LastQueryClass::kMoreThanSeven;
+}
+
+constexpr std::string_view last_query_class_name(LastQueryClass c) noexcept {
+  switch (c) {
+    case LastQueryClass::kOne: return "1 query";
+    case LastQueryClass::kTwoToSeven: return "2-7 queries";
+    case LastQueryClass::kMoreThanSeven: return "> 7 queries";
+  }
+  return "?";
+}
+
+/// Query-count bucket for the European interarrival conditioning
+/// (Figure 8(b): sessions with exactly 2, 3–7, > 7 queries).
+enum class InterarrivalClass : std::uint8_t {
+  kTwo = 0,
+  kThreeToSeven = 1,
+  kMoreThanSeven = 2,
+};
+
+inline constexpr std::size_t kInterarrivalClassCount = 3;
+
+constexpr InterarrivalClass interarrival_class(std::size_t queries) noexcept {
+  if (queries <= 2) return InterarrivalClass::kTwo;
+  if (queries <= 7) return InterarrivalClass::kThreeToSeven;
+  return InterarrivalClass::kMoreThanSeven;
+}
+
+constexpr std::string_view interarrival_class_name(InterarrivalClass c) noexcept {
+  switch (c) {
+    case InterarrivalClass::kTwo: return "= 2 queries";
+    case InterarrivalClass::kThreeToSeven: return "3-7 queries";
+    case InterarrivalClass::kMoreThanSeven: return "> 7 queries";
+  }
+  return "?";
+}
+
+}  // namespace p2pgen::core

@@ -1,0 +1,169 @@
+#include "core/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace p2pgen::core {
+namespace {
+
+constexpr std::size_t idx(Region r) { return geo::region_index(r); }
+constexpr std::size_t idx(DayPeriod p) { return static_cast<std::size_t>(p); }
+
+DayPeriod period_at(Region region, double t) {
+  return day_period(region, sim::hour_of_day(t));
+}
+
+std::size_t day_at(double t) {
+  return t <= 0.0 ? 0 : static_cast<std::size_t>(sim::day_index(t));
+}
+
+}  // namespace
+
+SessionSampler::SessionSampler(WorkloadModel model, std::uint64_t seed)
+    : model_(std::move(model)), vocabulary_(model_.popularity, seed) {
+  model_.validate();
+}
+
+Region SessionSampler::sample_region(double t, stats::Rng& rng) const {
+  const auto hour = static_cast<std::size_t>(sim::hour_of_day(t));
+  const auto& row = model_.region_mix[hour];
+  double u = rng.uniform();
+  for (Region r : geo::kAllRegions) {
+    u -= row[idx(r)];
+    if (u < 0.0) return r;
+  }
+  return Region::kOther;
+}
+
+bool SessionSampler::sample_passive(Region region, stats::Rng& rng) const {
+  return rng.bernoulli(model_.passive_fraction[idx(region)]);
+}
+
+std::size_t SessionSampler::sample_query_count(Region region,
+                                               stats::Rng& rng) const {
+  const double x = model_.queries_per_session[idx(region)]->sample(rng);
+  const auto n = static_cast<long long>(std::llround(x));
+  return n < 1 ? 1u : static_cast<std::size_t>(n);
+}
+
+GeneratedSession SessionSampler::sample_session(double start, stats::Rng& rng) {
+  return sample_session_in_region(start, sample_region(start, rng), rng);
+}
+
+GeneratedSession SessionSampler::sample_session_in_region(double start,
+                                                          Region region,
+                                                          stats::Rng& rng) {
+  GeneratedSession session;
+  session.start = start;
+  session.region = region;
+  session.passive = sample_passive(region, rng);
+
+  const DayPeriod start_period = period_at(region, start);
+
+  const double cap = model_.max_session_seconds;
+
+  if (session.passive) {
+    // Step (3): connected session length conditioned on time of day.
+    session.duration = std::min(
+        model_.passive_duration[idx(region)][idx(start_period)]->sample(rng),
+        cap);
+    return session;
+  }
+
+  // Step (4a): number of queries conditioned on region.
+  const std::size_t n = sample_query_count(region, rng);
+  session.queries.reserve(n);
+
+  // Step (4b): time until first query conditioned on #queries and period.
+  const auto fqc = static_cast<std::size_t>(first_query_class(n));
+  session.first_query_delay =
+      model_.first_query[idx(region)][idx(start_period)][fqc]->sample(rng);
+
+  session.first_query_delay = std::min(session.first_query_delay, cap * 0.5);
+  double t = start + session.first_query_delay;
+  const auto iac = static_cast<std::size_t>(interarrival_class(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      // Step (4c)(i): interarrival conditioned on the period of the
+      // current query and (for regions that need it) the #queries class.
+      const DayPeriod period = period_at(region, t);
+      t += model_.interarrival[idx(region)][idx(period)][iac]->sample(rng);
+      if (t - start >= cap) break;  // session duration cap reached
+    }
+    // Steps (4c)(ii)+(iii): query class, then rank within the class.
+    GeneratedQuery query;
+    query.time = t;
+    query.query_class = vocabulary_.sample_class(region, rng);
+    query.rank = vocabulary_.sample_rank(query.query_class, rng);
+    query.text = vocabulary_.query_string(query.query_class, query.rank, day_at(t));
+    session.queries.push_back(std::move(query));
+  }
+
+  // Step (4d): time after last query conditioned on #queries and period.
+  const double last_time = session.queries.back().time;
+  const DayPeriod last_period = period_at(region, last_time);
+  const auto lqc =
+      static_cast<std::size_t>(last_query_class(session.queries.size()));
+  session.after_last_delay = std::min(
+      model_.after_last[idx(region)][idx(last_period)][lqc]->sample(rng),
+      std::max(1.0, cap - (last_time - start)));
+  session.duration = (last_time - start) + session.after_last_delay;
+  return session;
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadModel model, Config config)
+    : sampler_(std::move(model), config.seed ^ 0x5eed5eed5eed5eedULL),
+      config_(config),
+      rng_(config.seed) {
+  if (config_.num_peers == 0) {
+    throw std::invalid_argument("WorkloadGenerator: num_peers must be > 0");
+  }
+  if (!(config_.duration > 0.0)) {
+    throw std::invalid_argument("WorkloadGenerator: duration must be > 0");
+  }
+  if (config_.warmup_stagger < 0.0) {
+    throw std::invalid_argument("WorkloadGenerator: negative warmup_stagger");
+  }
+}
+
+std::size_t WorkloadGenerator::generate(
+    const std::function<void(const GeneratedSession&)>& emit) {
+  if (!emit) throw std::invalid_argument("WorkloadGenerator: null emit callback");
+
+  // Min-heap of (next arrival time, slot): sessions come out in globally
+  // non-decreasing start order, which keeps vocabulary drift monotone.
+  using Arrival = std::pair<double, std::uint64_t>;
+  std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> arrivals;
+  for (std::uint64_t slot = 0; slot < config_.num_peers; ++slot) {
+    arrivals.push({config_.start_time + rng_.uniform(0.0, config_.warmup_stagger),
+                   slot});
+  }
+
+  const double horizon = config_.start_time + config_.duration;
+  std::size_t emitted = 0;
+  while (!arrivals.empty()) {
+    const auto [start, slot] = arrivals.top();
+    if (start >= horizon) break;
+    arrivals.pop();
+    GeneratedSession session = sampler_.sample_session(start, rng_);
+    session.slot = slot;
+    // The departing peer is replaced by a fresh peer immediately
+    // (steady-state assumption of Section 4.7).
+    arrivals.push({session.end(), slot});
+    emit(session);
+    ++emitted;
+  }
+  return emitted;
+}
+
+std::vector<GeneratedSession> WorkloadGenerator::generate_all() {
+  std::vector<GeneratedSession> sessions;
+  generate([&sessions](const GeneratedSession& s) { sessions.push_back(s); });
+  return sessions;
+}
+
+}  // namespace p2pgen::core

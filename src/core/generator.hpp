@@ -1,0 +1,114 @@
+// p2pgen — synthetic workload generator (paper Figure 12).
+//
+// Implements the paper's algorithm for generating a P2P file-sharing
+// workload: a steady-state population of N peer slots; whenever a slot's
+// session finishes, a new peer takes its place.  Each session runs the
+// Figure 12 recipe:
+//
+//   (1) region        conditioned on time of day         (Figure 1)
+//   (2) passive?      conditioned on region              (Figure 4)
+//   (3) passive:  session duration ~ Table A.1
+//   (4) active:   #queries        ~ Table A.2 (region)
+//                 time to 1st     ~ Table A.3 (period, #queries class)
+//                 per query: gap  ~ Table A.4 (period[, #queries class])
+//                            text ~ query class (Table 3) + Zipf rank
+//                                   (Figure 11) + hot-set drift (Fig. 10)
+//                 time after last ~ Table A.5 (period, #queries class)
+//
+// SessionSampler is the single-session primitive (also used by the trace
+// simulator as ground-truth user behavior); WorkloadGenerator drives the
+// steady-state population and emits sessions in start-time order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/model.hpp"
+#include "stats/rng.hpp"
+
+namespace p2pgen::core {
+
+/// One generated query.
+struct GeneratedQuery {
+  double time = 0.0;  // absolute seconds since workload start
+  QueryClass query_class = QueryClass::kAll;
+  std::size_t rank = 1;
+  std::string text;
+};
+
+/// One generated peer session.
+struct GeneratedSession {
+  std::uint64_t slot = 0;  // which steady-state peer slot produced it
+  double start = 0.0;      // absolute seconds
+  double duration = 0.0;   // connected session duration, seconds
+  Region region = Region::kNorthAmerica;
+  bool passive = true;
+  double first_query_delay = 0.0;  // active sessions only
+  double after_last_delay = 0.0;   // active sessions only
+  std::vector<GeneratedQuery> queries;
+
+  double end() const noexcept { return start + duration; }
+};
+
+/// Samples individual sessions per Figure 12 steps (1)–(4).
+class SessionSampler {
+ public:
+  /// Copies the model; `seed` derives the vocabulary's drift stream.
+  SessionSampler(WorkloadModel model, std::uint64_t seed);
+
+  /// Step (1): region of a peer arriving at absolute time `t`.
+  Region sample_region(double t, stats::Rng& rng) const;
+
+  /// Step (2): passive with the region's probability.
+  bool sample_passive(Region region, stats::Rng& rng) const;
+
+  /// Step (4a): number of queries in an active session (>= 1).
+  std::size_t sample_query_count(Region region, stats::Rng& rng) const;
+
+  /// Full session (steps 1–4) for a peer arriving at `start`.
+  GeneratedSession sample_session(double start, stats::Rng& rng);
+
+  /// Like sample_session but with the region fixed by the caller.
+  GeneratedSession sample_session_in_region(double start, Region region,
+                                            stats::Rng& rng);
+
+  const WorkloadModel& model() const noexcept { return model_; }
+  QueryVocabulary& vocabulary() noexcept { return vocabulary_; }
+
+ private:
+  WorkloadModel model_;
+  QueryVocabulary vocabulary_;
+};
+
+/// Steady-state workload generator.
+class WorkloadGenerator {
+ public:
+  struct Config {
+    std::size_t num_peers = 500;    // steady-state population N
+    double start_time = 0.0;        // absolute start (defines time of day)
+    double duration = 86400.0;      // generate sessions starting in
+                                    // [start_time, start_time + duration)
+    double warmup_stagger = 600.0;  // initial slot arrival spread, seconds
+    std::uint64_t seed = 42;
+  };
+
+  WorkloadGenerator(WorkloadModel model, Config config);
+
+  /// Generates sessions in globally non-decreasing start order, invoking
+  /// `emit` for each.  Returns the number of sessions emitted.
+  std::size_t generate(const std::function<void(const GeneratedSession&)>& emit);
+
+  /// Convenience: collect everything (memory-heavy for large configs).
+  std::vector<GeneratedSession> generate_all();
+
+  SessionSampler& sampler() noexcept { return sampler_; }
+
+ private:
+  SessionSampler sampler_;
+  Config config_;
+  stats::Rng rng_;
+};
+
+}  // namespace p2pgen::core

@@ -1,0 +1,273 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+
+namespace p2pgen::core {
+namespace {
+
+using stats::DistributionPtr;
+using stats::bimodal_split;
+using stats::make_lognormal;
+using stats::make_pareto;
+using stats::make_weibull;
+
+constexpr std::size_t idx(Region r) { return geo::region_index(r); }
+constexpr std::size_t idx(DayPeriod p) { return static_cast<std::size_t>(p); }
+
+}  // namespace
+
+RegionMix paper_region_mix() {
+  // Fractions of NA / EU / Asia / other per hour at the measurement node,
+  // read off Figure 1 and the Section 4.1 anchors (75/15/5 at 00:00,
+  // 80/5/5 at 03:00, 60/20/15 at 12:00; EU peaks ~20 % noon–midnight and
+  // bottoms ~6 % at 06:00; Asia peaks ~13–15 % during 06:00–15:00).
+  constexpr std::array<std::array<double, 3>, 24> kEuAsiaOther = {{
+      // EU    Asia  Other        hour
+      {0.15, 0.05, 0.05},  // 00
+      {0.13, 0.05, 0.06},  // 01
+      {0.10, 0.05, 0.06},  // 02
+      {0.08, 0.05, 0.07},  // 03
+      {0.07, 0.06, 0.07},  // 04
+      {0.06, 0.07, 0.07},  // 05
+      {0.06, 0.09, 0.07},  // 06
+      {0.07, 0.11, 0.07},  // 07
+      {0.08, 0.12, 0.07},  // 08
+      {0.10, 0.13, 0.07},  // 09
+      {0.12, 0.13, 0.07},  // 10
+      {0.15, 0.14, 0.06},  // 11
+      {0.20, 0.14, 0.06},  // 12
+      {0.20, 0.13, 0.06},  // 13
+      {0.20, 0.12, 0.06},  // 14
+      {0.20, 0.10, 0.06},  // 15
+      {0.19, 0.08, 0.06},  // 16
+      {0.19, 0.07, 0.06},  // 17
+      {0.19, 0.06, 0.05},  // 18
+      {0.20, 0.05, 0.05},  // 19
+      {0.20, 0.04, 0.05},  // 20
+      {0.19, 0.04, 0.05},  // 21
+      {0.18, 0.04, 0.05},  // 22
+      {0.16, 0.04, 0.05},  // 23
+  }};
+  RegionMix mix{};
+  for (int h = 0; h < 24; ++h) {
+    const auto [eu, asia, other] = kEuAsiaOther[static_cast<std::size_t>(h)];
+    auto& row = mix[static_cast<std::size_t>(h)];
+    row[idx(Region::kEurope)] = eu;
+    row[idx(Region::kAsia)] = asia;
+    row[idx(Region::kOther)] = other;
+    row[idx(Region::kNorthAmerica)] = 1.0 - eu - asia - other;
+  }
+  return mix;
+}
+
+void WorkloadModel::validate() const {
+  for (int h = 0; h < 24; ++h) {
+    double total = 0.0;
+    for (double f : region_mix[static_cast<std::size_t>(h)]) {
+      if (f < 0.0) throw std::invalid_argument("WorkloadModel: negative mix entry");
+      total += f;
+    }
+    if (total < 0.999 || total > 1.001) {
+      throw std::invalid_argument("WorkloadModel: region mix row must sum to 1");
+    }
+  }
+  if (!(max_session_seconds > 0.0)) {
+    throw std::invalid_argument("WorkloadModel: max_session_seconds must be > 0");
+  }
+  for (Region r : geo::kAllRegions) {
+    const double pf = passive_fraction[idx(r)];
+    if (!(pf >= 0.0 && pf <= 1.0)) {
+      throw std::invalid_argument("WorkloadModel: passive fraction out of range");
+    }
+    if (!queries_per_session[idx(r)]) {
+      throw std::invalid_argument("WorkloadModel: missing queries_per_session");
+    }
+    for (std::size_t p = 0; p < kDayPeriodCount; ++p) {
+      if (!passive_duration[idx(r)][p]) {
+        throw std::invalid_argument("WorkloadModel: missing passive_duration");
+      }
+      for (std::size_t c = 0; c < kFirstQueryClassCount; ++c) {
+        if (!first_query[idx(r)][p][c]) {
+          throw std::invalid_argument("WorkloadModel: missing first_query");
+        }
+      }
+      for (std::size_t c = 0; c < kInterarrivalClassCount; ++c) {
+        if (!interarrival[idx(r)][p][c]) {
+          throw std::invalid_argument("WorkloadModel: missing interarrival");
+        }
+      }
+      for (std::size_t c = 0; c < kLastQueryClassCount; ++c) {
+        if (!after_last[idx(r)][p][c]) {
+          throw std::invalid_argument("WorkloadModel: missing after_last");
+        }
+      }
+    }
+  }
+  popularity.validate();
+}
+
+WorkloadModel WorkloadModel::paper_default() {
+  WorkloadModel m;
+  m.region_mix = paper_region_mix();
+
+  // Figure 4: NA 80–85 %, EU 75–80 %, Asia 80–90 %, flat over the day.
+  m.passive_fraction[idx(Region::kNorthAmerica)] = 0.825;
+  m.passive_fraction[idx(Region::kEurope)] = 0.775;
+  m.passive_fraction[idx(Region::kAsia)] = 0.85;
+  m.passive_fraction[idx(Region::kOther)] = 0.82;
+
+  // ---- Table A.1: passive session duration (seconds) ------------------
+  // NA peak: 75 % body (<= 2 min) lognormal(2.108, 2.502); tail
+  // lognormal(6.397, 2.749).  NA non-peak: 55 % body.
+  // Body covers 64–120 s ("1-2 minutes"): filter rule 3 removes sessions
+  // under 64 s, so the fitted body starts there.
+  auto passive = [](double w, double mu_b, double s_b, double mu_t, double s_t) {
+    return bimodal_split(make_lognormal(mu_b, s_b), make_lognormal(mu_t, s_t),
+                         120.0, w, 64.0);
+  };
+  auto& pd = m.passive_duration;
+  pd[idx(Region::kNorthAmerica)][idx(DayPeriod::kPeak)] =
+      passive(0.75, 2.108, 2.502, 6.397, 2.749);
+  pd[idx(Region::kNorthAmerica)][idx(DayPeriod::kNonPeak)] =
+      passive(0.55, 2.201, 2.383, 6.817, 2.848);
+  // Europe: longest sessions (Fig. 5(a): only 55 % under 2 min overall).
+  pd[idx(Region::kEurope)][idx(DayPeriod::kPeak)] =
+      passive(0.55, 2.30, 2.40, 6.90, 2.80);
+  pd[idx(Region::kEurope)][idx(DayPeriod::kNonPeak)] =
+      passive(0.40, 2.40, 2.30, 7.20, 2.90);
+  // Asia: shortest sessions (85 % under 2 min).
+  pd[idx(Region::kAsia)][idx(DayPeriod::kPeak)] =
+      passive(0.85, 2.00, 2.50, 6.00, 2.60);
+  pd[idx(Region::kAsia)][idx(DayPeriod::kNonPeak)] =
+      passive(0.75, 2.10, 2.40, 6.30, 2.70);
+  pd[idx(Region::kOther)][idx(DayPeriod::kPeak)] =
+      pd[idx(Region::kNorthAmerica)][idx(DayPeriod::kPeak)];
+  pd[idx(Region::kOther)][idx(DayPeriod::kNonPeak)] =
+      pd[idx(Region::kNorthAmerica)][idx(DayPeriod::kNonPeak)];
+
+  // ---- Table A.2: queries per active session ---------------------------
+  m.queries_per_session[idx(Region::kNorthAmerica)] = make_lognormal(-0.0673, 1.360);
+  m.queries_per_session[idx(Region::kEurope)] = make_lognormal(0.520, 1.306);
+  m.queries_per_session[idx(Region::kAsia)] = make_lognormal(-1.029, 1.618);
+  m.queries_per_session[idx(Region::kOther)] = make_lognormal(-0.0673, 1.360);
+
+  // ---- Table A.3: time until first query (seconds) ---------------------
+  // NA peak split at 45 s, non-peak split at 120 s; body weights read off
+  // Figure 7 (about half the sessions issue their first query early).
+  // Peak rows use body 0–45 s; non-peak rows use body 64–120 s, exactly as
+  // printed in Table A.3.
+  auto first = [](double w, double body_lo, double split, double alpha,
+                  double lambda, double mu_t, double s_t) {
+    return bimodal_split(make_weibull(alpha, lambda), make_lognormal(mu_t, s_t),
+                         split, w, body_lo);
+  };
+  auto& fq = m.first_query;
+  {
+    auto& na = fq[idx(Region::kNorthAmerica)];
+    na[idx(DayPeriod::kPeak)][0] =
+        first(0.50, 0.0, 45.0, 1.477, 0.005252, 5.091, 2.905);
+    na[idx(DayPeriod::kPeak)][1] =
+        first(0.50, 0.0, 45.0, 1.261, 0.01081, 6.303, 2.045);
+    na[idx(DayPeriod::kPeak)][2] =
+        first(0.50, 0.0, 45.0, 0.9821, 0.02662, 6.301, 2.359);
+    na[idx(DayPeriod::kNonPeak)][0] =
+        first(0.55, 64.0, 120.0, 1.159, 0.01779, 5.144, 3.384);
+    na[idx(DayPeriod::kNonPeak)][1] =
+        first(0.55, 64.0, 120.0, 1.207, 0.01446, 6.400, 2.324);
+    na[idx(DayPeriod::kNonPeak)][2] =
+        first(0.55, 64.0, 120.0, 0.9351, 0.03380, 7.186, 2.463);
+    // Figure 7(a): Europe tracks North America closely.
+    fq[idx(Region::kEurope)] = na;
+    fq[idx(Region::kOther)] = na;
+  }
+  {
+    // Asia: 90 % of first queries fall within 30–90 s (Figure 7(a)) —
+    // a steep Weibull body with high weight and a light tail.
+    auto& as = fq[idx(Region::kAsia)];
+    for (std::size_t c = 0; c < kFirstQueryClassCount; ++c) {
+      as[idx(DayPeriod::kPeak)][c] =
+          first(0.90, 0.0, 90.0, 1.80, 0.0009, 4.80, 1.80);
+      as[idx(DayPeriod::kNonPeak)][c] =
+          first(0.88, 0.0, 120.0, 1.60, 0.0015, 5.00, 1.90);
+    }
+  }
+
+  // ---- Table A.4: query interarrival time (seconds) --------------------
+  // NA peak: lognormal(3.353, 1.625) body below 103 s, Pareto(0.9041, 103)
+  // tail.  Non-peak: lognormal(2.933, 1.410) body, Pareto(1.143, 103) tail.
+  auto inter = [](double w, double mu_b, double s_b, double tail_alpha) {
+    return bimodal_split(make_lognormal(mu_b, s_b), make_pareto(tail_alpha, 103.0),
+                         103.0, w);
+  };
+  auto& ia = m.interarrival;
+  {
+    auto& na = ia[idx(Region::kNorthAmerica)];
+    // Figure 8(a): ~70 % of NA interarrivals below 100 s; no conditioning
+    // on the query count for NA (Section 4.5) — replicate across classes.
+    for (std::size_t c = 0; c < kInterarrivalClassCount; ++c) {
+      na[idx(DayPeriod::kPeak)][c] = inter(0.68, 3.353, 1.625, 0.9041);
+      na[idx(DayPeriod::kNonPeak)][c] = inter(0.76, 2.933, 1.410, 1.143);
+    }
+    ia[idx(Region::kOther)] = na;
+  }
+  {
+    // Europe: 90 % below 100 s, and conditioned on the session's query
+    // count — many-query sessions have shorter gaps (Figure 8(b)).
+    auto& eu = ia[idx(Region::kEurope)];
+    eu[idx(DayPeriod::kPeak)][static_cast<std::size_t>(InterarrivalClass::kTwo)] =
+        inter(0.82, 3.40, 1.55, 1.05);
+    eu[idx(DayPeriod::kPeak)]
+      [static_cast<std::size_t>(InterarrivalClass::kThreeToSeven)] =
+        inter(0.87, 3.05, 1.50, 1.10);
+    eu[idx(DayPeriod::kPeak)]
+      [static_cast<std::size_t>(InterarrivalClass::kMoreThanSeven)] =
+        inter(0.91, 2.70, 1.45, 1.20);
+    eu[idx(DayPeriod::kNonPeak)][static_cast<std::size_t>(InterarrivalClass::kTwo)] =
+        inter(0.90, 3.10, 1.45, 1.25);
+    eu[idx(DayPeriod::kNonPeak)]
+      [static_cast<std::size_t>(InterarrivalClass::kThreeToSeven)] =
+        inter(0.94, 2.85, 1.40, 1.30);
+    eu[idx(DayPeriod::kNonPeak)]
+      [static_cast<std::size_t>(InterarrivalClass::kMoreThanSeven)] =
+        inter(0.96, 2.55, 1.35, 1.40);
+  }
+  {
+    // Asia: ~80 % below 100 s (Figure 8(a)); no query-count conditioning.
+    auto& as = ia[idx(Region::kAsia)];
+    for (std::size_t c = 0; c < kInterarrivalClassCount; ++c) {
+      as[idx(DayPeriod::kPeak)][c] = inter(0.78, 3.20, 1.55, 1.00);
+      as[idx(DayPeriod::kNonPeak)][c] = inter(0.85, 2.95, 1.45, 1.20);
+    }
+  }
+
+  // ---- Table A.5: time after last query (seconds) ----------------------
+  auto& al = m.after_last;
+  {
+    auto& na = al[idx(Region::kNorthAmerica)];
+    na[idx(DayPeriod::kPeak)][0] = make_lognormal(4.879, 2.361);
+    na[idx(DayPeriod::kPeak)][1] = make_lognormal(5.686, 2.259);
+    na[idx(DayPeriod::kPeak)][2] = make_lognormal(6.107, 2.145);
+    na[idx(DayPeriod::kNonPeak)][0] = make_lognormal(4.760, 2.162);
+    na[idx(DayPeriod::kNonPeak)][1] = make_lognormal(5.672, 2.156);
+    na[idx(DayPeriod::kNonPeak)][2] = make_lognormal(6.036, 2.286);
+    // Figure 9(a): Europe tracks North America.
+    al[idx(Region::kEurope)] = na;
+    al[idx(Region::kOther)] = na;
+  }
+  {
+    // Asia closes sessions faster (Figure 9(a): 10 % above 1000 s vs 20 %).
+    auto& as = al[idx(Region::kAsia)];
+    as[idx(DayPeriod::kPeak)][0] = make_lognormal(4.20, 2.20);
+    as[idx(DayPeriod::kPeak)][1] = make_lognormal(5.00, 2.20);
+    as[idx(DayPeriod::kPeak)][2] = make_lognormal(5.40, 2.20);
+    as[idx(DayPeriod::kNonPeak)][0] = make_lognormal(4.10, 2.10);
+    as[idx(DayPeriod::kNonPeak)][1] = make_lognormal(4.90, 2.10);
+    as[idx(DayPeriod::kNonPeak)][2] = make_lognormal(5.30, 2.10);
+  }
+
+  m.popularity = PopularityModel::paper_default();
+  m.validate();
+  return m;
+}
+
+}  // namespace p2pgen::core

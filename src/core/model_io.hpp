@@ -1,0 +1,44 @@
+// p2pgen — workload model (de)serialization.
+//
+// A line-oriented text format so fitted models can be saved, diffed,
+// versioned, and shipped to other simulators:
+//
+//   p2pgen-model v1
+//   # comments and blank lines are ignored
+//   max_session_seconds 180000
+//   region_mix <hour> <na> <eu> <asia> <other>
+//   passive_fraction <na> <eu> <asia> <other>
+//   passive_duration <region> <period> <distribution spec>
+//   queries_per_session <region> <distribution spec>
+//   first_query <region> <period> <class> <distribution spec>
+//   interarrival <region> <period> <class> <distribution spec>
+//   after_last <region> <period> <class> <distribution spec>
+//   popularity_drift <p>
+//   popularity_class <class> <size> <two_piece> <split> <a_body> <a_tail>
+//   popularity_prob <region> <7 class probabilities>
+//
+// Distribution specs use the stats::parse_distribution grammar (which is
+// Distribution::name()'s output).  Region/period/class fields are the
+// enum integer values.  load_model validates the result.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace p2pgen::core {
+
+/// Writes the model in the format above.  Throws on stream failure.
+void save_model(const WorkloadModel& model, std::ostream& out);
+
+/// Parses a model.  Starts from paper_default() and overrides every field
+/// present in the stream, so partial files are valid; the result is
+/// validate()d.  Throws std::runtime_error with a line number on errors.
+WorkloadModel load_model(std::istream& in);
+
+/// File-path conveniences.
+void save_model_file(const WorkloadModel& model, const std::string& path);
+WorkloadModel load_model_file(const std::string& path);
+
+}  // namespace p2pgen::core

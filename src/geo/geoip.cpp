@@ -1,0 +1,133 @@
+#include "geo/geoip.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace p2pgen::geo {
+namespace {
+
+/// Mask with the top `len` bits set (len in 0..32).
+constexpr IpV4 prefix_mask(std::uint8_t len) noexcept {
+  return len == 0 ? 0u : (len >= 32 ? ~0u : ~0u << (32 - len));
+}
+
+constexpr IpV4 octets(std::uint32_t a, std::uint32_t b, std::uint32_t c,
+                      std::uint32_t d) noexcept {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+}  // namespace
+
+std::string format_ip(IpV4 ip) {
+  std::ostringstream os;
+  os << ((ip >> 24) & 0xff) << '.' << ((ip >> 16) & 0xff) << '.'
+     << ((ip >> 8) & 0xff) << '.' << (ip & 0xff);
+  return os.str();
+}
+
+std::optional<IpV4> parse_ip(const std::string& text) {
+  std::uint32_t parts[4];
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      return std::nullopt;
+    }
+    std::uint32_t value = 0;
+    std::size_t digits = 0;
+    while (pos < text.size() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + static_cast<std::uint32_t>(text[pos] - '0');
+      ++pos;
+      if (++digits > 3 || value > 255) return std::nullopt;
+    }
+    parts[i] = value;
+    if (i < 3) {
+      if (pos >= text.size() || text[pos] != '.') return std::nullopt;
+      ++pos;
+    }
+  }
+  if (pos != text.size()) return std::nullopt;
+  return octets(parts[0], parts[1], parts[2], parts[3]);
+}
+
+void GeoIpDatabase::add_prefix(IpV4 network, std::uint8_t prefix_length,
+                               Region region) {
+  if (prefix_length > 32) {
+    throw std::invalid_argument("GeoIpDatabase: prefix length must be <= 32");
+  }
+  const IpV4 masked = network & prefix_mask(prefix_length);
+  auto& bucket = by_length_[prefix_length];
+  if (bucket.emplace(masked, region).second) ++prefix_count_;
+}
+
+std::optional<Region> GeoIpDatabase::lookup(IpV4 ip) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_length_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const auto it = bucket.find(ip & prefix_mask(static_cast<std::uint8_t>(len)));
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::vector<CidrPrefix> GeoIpDatabase::prefixes_for(Region region) const {
+  std::vector<CidrPrefix> out;
+  for (std::size_t len = 0; len <= 32; ++len) {
+    for (const auto& [network, r] : by_length_[len]) {
+      if (r == region) {
+        out.push_back({network, static_cast<std::uint8_t>(len), r});
+      }
+    }
+  }
+  return out;
+}
+
+GeoIpDatabase GeoIpDatabase::synthetic() {
+  GeoIpDatabase db;
+  // North America — ARIN-flavored blocks.
+  db.add_prefix(octets(24, 0, 0, 0), 8, Region::kNorthAmerica);
+  db.add_prefix(octets(64, 0, 0, 0), 10, Region::kNorthAmerica);
+  db.add_prefix(octets(66, 0, 0, 0), 8, Region::kNorthAmerica);
+  db.add_prefix(octets(68, 0, 0, 0), 8, Region::kNorthAmerica);
+  db.add_prefix(octets(12, 0, 0, 0), 8, Region::kNorthAmerica);
+  db.add_prefix(octets(204, 0, 0, 0), 8, Region::kNorthAmerica);
+  // Europe — RIPE-flavored blocks.
+  db.add_prefix(octets(62, 0, 0, 0), 8, Region::kEurope);
+  db.add_prefix(octets(80, 0, 0, 0), 7, Region::kEurope);
+  db.add_prefix(octets(82, 0, 0, 0), 8, Region::kEurope);
+  db.add_prefix(octets(193, 0, 0, 0), 8, Region::kEurope);
+  db.add_prefix(octets(194, 0, 0, 0), 8, Region::kEurope);
+  db.add_prefix(octets(213, 0, 0, 0), 8, Region::kEurope);
+  // Asia — APNIC-flavored blocks.
+  db.add_prefix(octets(58, 0, 0, 0), 8, Region::kAsia);
+  db.add_prefix(octets(61, 0, 0, 0), 8, Region::kAsia);
+  db.add_prefix(octets(202, 0, 0, 0), 8, Region::kAsia);
+  db.add_prefix(octets(203, 0, 0, 0), 8, Region::kAsia);
+  db.add_prefix(octets(218, 0, 0, 0), 8, Region::kAsia);
+  // Other continents (LACNIC / AfriNIC flavored).
+  db.add_prefix(octets(200, 0, 0, 0), 8, Region::kOther);
+  db.add_prefix(octets(196, 0, 0, 0), 8, Region::kOther);
+  db.add_prefix(octets(41, 0, 0, 0), 8, Region::kOther);
+  return db;
+}
+
+IpAllocator::IpAllocator(const GeoIpDatabase& db) {
+  for (Region region : kAllRegions) {
+    prefixes_[region_index(region)] = db.prefixes_for(region);
+  }
+}
+
+IpV4 IpAllocator::allocate(Region region, stats::Rng& rng) const {
+  const auto& blocks = prefixes_[region_index(region)];
+  if (blocks.empty()) {
+    throw std::invalid_argument("IpAllocator: no prefixes for region");
+  }
+  const auto& block = blocks[rng.uniform_index(blocks.size())];
+  const std::uint32_t host_bits = 32u - block.prefix_length;
+  const IpV4 host =
+      host_bits == 0
+          ? 0u
+          : static_cast<IpV4>(rng.uniform_index(1ULL << host_bits));
+  return block.network | host;
+}
+
+}  // namespace p2pgen::geo

@@ -1,0 +1,83 @@
+// p2pgen — synthetic GeoIP database.
+//
+// The paper resolves peer IP addresses to geographic regions with the
+// MaxMind GeoIP database.  That database (and real peer IPs) are not
+// available, so we substitute a synthetic equivalent that exercises the
+// same lookup code path: CIDR prefixes mapped to regions with
+// longest-prefix-match resolution, plus an allocator that mints addresses
+// *inside* a chosen region's prefixes so the simulator can generate
+// region-consistent peers.  DESIGN.md §1 records this substitution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/region.hpp"
+#include "stats/rng.hpp"
+
+namespace p2pgen::geo {
+
+/// An IPv4 address in host byte order.
+using IpV4 = std::uint32_t;
+
+/// Formats an address as dotted quad.
+std::string format_ip(IpV4 ip);
+
+/// Parses a dotted quad; returns std::nullopt on malformed input.
+std::optional<IpV4> parse_ip(const std::string& text);
+
+/// A CIDR prefix.
+struct CidrPrefix {
+  IpV4 network = 0;        // already masked to prefix_length bits
+  std::uint8_t prefix_length = 0;  // 0..32
+  Region region = Region::kOther;
+};
+
+/// Longest-prefix-match IP-to-region database.
+class GeoIpDatabase {
+ public:
+  GeoIpDatabase() = default;
+
+  /// Registers a prefix.  The network part is masked automatically.
+  /// Overlapping prefixes are allowed; lookup picks the longest match.
+  void add_prefix(IpV4 network, std::uint8_t prefix_length, Region region);
+
+  /// Resolves an address; returns std::nullopt when no prefix matches
+  /// (the paper's "unknown origin" class).
+  std::optional<Region> lookup(IpV4 ip) const;
+
+  /// Number of registered prefixes.
+  std::size_t size() const noexcept { return prefix_count_; }
+
+  /// All prefixes registered for a region (for the allocator and tests).
+  std::vector<CidrPrefix> prefixes_for(Region region) const;
+
+  /// Builds the default synthetic allocation: several disjoint prefix
+  /// blocks per region, loosely shaped like early-2000s RIR allocations
+  /// (ARIN / RIPE / APNIC ranges), plus a small "other" block.
+  static GeoIpDatabase synthetic();
+
+ private:
+  // One hash map per prefix length; lookup tries lengths longest-first.
+  std::array<std::unordered_map<IpV4, Region>, 33> by_length_{};
+  std::size_t prefix_count_ = 0;
+};
+
+/// Mints random IPv4 addresses inside a region's registered prefixes.
+/// Deterministic given the Rng stream.
+class IpAllocator {
+ public:
+  explicit IpAllocator(const GeoIpDatabase& db);
+
+  /// Draws an address whose GeoIpDatabase::lookup resolves to `region`.
+  /// Throws std::invalid_argument if the database has no prefix for it.
+  IpV4 allocate(Region region, stats::Rng& rng) const;
+
+ private:
+  std::array<std::vector<CidrPrefix>, kRegionCount> prefixes_{};
+};
+
+}  // namespace p2pgen::geo

@@ -1,0 +1,65 @@
+// p2pgen — geographic regions.
+//
+// The paper characterizes peers in the three continents where most peers
+// reside (North America, Europe, Asia) and groups the remainder as
+// "other/unknown" (Section 4.1).  Time-of-day correlations are expressed
+// in the measurement node's local time (Dortmund); each region also has a
+// representative UTC offset used by the behavior models to produce the
+// diurnal patterns of Figure 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace p2pgen::geo {
+
+/// Peer region classes used throughout the characterization.
+enum class Region : std::uint8_t {
+  kNorthAmerica = 0,
+  kEurope = 1,
+  kAsia = 2,
+  kOther = 3,  // known location outside the three main continents
+};
+
+/// Number of Region values.
+inline constexpr std::size_t kRegionCount = 4;
+
+/// The three main regions the paper characterizes in detail.
+inline constexpr std::array<Region, 3> kMainRegions = {
+    Region::kNorthAmerica, Region::kEurope, Region::kAsia};
+
+/// All regions, including kOther.
+inline constexpr std::array<Region, kRegionCount> kAllRegions = {
+    Region::kNorthAmerica, Region::kEurope, Region::kAsia, Region::kOther};
+
+/// Short human-readable name ("North America", ...).
+constexpr std::string_view region_name(Region r) noexcept {
+  switch (r) {
+    case Region::kNorthAmerica: return "North America";
+    case Region::kEurope: return "Europe";
+    case Region::kAsia: return "Asia";
+    case Region::kOther: return "Other";
+  }
+  return "Other";
+}
+
+/// Representative local-time offset of the region relative to the
+/// measurement node (Dortmund, Germany), in hours.  Used by behavior
+/// models: a peer's diurnal activity follows its *local* time.
+constexpr double region_local_offset_hours(Region r) noexcept {
+  switch (r) {
+    case Region::kNorthAmerica: return -7.0;  // US central-ish mean vs CET
+    case Region::kEurope: return 0.0;
+    case Region::kAsia: return +7.0;  // East/Southeast Asia mean vs CET
+    case Region::kOther: return +3.0;
+  }
+  return 0.0;
+}
+
+/// Index of a region for array-based tables.
+constexpr std::size_t region_index(Region r) noexcept {
+  return static_cast<std::size_t>(r);
+}
+
+}  // namespace p2pgen::geo

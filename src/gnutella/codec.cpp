@@ -1,0 +1,299 @@
+#include "gnutella/codec.hpp"
+
+#include <cstring>
+
+namespace p2pgen::gnutella {
+namespace {
+
+/// Append helpers (little-endian unless noted).
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16le(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u32be(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void put_cstring(std::vector<std::uint8_t>& out, const std::string& s) {
+  out.insert(out.end(), s.begin(), s.end());
+  out.push_back(0);
+}
+
+/// Bounded reader over the payload span.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16le() {
+    need(2);
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32le() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint32_t u32be() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+
+  std::string cstring() {
+    const auto start = pos_;
+    while (pos_ < data_.size() && data_[pos_] != 0) ++pos_;
+    if (pos_ >= data_.size()) throw DecodeError("unterminated string in payload");
+    std::string s(reinterpret_cast<const char*>(data_.data() + start), pos_ - start);
+    ++pos_;  // skip NUL
+    return s;
+  }
+
+  Guid guid() {
+    need(16);
+    Guid g;
+    std::memcpy(g.bytes.data(), data_.data() + pos_, 16);
+    pos_ += 16;
+    return g;
+  }
+
+  void expect_consumed() const {
+    if (pos_ != data_.size()) throw DecodeError("trailing bytes in payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw DecodeError("truncated payload");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::uint8_t> encode_payload(const Message& message) {
+  std::vector<std::uint8_t> out;
+  switch (message.type()) {
+    case MessageType::kPing:
+      break;
+    case MessageType::kPong: {
+      const auto& p = std::get<PongPayload>(message.payload);
+      put_u16le(out, p.port);
+      put_u32be(out, p.ip);
+      put_u32le(out, p.shared_files);
+      put_u32le(out, p.shared_kbytes);
+      break;
+    }
+    case MessageType::kQuery: {
+      const auto& q = std::get<QueryPayload>(message.payload);
+      put_u16le(out, q.min_speed);
+      put_cstring(out, q.keywords);
+      if (!q.sha1_urn.empty()) put_cstring(out, q.sha1_urn);
+      break;
+    }
+    case MessageType::kQueryHit: {
+      const auto& h = std::get<QueryHitPayload>(message.payload);
+      if (h.results.size() > 255) throw DecodeError("too many query hit results");
+      put_u8(out, static_cast<std::uint8_t>(h.results.size()));
+      put_u16le(out, h.port);
+      put_u32be(out, h.ip);
+      put_u32le(out, h.speed_kbps);
+      for (const auto& r : h.results) {
+        put_u32le(out, r.file_index);
+        put_u32le(out, r.file_size);
+        put_cstring(out, r.file_name);
+        put_cstring(out, "");  // empty extension block
+      }
+      out.insert(out.end(), h.servent_guid.bytes.begin(), h.servent_guid.bytes.end());
+      break;
+    }
+    case MessageType::kBye: {
+      const auto& b = std::get<ByePayload>(message.payload);
+      put_u16le(out, b.code);
+      put_cstring(out, b.reason);
+      break;
+    }
+    case MessageType::kRouteTableUpdate: {
+      const auto& t = std::get<RouteTablePayload>(message.payload);
+      put_u32le(out, static_cast<std::uint32_t>(t.patch.size()));
+      out.insert(out.end(), t.patch.begin(), t.patch.end());
+      break;
+    }
+  }
+  return out;
+}
+
+Payload decode_payload(MessageType type, std::span<const std::uint8_t> data) {
+  Reader r(data);
+  switch (type) {
+    case MessageType::kPing: {
+      r.expect_consumed();
+      return PingPayload{};
+    }
+    case MessageType::kPong: {
+      PongPayload p;
+      p.port = r.u16le();
+      p.ip = r.u32be();
+      p.shared_files = r.u32le();
+      p.shared_kbytes = r.u32le();
+      r.expect_consumed();
+      return p;
+    }
+    case MessageType::kQuery: {
+      QueryPayload q;
+      q.min_speed = r.u16le();
+      q.keywords = r.cstring();
+      if (r.remaining() > 0) q.sha1_urn = r.cstring();
+      r.expect_consumed();
+      return q;
+    }
+    case MessageType::kQueryHit: {
+      QueryHitPayload h;
+      const std::uint8_t count = r.u8();
+      h.port = r.u16le();
+      h.ip = r.u32be();
+      h.speed_kbps = r.u32le();
+      h.results.reserve(count);
+      for (std::uint8_t i = 0; i < count; ++i) {
+        QueryHitResult res;
+        res.file_index = r.u32le();
+        res.file_size = r.u32le();
+        res.file_name = r.cstring();
+        (void)r.cstring();  // extension block, ignored
+        h.results.push_back(std::move(res));
+      }
+      h.servent_guid = r.guid();
+      r.expect_consumed();
+      return h;
+    }
+    case MessageType::kBye: {
+      ByePayload b;
+      b.code = r.u16le();
+      b.reason = r.cstring();
+      r.expect_consumed();
+      return b;
+    }
+    case MessageType::kRouteTableUpdate: {
+      RouteTablePayload t;
+      const std::uint32_t n = r.u32le();
+      t.patch.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) t.patch.push_back(r.u8());
+      r.expect_consumed();
+      return t;
+    }
+  }
+  throw DecodeError("unknown descriptor type");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& message) {
+  const auto payload = encode_payload(message);
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + payload.size());
+  out.insert(out.end(), message.guid.bytes.begin(), message.guid.bytes.end());
+  out.push_back(static_cast<std::uint8_t>(message.type()));
+  out.push_back(message.ttl);
+  out.push_back(message.hops);
+  put_u32le(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<std::pair<Message, std::size_t>> try_decode(
+    std::span<const std::uint8_t> buffer) {
+  if (buffer.size() < kHeaderSize) return std::nullopt;
+
+  Message msg;
+  std::memcpy(msg.guid.bytes.data(), buffer.data(), 16);
+  const std::uint8_t type_byte = buffer[16];
+  msg.ttl = buffer[17];
+  msg.hops = buffer[18];
+  std::uint32_t payload_length = 0;
+  for (int i = 3; i >= 0; --i) {
+    payload_length = (payload_length << 8) | buffer[19 + static_cast<std::size_t>(i)];
+  }
+  if (payload_length > kMaxPayload) throw DecodeError("payload length exceeds bound");
+
+  switch (type_byte) {
+    case 0x00:
+    case 0x01:
+    case 0x02:
+    case 0x30:
+    case 0x80:
+    case 0x81:
+      break;
+    default:
+      throw DecodeError("unknown descriptor type byte");
+  }
+
+  const std::size_t total = kHeaderSize + payload_length;
+  if (buffer.size() < total) return std::nullopt;
+
+  msg.payload = decode_payload(static_cast<MessageType>(type_byte),
+                               buffer.subspan(kHeaderSize, payload_length));
+  return std::make_pair(std::move(msg), total);
+}
+
+void MessageAssembler::feed(std::span<const std::uint8_t> bytes) {
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+std::optional<Message> MessageAssembler::next() {
+  if (poisoned_) throw DecodeError("assembler poisoned by earlier error");
+  const std::span<const std::uint8_t> pending(buffer_.data() + consumed_,
+                                              buffer_.size() - consumed_);
+  std::optional<std::pair<Message, std::size_t>> result;
+  try {
+    result = try_decode(pending);
+  } catch (const DecodeError&) {
+    poisoned_ = true;
+    throw;
+  }
+  if (!result) {
+    // Compact once the consumed prefix dominates the buffer.
+    if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<long>(consumed_));
+      consumed_ = 0;
+    }
+    return std::nullopt;
+  }
+  consumed_ += result->second;
+  ++produced_;
+  return std::move(result->first);
+}
+
+Message decode(std::span<const std::uint8_t> wire) {
+  auto result = try_decode(wire);
+  if (!result) throw DecodeError("truncated descriptor");
+  if (result->second != wire.size()) throw DecodeError("trailing bytes after descriptor");
+  return std::move(result->first);
+}
+
+}  // namespace p2pgen::gnutella

@@ -1,0 +1,78 @@
+// p2pgen — Gnutella 0.6 binary wire codec.
+//
+// Descriptor framing per the Gnutella 0.6 specification: a 23-byte header
+// (GUID 16 | type 1 | TTL 1 | hops 1 | payload length 4 little-endian)
+// followed by the type-specific payload.  Multi-byte payload integers are
+// little-endian except IP addresses, which the spec transmits in network
+// byte order.
+//
+// The codec is strict: decode() throws DecodeError on truncated input,
+// unknown type bytes, missing terminators, or length mismatches; the
+// fuzz-style round-trip tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "gnutella/message.hpp"
+
+namespace p2pgen::gnutella {
+
+/// Thrown by decode() on malformed wire data.
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Size of the fixed descriptor header in bytes.
+inline constexpr std::size_t kHeaderSize = 23;
+
+/// Maximum payload length the decoder accepts (sanity bound; the real
+/// network drops oversized descriptors too).
+inline constexpr std::uint32_t kMaxPayload = 64 * 1024;
+
+/// Serializes a message to its wire representation.
+std::vector<std::uint8_t> encode(const Message& message);
+
+/// Decodes exactly one message occupying the whole span.
+/// Throws DecodeError on any malformation.
+Message decode(std::span<const std::uint8_t> wire);
+
+/// Streaming decode: if `buffer` starts with one complete descriptor,
+/// returns the message and its encoded size; returns std::nullopt when
+/// more bytes are needed.  Throws DecodeError on malformed framing.
+std::optional<std::pair<Message, std::size_t>> try_decode(
+    std::span<const std::uint8_t> buffer);
+
+/// Reassembles descriptors from a TCP byte stream delivered in arbitrary
+/// chunks.  feed() buffers the bytes; next() pops complete descriptors.
+/// A DecodeError from malformed framing poisons the assembler (the real
+/// client would drop the connection); further calls rethrow.
+class MessageAssembler {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Pops the next complete descriptor, or std::nullopt if more bytes are
+  /// needed.  Throws DecodeError on malformed framing (sticky).
+  std::optional<Message> next();
+
+  /// Bytes buffered but not yet consumed by complete descriptors.
+  std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
+
+  /// Total descriptors produced so far.
+  std::uint64_t produced() const noexcept { return produced_; }
+
+  bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::uint64_t produced_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace p2pgen::gnutella

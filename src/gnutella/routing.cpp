@@ -1,0 +1,46 @@
+#include "gnutella/routing.hpp"
+
+#include <stdexcept>
+
+namespace p2pgen::gnutella {
+
+RoutingTable::RoutingTable(double expiry_seconds) : expiry_(expiry_seconds) {
+  if (!(expiry_seconds > 0.0)) {
+    throw std::invalid_argument("RoutingTable: expiry must be > 0");
+  }
+}
+
+void RoutingTable::purge(double now) {
+  while (!order_.empty() && order_.front().first + expiry_ <= now) {
+    const auto& [seen_at, guid] = order_.front();
+    const auto it = entries_.find(guid);
+    // Only erase if the stored entry is the one this order slot refers to
+    // (the GUID may have been refreshed by a later note_seen).
+    if (it != entries_.end() && it->second.seen_at == seen_at) {
+      entries_.erase(it);
+    }
+    order_.pop_front();
+  }
+}
+
+bool RoutingTable::note_seen(const Guid& guid, PeerLink from, double now) {
+  purge(now);
+  const auto [it, inserted] = entries_.try_emplace(guid, Entry{from, now});
+  if (!inserted) return false;
+  order_.emplace_back(now, guid);
+  return true;
+}
+
+std::optional<PeerLink> RoutingTable::reverse_route(const Guid& guid, double now) {
+  purge(now);
+  const auto it = entries_.find(guid);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.from;
+}
+
+std::size_t RoutingTable::size(double now) {
+  purge(now);
+  return entries_.size();
+}
+
+}  // namespace p2pgen::gnutella

@@ -1,0 +1,124 @@
+#include "search/chord.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace p2pgen::search {
+namespace {
+
+constexpr int kBits = 32;
+
+/// Clockwise distance from a to b on the 2^32 circle.
+constexpr std::uint32_t clockwise(std::uint32_t a, std::uint32_t b) noexcept {
+  return b - a;  // modular arithmetic does the wrap
+}
+
+std::uint32_t mix64to32(std::uint64_t v) {
+  v ^= v >> 33;
+  v *= 0xff51afd7ed558ccdULL;
+  v ^= v >> 33;
+  v *= 0xc4ceb9fe1a85ec53ULL;
+  v ^= v >> 33;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+std::uint32_t ChordRing::key_id(ContentKey key) {
+  return mix64to32(key * 0x9E3779B97F4A7C15ULL + 0x1234);
+}
+
+ChordRing::ChordRing(std::size_t peers, stats::Rng& rng)
+    : peer_to_slot_(peers) {
+  if (peers == 0) throw std::invalid_argument("ChordRing: no peers");
+  // Distinct random identifiers.
+  std::unordered_set<std::uint32_t> used;
+  ring_.reserve(peers);
+  for (PeerId p = 0; p < peers; ++p) {
+    std::uint32_t id = 0;
+    do {
+      id = static_cast<std::uint32_t>(rng.next_u64());
+    } while (!used.insert(id).second);
+    Node node;
+    node.id = id;
+    node.peer = p;
+    ring_.push_back(std::move(node));
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const Node& a, const Node& b) { return a.id < b.id; });
+  for (std::size_t slot = 0; slot < ring_.size(); ++slot) {
+    peer_to_slot_[ring_[slot].peer] = slot;
+  }
+  // Finger tables: finger k of node n = successor(n.id + 2^k).
+  for (auto& node : ring_) {
+    node.fingers.reserve(kBits);
+    for (int k = 0; k < kBits; ++k) {
+      const std::uint32_t target =
+          node.id + (static_cast<std::uint32_t>(1) << k);
+      node.fingers.push_back(ring_[successor_slot(target)].peer);
+    }
+  }
+}
+
+std::size_t ChordRing::successor_slot(std::uint32_t id) const {
+  // First node with node.id >= id, wrapping to slot 0.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), id,
+      [](const Node& node, std::uint32_t value) { return node.id < value; });
+  if (it == ring_.end()) it = ring_.begin();
+  return static_cast<std::size_t>(it - ring_.begin());
+}
+
+std::uint32_t ChordRing::id_of(PeerId peer) const {
+  return ring_.at(peer_to_slot_.at(peer)).id;
+}
+
+PeerId ChordRing::successor(std::uint32_t id) const {
+  return ring_[successor_slot(id)].peer;
+}
+
+const std::vector<PeerId>& ChordRing::fingers(PeerId peer) const {
+  return ring_.at(peer_to_slot_.at(peer)).fingers;
+}
+
+void ChordRing::publish(ContentKey key) {
+  ring_[successor_slot(key_id(key))].stored.insert(key);
+}
+
+ChordRing::Lookup ChordRing::lookup(PeerId origin, ContentKey key) const {
+  const std::uint32_t target = key_id(key);
+  const std::size_t home = successor_slot(target);
+
+  Lookup result;
+  std::size_t current = peer_to_slot_.at(origin);
+  // Greedy routing: jump to the finger that makes the most clockwise
+  // progress without overshooting the target's successor region.
+  while (current != home) {
+    const Node& node = ring_[current];
+    const std::uint32_t remaining = clockwise(node.id, target);
+    // Find the highest finger whose clockwise offset from this node still
+    // precedes the target.
+    std::size_t next = (current + 1) % ring_.size();  // fallback: successor
+    for (int k = kBits - 1; k >= 0; --k) {
+      const std::size_t slot = peer_to_slot_[node.fingers[static_cast<std::size_t>(k)]];
+      if (slot == current) continue;
+      const std::uint32_t advance = clockwise(node.id, ring_[slot].id);
+      if (advance < remaining) {
+        next = slot;
+        break;
+      }
+    }
+    current = next;
+    ++result.hops;
+    if (result.hops > ring_.size()) {
+      throw std::logic_error("ChordRing: routing failed to converge");
+    }
+  }
+  result.responsible = ring_[home].peer;
+  result.found = ring_[home].stored.count(key) > 0;
+  result.messages = result.hops + 1;  // + the response
+  return result;
+}
+
+}  // namespace p2pgen::search

@@ -1,0 +1,69 @@
+// p2pgen — Chord-style structured lookup (Stoica et al., SIGCOMM'01),
+// the structured alternative the paper's introduction contrasts with
+// Gnutella's unstructured flooding.
+//
+// A consistent-hashing ring of 32-bit identifiers with per-node finger
+// tables and greedy closest-preceding-finger routing: lookups resolve in
+// O(log n) hops.  Content is published by key to the key's successor
+// node, so a lookup costs (routing hops + 1) messages and always finds
+// published keys — the message-cost contrast with flooding is what the
+// synthetic workload lets one quantify.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "search/overlay.hpp"
+
+namespace p2pgen::search {
+
+class ChordRing {
+ public:
+  /// Builds a ring over `peers` nodes with distinct pseudo-random ids.
+  ChordRing(std::size_t peers, stats::Rng& rng);
+
+  std::size_t size() const noexcept { return ring_.size(); }
+
+  /// Publishes a key: the key's successor node indexes it.
+  void publish(ContentKey key);
+
+  struct Lookup {
+    bool found = false;
+    std::uint32_t hops = 0;      // routing hops taken
+    std::uint64_t messages = 0;  // hops + the response
+    PeerId responsible = 0;      // node that owns the key's id
+  };
+
+  /// Routes a lookup for `key` from `origin` (a peer index in [0, size())).
+  Lookup lookup(PeerId origin, ContentKey key) const;
+
+  /// Identifier of a peer on the ring (for tests).
+  std::uint32_t id_of(PeerId peer) const;
+
+  /// The peer responsible for an identifier: successor(id) on the ring.
+  PeerId successor(std::uint32_t id) const;
+
+  /// Finger table of a peer: finger k points at successor(id + 2^k).
+  const std::vector<PeerId>& fingers(PeerId peer) const;
+
+  /// Hash of a content key onto the identifier circle.
+  static std::uint32_t key_id(ContentKey key);
+
+ private:
+  struct Node {
+    std::uint32_t id = 0;
+    PeerId peer = 0;  // external peer index
+    std::vector<PeerId> fingers;
+    std::unordered_set<ContentKey> stored;
+  };
+
+  /// Index into ring_ of successor(id).
+  std::size_t successor_slot(std::uint32_t id) const;
+
+  std::vector<Node> ring_;                // sorted by id
+  std::vector<std::size_t> peer_to_slot_;  // peer index -> ring slot
+};
+
+}  // namespace p2pgen::search

@@ -1,0 +1,74 @@
+#include "search/evaluation.hpp"
+
+#include <cmath>
+
+namespace p2pgen::search {
+
+Catalog build_catalog(const core::PopularityModel& model, double base,
+                      double skew) {
+  Catalog catalog;
+  for (std::size_t c = 0; c < core::kQueryClassCount; ++c) {
+    const auto& params = model.classes[c];
+    for (std::size_t rank = 1; rank <= params.catalog_size; ++rank) {
+      catalog.keys.push_back((static_cast<ContentKey>(c) << 32) | rank);
+      catalog.replicas.push_back(std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::ceil(base / std::pow(static_cast<double>(rank), skew)))));
+    }
+  }
+  return catalog;
+}
+
+ContentKey key_of(const core::GeneratedQuery& query) {
+  return (static_cast<ContentKey>(query.query_class) << 32) | query.rank;
+}
+
+std::vector<DesignResult> evaluate_designs(const core::WorkloadModel& model,
+                                           const EvaluationConfig& config) {
+  stats::Rng rng(config.seed ^ 0xABCDEF);
+  const Overlay overlay(config.peers, config.degree, rng);
+  const Catalog catalog = build_catalog(model.popularity);
+  const ContentIndex index(config.peers, catalog.keys, catalog.replicas, rng);
+
+  FloodSearch plain(overlay, index, {config.flood_ttl, 0.0});
+  FloodSearch cached(overlay, index, {config.flood_ttl, config.cache_ttl});
+  ChordRing chord(config.peers, rng);
+  for (ContentKey key : catalog.keys) chord.publish(key);
+
+  DesignResult flood_result{"flooding", 0, 0, 0, 0};
+  DesignResult cached_result{"flooding+cache", 0, 0, 0, 0};
+  DesignResult chord_result{"chord", 0, 0, 0, 0};
+
+  core::WorkloadGenerator::Config wl;
+  wl.num_peers = config.workload_peers;
+  wl.duration = config.workload_hours * 3600.0;
+  wl.seed = config.seed;
+  core::WorkloadGenerator generator(model, wl);
+  generator.generate([&](const core::GeneratedSession& session) {
+    if (session.passive) return;
+    const PeerId origin = rng.uniform_index(config.peers);
+    for (const auto& query : session.queries) {
+      const ContentKey key = key_of(query);
+
+      const auto f = plain.search(origin, key, query.time);
+      ++flood_result.queries;
+      flood_result.found += f.found ? 1 : 0;
+      flood_result.messages += f.messages;
+
+      const auto c = cached.search(origin, key, query.time);
+      ++cached_result.queries;
+      cached_result.found += c.found ? 1 : 0;
+      cached_result.messages += c.messages;
+      cached_result.cache_answers += c.cache_answers;
+
+      const auto d = chord.lookup(origin, key);
+      ++chord_result.queries;
+      chord_result.found += d.found ? 1 : 0;
+      chord_result.messages += d.messages;
+    }
+  });
+
+  return {flood_result, cached_result, chord_result};
+}
+
+}  // namespace p2pgen::search

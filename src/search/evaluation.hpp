@@ -1,0 +1,62 @@
+// p2pgen — driving search designs with the synthetic workload.
+//
+// Builds the content catalog from a PopularityModel (every catalog entry
+// becomes a searchable key with popularity-proportional replication),
+// then replays a generated workload's queries through each design and
+// reports per-design message cost and success.
+#pragma once
+
+#include "core/generator.hpp"
+#include "search/chord.hpp"
+#include "search/flooding.hpp"
+
+namespace p2pgen::search {
+
+/// Builds (keys, replicas) for every entry of the popularity model's
+/// catalogs.  Replication is popularity-proportional: rank r of a class
+/// gets ceil(base / r^skew) replicas (>= 1).
+struct Catalog {
+  std::vector<ContentKey> keys;
+  std::vector<std::size_t> replicas;
+};
+Catalog build_catalog(const core::PopularityModel& model, double base = 8.0,
+                      double skew = 0.4);
+
+/// The content key of a generated query.
+ContentKey key_of(const core::GeneratedQuery& query);
+
+/// Aggregate results of one design under one workload.
+struct DesignResult {
+  std::string design;
+  std::uint64_t queries = 0;
+  std::uint64_t found = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t cache_answers = 0;
+
+  double messages_per_query() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(messages) /
+                              static_cast<double>(queries);
+  }
+  double success_rate() const {
+    return queries == 0 ? 0.0
+                        : static_cast<double>(found) /
+                              static_cast<double>(queries);
+  }
+};
+
+/// Compares flooding, cached flooding and Chord under the same workload.
+struct EvaluationConfig {
+  std::size_t peers = 500;
+  std::size_t degree = 4;
+  int flood_ttl = 4;
+  double cache_ttl = 600.0;
+  std::size_t workload_peers = 300;
+  double workload_hours = 6.0;
+  std::uint64_t seed = 7;
+};
+
+std::vector<DesignResult> evaluate_designs(const core::WorkloadModel& model,
+                                           const EvaluationConfig& config);
+
+}  // namespace p2pgen::search

@@ -1,0 +1,104 @@
+#include "search/overlay.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace p2pgen::search {
+
+Overlay::Overlay(std::size_t peers, std::size_t degree, stats::Rng& rng)
+    : adjacency_(peers) {
+  if (peers <= degree || degree == 0) {
+    throw std::invalid_argument("Overlay: requires peers > degree >= 1");
+  }
+  // Ring backbone guarantees connectivity; random chords add expansion.
+  for (PeerId v = 0; v < peers; ++v) {
+    const PeerId next = (v + 1) % peers;
+    adjacency_[v].push_back(next);
+    adjacency_[next].push_back(v);
+    ++edges_;
+  }
+  for (PeerId v = 0; v < peers; ++v) {
+    while (adjacency_[v].size() < degree) {
+      const PeerId u = rng.uniform_index(peers);
+      if (u == v) continue;
+      if (std::find(adjacency_[v].begin(), adjacency_[v].end(), u) !=
+          adjacency_[v].end()) {
+        continue;
+      }
+      adjacency_[v].push_back(u);
+      adjacency_[u].push_back(v);
+      ++edges_;
+    }
+  }
+}
+
+bool Overlay::connected() const {
+  if (adjacency_.empty()) return true;
+  return reach(0, static_cast<int>(adjacency_.size())) == adjacency_.size();
+}
+
+std::size_t Overlay::reach(PeerId origin, int ttl) const {
+  std::vector<char> seen(adjacency_.size(), 0);
+  std::queue<std::pair<PeerId, int>> frontier;
+  seen[origin] = 1;
+  frontier.push({origin, ttl});
+  std::size_t count = 1;
+  while (!frontier.empty()) {
+    const auto [v, left] = frontier.front();
+    frontier.pop();
+    if (left == 0) continue;
+    for (PeerId u : adjacency_[v]) {
+      if (seen[u]) continue;
+      seen[u] = 1;
+      ++count;
+      frontier.push({u, left - 1});
+    }
+  }
+  return count;
+}
+
+ContentIndex::ContentIndex(std::size_t peers,
+                           const std::vector<ContentKey>& keys,
+                           const std::vector<std::size_t>& replicas,
+                           stats::Rng& rng)
+    : per_peer_(peers) {
+  if (keys.size() != replicas.size()) {
+    throw std::invalid_argument("ContentIndex: keys/replicas size mismatch");
+  }
+  if (peers == 0) throw std::invalid_argument("ContentIndex: no peers");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (replicas[i] == 0) {
+      throw std::invalid_argument("ContentIndex: replicas must be >= 1");
+    }
+    for (std::size_t r = 0; r < replicas[i]; ++r) {
+      const PeerId peer = rng.uniform_index(peers);
+      per_peer_[peer].push_back(keys[i]);
+      placements_.emplace_back(keys[i], peer);
+    }
+  }
+  for (auto& list : per_peer_) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  std::sort(placements_.begin(), placements_.end());
+  placements_.erase(std::unique(placements_.begin(), placements_.end()),
+                    placements_.end());
+}
+
+bool ContentIndex::holds(PeerId peer, ContentKey key) const {
+  const auto& list = per_peer_.at(peer);
+  return std::binary_search(list.begin(), list.end(), key);
+}
+
+std::vector<PeerId> ContentIndex::holders(ContentKey key) const {
+  std::vector<PeerId> out;
+  auto it = std::lower_bound(placements_.begin(), placements_.end(),
+                             std::make_pair(key, PeerId{0}));
+  for (; it != placements_.end() && it->first == key; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace p2pgen::search

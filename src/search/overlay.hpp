@@ -1,0 +1,72 @@
+// p2pgen — static overlay graphs for search-design evaluation.
+//
+// The paper motivates its workload model with the evaluation of "design
+// alternatives for future P2P systems" (Section 1, citing unstructured
+// Gnutella-style search vs structured CAN/Chord).  This library provides
+// the substrate for such evaluations: a random overlay graph, a content
+// placement with popularity-proportional replication, and the search
+// strategies in flooding.hpp / chord.hpp, all driven by the synthetic
+// workload from core::WorkloadGenerator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace p2pgen::search {
+
+using PeerId = std::size_t;
+
+/// A connected random overlay where every peer has at least `degree`
+/// links (Gnutella-style unstructured topology).
+class Overlay {
+ public:
+  /// Builds a graph over `peers` nodes.  Requires peers > degree >= 1.
+  Overlay(std::size_t peers, std::size_t degree, stats::Rng& rng);
+
+  std::size_t size() const noexcept { return adjacency_.size(); }
+  const std::vector<PeerId>& neighbors(PeerId peer) const {
+    return adjacency_.at(peer);
+  }
+
+  /// Total number of undirected edges.
+  std::size_t edges() const noexcept { return edges_; }
+
+  /// True if every peer can reach every other (BFS check).
+  bool connected() const;
+
+  /// Number of peers within `ttl` hops of `origin` (inclusive of origin) —
+  /// the reach of a TTL-limited flood.
+  std::size_t reach(PeerId origin, int ttl) const;
+
+ private:
+  std::vector<std::vector<PeerId>> adjacency_;
+  std::size_t edges_ = 0;
+};
+
+/// One searchable content item, identified by (query class, rank) as
+/// produced by the workload generator.
+using ContentKey = std::uint64_t;
+
+/// Placement of content on peers with per-key replication factors.
+class ContentIndex {
+ public:
+  /// Places `keys[i]` on `replicas[i]` random peers (>= 1 each).
+  ContentIndex(std::size_t peers, const std::vector<ContentKey>& keys,
+               const std::vector<std::size_t>& replicas, stats::Rng& rng);
+
+  /// Whether `peer` holds content matching `key`.
+  bool holds(PeerId peer, ContentKey key) const;
+
+  /// All peers holding `key` (empty if the key does not exist).
+  std::vector<PeerId> holders(ContentKey key) const;
+
+  std::size_t peers() const noexcept { return per_peer_.size(); }
+
+ private:
+  std::vector<std::vector<ContentKey>> per_peer_;  // sorted per peer
+  std::vector<std::pair<ContentKey, PeerId>> placements_;  // sorted by key
+};
+
+}  // namespace p2pgen::search

@@ -1,0 +1,142 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "gnutella/codec.hpp"
+
+namespace p2pgen::sim {
+
+Network::Network(Simulator& simulator, Config config)
+    : sim_(simulator), config_(config) {
+  if (config_.latency_seconds < 0.0) {
+    throw std::invalid_argument("Network: latency must be >= 0");
+  }
+}
+
+NodeId Network::add_node(Node& node) {
+  nodes_.push_back(&node);
+  addresses_.push_back(0);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Network::set_address(NodeId node, std::uint32_t ip) {
+  if (node >= addresses_.size()) {
+    throw std::invalid_argument("Network: unknown node id");
+  }
+  addresses_[node] = ip;
+}
+
+std::uint32_t Network::address_of(NodeId node) const {
+  if (node >= addresses_.size()) {
+    throw std::invalid_argument("Network: unknown node id");
+  }
+  return addresses_[node];
+}
+
+Network::Connection& Network::conn_ref(ConnId conn) {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) {
+    throw std::invalid_argument("Network: unknown connection id");
+  }
+  return it->second;
+}
+
+const Network::Connection& Network::conn_ref(ConnId conn) const {
+  const auto it = connections_.find(conn);
+  if (it == connections_.end()) {
+    throw std::invalid_argument("Network: unknown connection id");
+  }
+  return it->second;
+}
+
+ConnId Network::connect(NodeId a, NodeId b) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("Network: invalid endpoints");
+  }
+  const ConnId id = next_conn_id_++;
+  connections_[id] = Connection{a, b, true};
+  ++open_count_;
+  sim_.schedule_after(config_.latency_seconds, [this, id, a, b] {
+    const auto it = connections_.find(id);
+    if (it == connections_.end() || !it->second.open) return;
+    nodes_[a]->on_connection_open(id, b);
+    nodes_[b]->on_connection_open(id, a);
+  });
+  return id;
+}
+
+void Network::close(ConnId conn) {
+  auto& c = conn_ref(conn);
+  if (!c.open) return;
+  // Graceful close (TCP FIN semantics): no new sends are accepted, but
+  // descriptors already in flight still arrive before the teardown
+  // notification — a BYE sent immediately before close() must be seen by
+  // the other end, as it would be on a real connection.
+  c.open = false;
+  --open_count_;
+  const NodeId a = c.a;
+  const NodeId b = c.b;
+  sim_.schedule_after(config_.latency_seconds, [this, conn, a, b] {
+    nodes_[a]->on_connection_closed(conn);
+    nodes_[b]->on_connection_closed(conn);
+    connections_.erase(conn);
+  });
+}
+
+void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
+  auto& c = conn_ref(conn);
+  if (!c.open) {
+    ++messages_dropped_;
+    return;
+  }
+  if (sender != c.a && sender != c.b) {
+    throw std::invalid_argument("Network: sender is not an endpoint");
+  }
+  if (config_.count_wire_bytes) {
+    wire_bytes_ += gnutella::encode(message).size();
+  }
+  const NodeId receiver = (sender == c.a) ? c.b : c.a;
+  sim_.schedule_after(config_.latency_seconds,
+                      [this, conn, receiver, msg = std::move(message)] {
+                        // Deliver as long as the teardown notification has
+                        // not yet run (graceful-close semantics).
+                        if (connections_.find(conn) == connections_.end()) {
+                          ++messages_dropped_;
+                          return;
+                        }
+                        ++messages_delivered_;
+                        nodes_[receiver]->on_message(conn, msg);
+                      });
+}
+
+void Network::send_handshake(ConnId conn, NodeId sender,
+                             gnutella::Handshake handshake) {
+  auto& c = conn_ref(conn);
+  if (!c.open) return;
+  if (sender != c.a && sender != c.b) {
+    throw std::invalid_argument("Network: sender is not an endpoint");
+  }
+  const NodeId receiver = (sender == c.a) ? c.b : c.a;
+  sim_.schedule_after(config_.latency_seconds,
+                      [this, conn, receiver, hs = std::move(handshake)] {
+                        if (connections_.find(conn) == connections_.end()) {
+                          return;
+                        }
+                        nodes_[receiver]->on_handshake(conn, hs);
+                      });
+}
+
+bool Network::is_open(ConnId conn) const {
+  const auto it = connections_.find(conn);
+  return it != connections_.end() && it->second.open;
+}
+
+NodeId Network::peer_of(ConnId conn, NodeId self) const {
+  const auto& c = conn_ref(conn);
+  if (self == c.a) return c.b;
+  if (self == c.b) return c.a;
+  throw std::invalid_argument("Network: self is not an endpoint");
+}
+
+}  // namespace p2pgen::sim

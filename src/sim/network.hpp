@@ -1,0 +1,127 @@
+// p2pgen — simulated overlay transport.
+//
+// Connection-oriented message transport between simulation nodes,
+// replacing the TCP connections of the real measurement setup.  The
+// analysis layer never looks below connection open/close and message
+// events, so this is exactly the substrate the paper's methodology needs
+// (DESIGN.md §1).  Features mirrored from the real overlay:
+//
+//   * explicit connection establishment / teardown events,
+//   * propagation latency (messages in flight when a connection closes
+//     are dropped, like segments after a RST),
+//   * nodes that can "go silent" — closing is one-sided until the other
+//     end notices, which the measurement node does with its 15 s + 15 s
+//     idle-probe rule (paper Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gnutella/handshake.hpp"
+#include "gnutella/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pgen::sim {
+
+using NodeId = std::uint64_t;
+using ConnId = std::uint64_t;
+
+/// Interface implemented by every simulated node.
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// A connection to `peer` finished opening.
+  virtual void on_connection_open(ConnId conn, NodeId peer) = 0;
+
+  /// The connection was torn down (by either side).
+  virtual void on_connection_closed(ConnId conn) = 0;
+
+  /// A handshake block arrived.
+  virtual void on_handshake(ConnId conn, const gnutella::Handshake& handshake) = 0;
+
+  /// A Gnutella descriptor arrived.
+  virtual void on_message(ConnId conn, const gnutella::Message& message) = 0;
+};
+
+/// The overlay transport: owns connection state, delivers events through
+/// the Simulator with propagation latency.
+class Network {
+ public:
+  struct Config {
+    double latency_seconds = 0.05;  // one-way propagation delay
+    bool count_wire_bytes = false;  // encode messages to count bytes (slower)
+  };
+
+  explicit Network(Simulator& simulator) : Network(simulator, Config()) {}
+  Network(Simulator& simulator, Config config);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node (non-owning; the node must stay alive while it has
+  /// open connections or undelivered events).
+  NodeId add_node(Node& node);
+
+  /// Associates a transport address with a node (the "TCP remote address"
+  /// the measurement methodology reads peer IPs from).
+  void set_address(NodeId node, std::uint32_t ip);
+
+  /// The node's transport address (0 if never set).
+  std::uint32_t address_of(NodeId node) const;
+
+  /// Opens a connection between two registered nodes.  Both ends receive
+  /// on_connection_open after one latency.  Returns the connection id.
+  ConnId connect(NodeId a, NodeId b);
+
+  /// Closes a connection gracefully (TCP FIN semantics): both ends receive
+  /// on_connection_closed after one latency; descriptors already in flight
+  /// are still delivered first, but new sends are rejected.  Closing an
+  /// already-closed connection is a no-op.
+  void close(ConnId conn);
+
+  /// Sends a descriptor from `sender` over `conn`; delivered to the other
+  /// endpoint after one latency.  Sends after close() are dropped.
+  void send(ConnId conn, NodeId sender, gnutella::Message message);
+
+  /// Sends a handshake block (same delivery rules).
+  void send_handshake(ConnId conn, NodeId sender, gnutella::Handshake handshake);
+
+  /// True while the connection is open (close not yet initiated).
+  bool is_open(ConnId conn) const;
+
+  /// The other endpoint of `conn` relative to `self`.
+  NodeId peer_of(ConnId conn, NodeId self) const;
+
+  Simulator& simulator() noexcept { return sim_; }
+
+  /// Totals across the run.
+  std::uint64_t messages_delivered() const noexcept { return messages_delivered_; }
+  std::uint64_t messages_dropped() const noexcept { return messages_dropped_; }
+  std::uint64_t wire_bytes() const noexcept { return wire_bytes_; }
+  std::size_t open_connections() const noexcept { return open_count_; }
+
+ private:
+  struct Connection {
+    NodeId a = 0;
+    NodeId b = 0;
+    bool open = false;  // false once close() starts (no new sends)
+  };
+
+  Connection& conn_ref(ConnId conn);
+  const Connection& conn_ref(ConnId conn) const;
+
+  Simulator& sim_;
+  Config config_;
+  std::vector<Node*> nodes_;
+  std::vector<std::uint32_t> addresses_;
+  std::unordered_map<ConnId, Connection> connections_;
+  ConnId next_conn_id_ = 1;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t wire_bytes_ = 0;
+  std::size_t open_count_ = 0;
+};
+
+}  // namespace p2pgen::sim

@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pgen::sim {
+
+std::uint64_t Simulator::schedule_at(SimTime at, Handler handler) {
+  if (at < now_) throw std::invalid_argument("Simulator: cannot schedule in the past");
+  if (!handler) throw std::invalid_argument("Simulator: null handler");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{at, id, std::move(handler)});
+  return id;
+}
+
+std::uint64_t Simulator::schedule_after(SimTime delay, Handler handler) {
+  if (delay < 0.0) throw std::invalid_argument("Simulator: negative delay");
+  return schedule_at(now_ + delay, std::move(handler));
+}
+
+bool Simulator::cancel(std::uint64_t event_id) {
+  if (event_id == 0 || event_id >= next_id_) return false;
+  const bool inserted = cancelled_.insert(event_id).second;
+  if (inserted) ++cancelled_count_;
+  return inserted;
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.top().at <= until) {
+    Event event = queue_.top();
+    queue_.pop();
+    const auto it = cancelled_.find(event.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_count_;
+      continue;
+    }
+    now_ = event.at;
+    ++executed_;
+#ifdef P2PGEN_SIM_TRACE
+    if (executed_ % 1000000 == 0) {
+      std::fprintf(stderr, "[sim] exec=%llu now=%f pending=%zu\n",
+                   static_cast<unsigned long long>(executed_), now_,
+                   queue_.size());
+    }
+#endif
+    event.handler();
+  }
+  if (until > now_ && std::isfinite(until)) now_ = until;
+}
+
+void Simulator::run() { run_until(std::numeric_limits<SimTime>::infinity()); }
+
+}  // namespace p2pgen::sim

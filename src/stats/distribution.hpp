@@ -1,0 +1,61 @@
+// p2pgen — abstract interface for continuous probability distributions.
+//
+// The IMC'04 workload model is expressed in terms of a small family of
+// continuous distributions (lognormal, Weibull, Pareto, exponential,
+// uniform) and two composition operators (truncation and finite mixture).
+// Everything that consumes a model distribution — the synthetic workload
+// generator, the distribution fitters, the goodness-of-fit tests — works
+// against this interface.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "stats/rng.hpp"
+
+namespace p2pgen::stats {
+
+/// A continuous univariate probability distribution.
+///
+/// Implementations must satisfy the usual identities, which the test suite
+/// checks property-style:
+///   * cdf is non-decreasing, cdf(-inf)=0, cdf(+inf)=1
+///   * quantile(cdf(x)) == x on the support (within tolerance)
+///   * samples drawn via sample() match cdf (Kolmogorov-Smirnov)
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate.
+  virtual double sample(Rng& rng) const = 0;
+
+  /// Probability density at x (0 outside the support).
+  virtual double pdf(double x) const = 0;
+
+  /// P[X <= x].
+  virtual double cdf(double x) const = 0;
+
+  /// P[X > x].  Default implementation is 1 - cdf(x); heavy-tailed
+  /// implementations override it for accuracy in the tail.
+  virtual double ccdf(double x) const { return 1.0 - cdf(x); }
+
+  /// Inverse CDF.  Requires p in [0, 1].
+  virtual double quantile(double p) const = 0;
+
+  /// Expected value; may be +inf (e.g. Pareto with alpha <= 1).
+  virtual double mean() const = 0;
+
+  /// Human-readable name including parameters, e.g. "lognormal(mu=2.1, sigma=2.5)".
+  virtual std::string name() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.15e-9).  Requires p in (0, 1).
+double inverse_normal_cdf(double p);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+}  // namespace p2pgen::stats

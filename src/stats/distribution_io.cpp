@@ -1,0 +1,169 @@
+#include "stats/distribution_io.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+
+namespace p2pgen::stats {
+namespace {
+
+/// Recursive-descent parser over the name() grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  DistributionPtr parse() {
+    DistributionPtr dist = parse_dist();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing input after distribution");
+    return dist;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw DistributionParseError("parse_distribution: " + what + " at offset " +
+                                 std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool try_consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect(char c) {
+    if (!try_consume(c)) fail(std::string("expected '") + c + "'");
+  }
+
+  std::string identifier() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected identifier");
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  double number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+    if (text_.substr(pos_).starts_with("inf")) {
+      pos_ += 3;
+      const bool negative = text_[start] == '-';
+      return negative ? -std::numeric_limits<double>::infinity()
+                      : std::numeric_limits<double>::infinity();
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    try {
+      return std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("malformed number");
+    }
+  }
+
+  /// key '=' number pairs until ')'.
+  std::map<std::string, double> key_values() {
+    std::map<std::string, double> kv;
+    while (true) {
+      const std::string key = identifier();
+      expect('=');
+      kv[key] = number();
+      if (try_consume(')')) break;
+      expect(',');
+    }
+    return kv;
+  }
+
+  double required(const std::map<std::string, double>& kv, const char* key) {
+    const auto it = kv.find(key);
+    if (it == kv.end()) fail(std::string("missing parameter '") + key + "'");
+    return it->second;
+  }
+
+  DistributionPtr parse_dist() {
+    const std::string family = identifier();
+    expect('(');
+    try {
+      if (family == "truncated") {
+        DistributionPtr base = parse_dist();
+        expect(',');
+        expect('[');
+        const double lo = number();
+        expect(',');
+        const double hi = number();
+        expect(']');
+        expect(')');
+        return std::make_shared<Truncated>(std::move(base), lo, hi);
+      }
+      if (family == "mixture") {
+        const std::string w = identifier();
+        if (w != "w") fail("mixture expects 'w=...' first");
+        expect('=');
+        const double weight = number();
+        expect(',');
+        DistributionPtr a = parse_dist();
+        expect(',');
+        DistributionPtr b = parse_dist();
+        expect(')');
+        return std::make_shared<Mixture>(weight, std::move(a), std::move(b));
+      }
+      const auto kv = key_values();
+      if (family == "lognormal") {
+        return make_lognormal(required(kv, "mu"), required(kv, "sigma"));
+      }
+      if (family == "weibull") {
+        return make_weibull(required(kv, "alpha"), required(kv, "lambda"));
+      }
+      if (family == "pareto") {
+        return make_pareto(required(kv, "alpha"), required(kv, "beta"));
+      }
+      if (family == "exponential") {
+        return make_exponential(required(kv, "rate"));
+      }
+      if (family == "uniform") {
+        return make_uniform(required(kv, "lo"), required(kv, "hi"));
+      }
+    } catch (const DistributionParseError&) {
+      throw;
+    } catch (const std::invalid_argument& e) {
+      // Constructor rejected the parameters (e.g. sigma <= 0).
+      throw DistributionParseError(std::string("parse_distribution: ") +
+                                   e.what());
+    }
+    fail("unknown distribution family '" + family + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+DistributionPtr parse_distribution(std::string_view spec) {
+  return Parser(spec).parse();
+}
+
+}  // namespace p2pgen::stats

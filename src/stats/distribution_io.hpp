@@ -1,0 +1,36 @@
+// p2pgen — distribution (de)serialization.
+//
+// Every Distribution prints a canonical spec via name(), e.g.
+//   lognormal(mu=2.108, sigma=2.502)
+//   mixture(w=0.75, truncated(lognormal(mu=2.108, sigma=2.502), [64, 120]),
+//           truncated(lognormal(mu=6.397, sigma=2.749), [120, inf]))
+// parse_distribution() inverts that grammar, so name() doubles as the
+// serialization format used by core::save_model / load_model.
+#pragma once
+
+#include <string_view>
+
+#include "stats/distributions.hpp"
+
+namespace p2pgen::stats {
+
+/// Thrown on malformed distribution specs.
+class DistributionParseError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Parses a distribution spec in the name() grammar:
+///
+///   dist     := leaf | truncated | mixture
+///   leaf     := family '(' key '=' number {',' key '=' number} ')'
+///   family   := lognormal | weibull | pareto | exponential | uniform
+///   truncated:= 'truncated' '(' dist ',' '[' number ',' number ']' ')'
+///   mixture  := 'mixture' '(' 'w' '=' number ',' dist ',' dist ')'
+///
+/// `inf` parses to +infinity.  Whitespace between tokens is ignored.
+/// Throws DistributionParseError on any malformation, including trailing
+/// input.
+DistributionPtr parse_distribution(std::string_view spec);
+
+}  // namespace p2pgen::stats

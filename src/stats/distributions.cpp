@@ -1,0 +1,389 @@
+#include "stats/distributions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace p2pgen::stats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void expects(bool condition, const char* message) {
+  if (!condition) throw std::invalid_argument(message);
+}
+
+std::string format_params(const char* family,
+                          std::initializer_list<std::pair<const char*, double>> params) {
+  std::ostringstream os;
+  os << family << '(';
+  bool first = true;
+  for (const auto& [key, value] : params) {
+    if (!first) os << ", ";
+    os << key << '=' << value;
+    first = false;
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+double inverse_normal_cdf(double p) {
+  expects(p > 0.0 && p < 1.0, "inverse_normal_cdf: p must be in (0,1)");
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+
+  double x = 0.0;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One step of Halley refinement using the exact cdf.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+// ---------------------------------------------------------------- LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  expects(sigma > 0.0, "LogNormal: sigma must be > 0");
+}
+
+double LogNormal::sample(Rng& rng) const { return std::exp(rng.normal(mu_, sigma_)); }
+
+double LogNormal::pdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "LogNormal::quantile: p must be in [0,1]");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return kInf;
+  return std::exp(mu_ + sigma_ * inverse_normal_cdf(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+std::string LogNormal::name() const {
+  return format_params("lognormal", {{"mu", mu_}, {"sigma", sigma_}});
+}
+
+// ------------------------------------------------------------------ Weibull
+
+Weibull::Weibull(double alpha, double lambda) : alpha_(alpha), lambda_(lambda) {
+  expects(alpha > 0.0, "Weibull: alpha must be > 0");
+  expects(lambda > 0.0, "Weibull: lambda must be > 0");
+}
+
+double Weibull::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Weibull::pdf(double x) const {
+  if (x < 0.0) return 0.0;
+  if (x == 0.0) return alpha_ >= 1.0 ? (alpha_ == 1.0 ? lambda_ : 0.0) : kInf;
+  return lambda_ * alpha_ * std::pow(x, alpha_ - 1.0) *
+         std::exp(-lambda_ * std::pow(x, alpha_));
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-lambda_ * std::pow(x, alpha_));
+}
+
+double Weibull::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Weibull::quantile: p must be in [0,1]");
+  if (p == 0.0) return 0.0;
+  if (p == 1.0) return kInf;
+  return std::pow(-std::log1p(-p) / lambda_, 1.0 / alpha_);
+}
+
+double Weibull::mean() const {
+  // E[X] = lambda^(-1/alpha) * Gamma(1 + 1/alpha)
+  return std::pow(lambda_, -1.0 / alpha_) * std::tgamma(1.0 + 1.0 / alpha_);
+}
+
+std::string Weibull::name() const {
+  return format_params("weibull", {{"alpha", alpha_}, {"lambda", lambda_}});
+}
+
+// ------------------------------------------------------------------- Pareto
+
+Pareto::Pareto(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  expects(alpha > 0.0, "Pareto: alpha must be > 0");
+  expects(beta > 0.0, "Pareto: beta must be > 0");
+}
+
+double Pareto::sample(Rng& rng) const { return quantile(rng.uniform()); }
+
+double Pareto::pdf(double x) const {
+  if (x < beta_) return 0.0;
+  return alpha_ * std::pow(beta_, alpha_) / std::pow(x, alpha_ + 1.0);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= beta_) return 0.0;
+  return 1.0 - std::pow(beta_ / x, alpha_);
+}
+
+double Pareto::ccdf(double x) const {
+  if (x <= beta_) return 1.0;
+  return std::pow(beta_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Pareto::quantile: p must be in [0,1]");
+  if (p == 1.0) return kInf;
+  return beta_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return kInf;
+  return alpha_ * beta_ / (alpha_ - 1.0);
+}
+
+std::string Pareto::name() const {
+  return format_params("pareto", {{"alpha", alpha_}, {"beta", beta_}});
+}
+
+// -------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  expects(rate > 0.0, "Exponential: rate must be > 0");
+}
+
+double Exponential::sample(Rng& rng) const { return rng.exponential(rate_); }
+
+double Exponential::pdf(double x) const {
+  return x < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * x);
+}
+
+double Exponential::cdf(double x) const {
+  return x <= 0.0 ? 0.0 : -std::expm1(-rate_ * x);
+}
+
+double Exponential::ccdf(double x) const {
+  return x <= 0.0 ? 1.0 : std::exp(-rate_ * x);
+}
+
+double Exponential::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Exponential::quantile: p must be in [0,1]");
+  if (p == 1.0) return kInf;
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+std::string Exponential::name() const {
+  return format_params("exponential", {{"rate", rate_}});
+}
+
+// ------------------------------------------------------------------ Uniform
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  expects(lo < hi, "Uniform: requires lo < hi");
+}
+
+double Uniform::sample(Rng& rng) const { return rng.uniform(lo_, hi_); }
+
+double Uniform::pdf(double x) const {
+  return (x < lo_ || x >= hi_) ? 0.0 : 1.0 / (hi_ - lo_);
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Uniform::quantile: p must be in [0,1]");
+  return lo_ + p * (hi_ - lo_);
+}
+
+double Uniform::mean() const { return 0.5 * (lo_ + hi_); }
+
+std::string Uniform::name() const {
+  return format_params("uniform", {{"lo", lo_}, {"hi", hi_}});
+}
+
+// ---------------------------------------------------------------- Truncated
+
+Truncated::Truncated(DistributionPtr base, double lo, double hi)
+    : base_(std::move(base)), lo_(lo), hi_(hi) {
+  expects(base_ != nullptr, "Truncated: base must not be null");
+  expects(lo < hi, "Truncated: requires lo < hi");
+  cdf_lo_ = base_->cdf(lo_);
+  cdf_hi_ = hi_ == kInf ? 1.0 : base_->cdf(hi_);
+  expects(cdf_hi_ > cdf_lo_, "Truncated: base has no mass on [lo, hi]");
+}
+
+double Truncated::sample(Rng& rng) const {
+  const double u = cdf_lo_ + (cdf_hi_ - cdf_lo_) * rng.uniform();
+  // Guard against u hitting exactly 0/1 via floating point.
+  const double clamped = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+  double x = base_->quantile(clamped);
+  if (x < lo_) x = lo_;
+  if (x > hi_) x = hi_;
+  return x;
+}
+
+double Truncated::pdf(double x) const {
+  if (x < lo_ || x > hi_) return 0.0;
+  return base_->pdf(x) / (cdf_hi_ - cdf_lo_);
+}
+
+double Truncated::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (base_->cdf(x) - cdf_lo_) / (cdf_hi_ - cdf_lo_);
+}
+
+double Truncated::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Truncated::quantile: p must be in [0,1]");
+  const double u = cdf_lo_ + p * (cdf_hi_ - cdf_lo_);
+  const double clamped = std::min(std::max(u, 1e-15), 1.0 - 1e-15);
+  double x = base_->quantile(clamped);
+  if (x < lo_) x = lo_;
+  if (x > hi_) x = hi_;
+  return x;
+}
+
+double Truncated::mean() const {
+  // Mean by mid-point quadrature over the quantile function:
+  // E[X] = \int_0^1 Q(p) dp, robust for heavy tails truncated above.
+  constexpr int kSteps = 4096;
+  double sum = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) / kSteps;
+    sum += quantile(p);
+  }
+  return sum / kSteps;
+}
+
+std::string Truncated::name() const {
+  std::ostringstream os;
+  os << "truncated(" << base_->name() << ", [" << lo_ << ", " << hi_ << "])";
+  return os.str();
+}
+
+// ------------------------------------------------------------------ Mixture
+
+Mixture::Mixture(double weight_a, DistributionPtr a, DistributionPtr b)
+    : weight_a_(weight_a), a_(std::move(a)), b_(std::move(b)) {
+  expects(weight_a >= 0.0 && weight_a <= 1.0, "Mixture: weight must be in [0,1]");
+  expects(a_ != nullptr && b_ != nullptr, "Mixture: components must not be null");
+}
+
+double Mixture::sample(Rng& rng) const {
+  return rng.bernoulli(weight_a_) ? a_->sample(rng) : b_->sample(rng);
+}
+
+double Mixture::pdf(double x) const {
+  return weight_a_ * a_->pdf(x) + (1.0 - weight_a_) * b_->pdf(x);
+}
+
+double Mixture::cdf(double x) const {
+  return weight_a_ * a_->cdf(x) + (1.0 - weight_a_) * b_->cdf(x);
+}
+
+double Mixture::ccdf(double x) const {
+  return weight_a_ * a_->ccdf(x) + (1.0 - weight_a_) * b_->ccdf(x);
+}
+
+double Mixture::quantile(double p) const {
+  expects(p >= 0.0 && p <= 1.0, "Mixture::quantile: p must be in [0,1]");
+  if (p == 0.0) return std::min(a_->quantile(0.0), b_->quantile(0.0));
+  if (p == 1.0) return kInf;
+  // Bracket then bisect on the (monotone) mixture cdf.
+  double lo = std::min(a_->quantile(std::min(p, 0.5)), b_->quantile(std::min(p, 0.5)));
+  double hi = std::max(a_->quantile(p), b_->quantile(p));
+  if (lo > hi) std::swap(lo, hi);
+  while (cdf(lo) > p && lo > 1e-300) lo /= 2.0;
+  while (cdf(hi) < p && hi < 1e300) hi = (hi == 0.0) ? 1.0 : hi * 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * std::max(1.0, std::abs(hi))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Mixture::mean() const {
+  return weight_a_ * a_->mean() + (1.0 - weight_a_) * b_->mean();
+}
+
+std::string Mixture::name() const {
+  std::ostringstream os;
+  os << "mixture(w=" << weight_a_ << ", " << a_->name() << ", " << b_->name() << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------- Factories
+
+DistributionPtr bimodal_split(DistributionPtr body, DistributionPtr tail,
+                              double split, double body_weight, double body_lo) {
+  expects(split > 0.0, "bimodal_split: split must be > 0");
+  expects(body_lo >= 0.0 && body_lo < split,
+          "bimodal_split: requires 0 <= body_lo < split");
+  auto body_trunc = std::make_shared<Truncated>(std::move(body), body_lo, split);
+  auto tail_trunc = std::make_shared<Truncated>(std::move(tail), split, kInf);
+  return std::make_shared<Mixture>(body_weight, std::move(body_trunc),
+                                   std::move(tail_trunc));
+}
+
+DistributionPtr make_lognormal(double mu, double sigma) {
+  return std::make_shared<LogNormal>(mu, sigma);
+}
+DistributionPtr make_weibull(double alpha, double lambda) {
+  return std::make_shared<Weibull>(alpha, lambda);
+}
+DistributionPtr make_pareto(double alpha, double beta) {
+  return std::make_shared<Pareto>(alpha, beta);
+}
+DistributionPtr make_exponential(double rate) {
+  return std::make_shared<Exponential>(rate);
+}
+DistributionPtr make_uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,68 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace p2pgen::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sample.begin(), sample.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::cdf(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  return quantile_sorted(sorted_, q);
+}
+
+std::vector<CurvePoint> Ecdf::ccdf_log_grid(std::size_t points,
+                                            double lo_floor) const {
+  if (sorted_.empty() || points == 0) return {};
+  const double lo = std::max(sorted_.front(), lo_floor);
+  const double hi = std::max(sorted_.back(), lo * (1.0 + 1e-9));
+  const auto xs = log_space(lo, hi, points);
+  return ccdf_at(xs);
+}
+
+std::vector<CurvePoint> Ecdf::ccdf_at(std::span<const double> xs) const {
+  std::vector<CurvePoint> curve;
+  curve.reserve(xs.size());
+  for (double x : xs) curve.push_back({x, ccdf(x)});
+  return curve;
+}
+
+double ks_distance(const Ecdf& a, const Ecdf& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("ks_distance: empty sample");
+  }
+  double d = 0.0;
+  for (double x : a.sorted()) d = std::max(d, std::abs(a.cdf(x) - b.cdf(x)));
+  for (double x : b.sorted()) d = std::max(d, std::abs(a.cdf(x) - b.cdf(x)));
+  return d;
+}
+
+std::vector<double> log_space(double lo, double hi, std::size_t points) {
+  if (!(lo > 0.0) || !(hi > lo)) {
+    throw std::invalid_argument("log_space: requires 0 < lo < hi");
+  }
+  if (points == 0) return {};
+  if (points == 1) return {lo};
+  std::vector<double> xs(points);
+  const double log_lo = std::log(lo);
+  const double step = (std::log(hi) - log_lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    xs[i] = std::exp(log_lo + step * static_cast<double>(i));
+  }
+  xs.back() = hi;
+  return xs;
+}
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,62 @@
+// p2pgen — empirical distribution functions.
+//
+// Every CCDF figure in the paper (Figures 5–9) is an empirical CCDF
+// evaluated on a log-spaced grid.  Ecdf owns a sorted copy of the sample
+// and supports O(log n) evaluation plus grid extraction for plotting and
+// bench output.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2pgen::stats {
+
+/// A point of an evaluated distribution curve.
+struct CurvePoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Empirical CDF/CCDF over a sample.
+class Ecdf {
+ public:
+  /// Builds from a sample (copied and sorted).  Empty samples are allowed;
+  /// cdf() is then 0 everywhere.
+  explicit Ecdf(std::span<const double> sample);
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  bool empty() const noexcept { return sorted_.empty(); }
+
+  /// Fraction of the sample <= x.
+  double cdf(double x) const;
+
+  /// Fraction of the sample > x (the paper's "Fraction ... > x" axes).
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+
+  /// Sample quantile (type-7 interpolation).  Requires non-empty sample.
+  double quantile(double q) const;
+
+  /// Evaluates the CCDF on `points` log-spaced x values spanning
+  /// [max(min_sample, lo_floor), max_sample].  Mirrors the log-x axes used
+  /// in the paper's CCDF plots.
+  std::vector<CurvePoint> ccdf_log_grid(std::size_t points,
+                                        double lo_floor = 1.0) const;
+
+  /// Evaluates the CCDF at caller-provided x values.
+  std::vector<CurvePoint> ccdf_at(std::span<const double> xs) const;
+
+  /// Read-only access to the sorted sample.
+  const std::vector<double>& sorted() const noexcept { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Kolmogorov–Smirnov distance between two ECDFs (sup-norm).
+double ks_distance(const Ecdf& a, const Ecdf& b);
+
+/// Generates `points` log-spaced values covering [lo, hi], lo > 0, hi > lo.
+std::vector<double> log_space(double lo, double hi, std::size_t points);
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,379 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace p2pgen::stats {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void require_positive(std::span<const double> sample, const char* who) {
+  if (sample.size() < 2) {
+    throw std::invalid_argument(std::string(who) + ": need >= 2 observations");
+  }
+  for (double x : sample) {
+    if (!(x > 0.0)) {
+      throw std::invalid_argument(std::string(who) + ": values must be > 0");
+    }
+  }
+}
+
+/// Splits a sample at `split` into body (<= split) and tail (> split).
+std::pair<std::vector<double>, std::vector<double>> split_sample(
+    std::span<const double> sample, double split) {
+  std::vector<double> body;
+  std::vector<double> tail;
+  for (double x : sample) {
+    (x <= split ? body : tail).push_back(x);
+  }
+  return {std::move(body), std::move(tail)};
+}
+
+}  // namespace
+
+LogNormalFit fit_lognormal(std::span<const double> sample) {
+  require_positive(sample, "fit_lognormal");
+  const auto n = static_cast<double>(sample.size());
+  double sum = 0.0;
+  for (double x : sample) sum += std::log(x);
+  const double mu = sum / n;
+  double ss = 0.0;
+  for (double x : sample) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / n);
+  return {mu, std::max(sigma, 1e-9)};
+}
+
+WeibullFit fit_weibull(std::span<const double> sample) {
+  require_positive(sample, "fit_weibull");
+  const auto n = static_cast<double>(sample.size());
+  double mean_log = 0.0;
+  for (double x : sample) mean_log += std::log(x);
+  mean_log /= n;
+
+  // Newton iteration on g(a) = S1(a)/S0(a) - 1/a - mean_log, where
+  // S0 = sum x^a, S1 = sum x^a ln x.  Start from the moment heuristic.
+  double a = 1.0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+    for (double x : sample) {
+      const double lx = std::log(x);
+      const double xa = std::pow(x, a);
+      s0 += xa;
+      s1 += xa * lx;
+      s2 += xa * lx * lx;
+    }
+    const double g = s1 / s0 - 1.0 / a - mean_log;
+    const double gp = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (a * a);
+    const double step = g / gp;
+    a -= step;
+    if (!(a > 1e-6)) a = 1e-6;
+    if (std::abs(step) < 1e-12 * std::max(1.0, a)) break;
+  }
+  double s0 = 0.0;
+  for (double x : sample) s0 += std::pow(x, a);
+  const double lambda = n / s0;
+  return {a, lambda};
+}
+
+double fit_pareto_tail(std::span<const double> sample, double beta) {
+  if (sample.empty()) throw std::invalid_argument("fit_pareto_tail: empty sample");
+  if (!(beta > 0.0)) throw std::invalid_argument("fit_pareto_tail: beta must be > 0");
+  double sum = 0.0;
+  for (double x : sample) {
+    if (x < beta) {
+      throw std::invalid_argument("fit_pareto_tail: values must be >= beta");
+    }
+    sum += std::log(std::max(x, beta * (1.0 + 1e-12)) / beta);
+  }
+  if (sum <= 0.0) return kInf;
+  return static_cast<double>(sample.size()) / sum;
+}
+
+std::vector<double> nelder_mead(
+    const std::function<double(std::span<const double>)>& objective,
+    std::vector<double> start, double scale, int max_iterations,
+    double tolerance) {
+  const std::size_t dim = start.size();
+  if (dim == 0) throw std::invalid_argument("nelder_mead: empty start point");
+
+  // Build the initial simplex.
+  std::vector<std::vector<double>> simplex(dim + 1, start);
+  for (std::size_t i = 0; i < dim; ++i) {
+    simplex[i + 1][i] += (start[i] != 0.0 ? std::abs(start[i]) * scale : scale);
+  }
+  std::vector<double> values(dim + 1);
+  for (std::size_t i = 0; i <= dim; ++i) values[i] = objective(simplex[i]);
+
+  auto order = [&] {
+    std::vector<std::size_t> idx(dim + 1);
+    for (std::size_t i = 0; i <= dim; ++i) idx[i] = i;
+    std::sort(idx.begin(), idx.end(),
+              [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> v2;
+    s2.reserve(dim + 1);
+    v2.reserve(dim + 1);
+    for (std::size_t i : idx) {
+      s2.push_back(simplex[i]);
+      v2.push_back(values[i]);
+    }
+    simplex = std::move(s2);
+    values = std::move(v2);
+  };
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    order();
+    if (std::abs(values[dim] - values[0]) <=
+        tolerance * (std::abs(values[0]) + tolerance)) {
+      break;
+    }
+    // Centroid of the best dim points.
+    std::vector<double> centroid(dim, 0.0);
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j < dim; ++j) centroid[j] += simplex[i][j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(dim);
+
+    auto affine = [&](double t) {
+      std::vector<double> p(dim);
+      for (std::size_t j = 0; j < dim; ++j) {
+        p[j] = centroid[j] + t * (simplex[dim][j] - centroid[j]);
+      }
+      return p;
+    };
+
+    const auto reflected = affine(-1.0);
+    const double fr = objective(reflected);
+    if (fr < values[0]) {
+      const auto expanded = affine(-2.0);
+      const double fe = objective(expanded);
+      if (fe < fr) {
+        simplex[dim] = expanded;
+        values[dim] = fe;
+      } else {
+        simplex[dim] = reflected;
+        values[dim] = fr;
+      }
+    } else if (fr < values[dim - 1]) {
+      simplex[dim] = reflected;
+      values[dim] = fr;
+    } else {
+      const auto contracted = affine(fr < values[dim] ? -0.5 : 0.5);
+      const double fc = objective(contracted);
+      if (fc < std::min(fr, values[dim])) {
+        simplex[dim] = contracted;
+        values[dim] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= dim; ++i) {
+          for (std::size_t j = 0; j < dim; ++j) {
+            simplex[i][j] = simplex[0][j] + 0.5 * (simplex[i][j] - simplex[0][j]);
+          }
+          values[i] = objective(simplex[i]);
+        }
+      }
+    }
+  }
+  order();
+  return simplex[0];
+}
+
+LogNormalFit fit_lognormal_truncated(std::span<const double> sample, double lo,
+                                     double hi) {
+  require_positive(sample, "fit_lognormal_truncated");
+  const LogNormalFit start = fit_lognormal(sample);
+
+  // Quantile matching on the log scale rather than truncated MLE: the
+  // truncated-lognormal likelihood surface has a degenerate power-law
+  // corner (mu -> -inf with large sigma) that fits the conditional
+  // density of heavy-tailed data arbitrarily well while producing
+  // meaningless parameters.  Matching the truncated model's quantile
+  // function to the sample's across the whole range is stable and
+  // recovers the generating parameters when the data really is a
+  // truncated lognormal (the closed-loop tests assert this).
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  static constexpr double kQuantiles[] = {0.05, 0.15, 0.25, 0.35, 0.50,
+                                          0.65, 0.75, 0.85, 0.95};
+  std::array<double, std::size(kQuantiles)> sample_log_q{};
+  for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+    sample_log_q[i] = std::log(
+        std::max(quantile_sorted(sorted, kQuantiles[i]), 1e-12));
+  }
+
+  auto objective = [&](std::span<const double> p) {
+    const double mu = p[0];
+    const double sigma = p[1];
+    if (!(sigma >= 0.02) || sigma > 8.0 || mu < -10.0 || mu > 30.0) return kInf;
+    const LogNormal model(mu, sigma);
+    const double cdf_lo = lo <= 0.0 ? 0.0 : model.cdf(lo);
+    const double cdf_hi = hi == kInf ? 1.0 : model.cdf(hi);
+    if (!(cdf_hi - cdf_lo > 1e-12)) return kInf;
+    double err = 0.0;
+    for (std::size_t i = 0; i < std::size(kQuantiles); ++i) {
+      const double u = cdf_lo + kQuantiles[i] * (cdf_hi - cdf_lo);
+      const double q =
+          model.quantile(std::min(std::max(u, 1e-15), 1.0 - 1e-15));
+      const double d = std::log(std::max(q, 1e-12)) - sample_log_q[i];
+      err += d * d;
+    }
+    return err;
+  };
+
+  const auto best = nelder_mead(
+      objective,
+      {std::clamp(start.mu, -9.0, 29.0), std::clamp(start.sigma, 0.1, 7.0)},
+      0.5, 4000, 1e-12);
+  return {best[0], std::max(best[1], 1e-9)};
+}
+
+LogNormalFit fit_lognormal_discretized(std::span<const double> sample) {
+  if (sample.size() < 2) {
+    throw std::invalid_argument("fit_lognormal_discretized: need >= 2 observations");
+  }
+  // Histogram the integer counts (everything >= 1).
+  std::vector<std::pair<double, double>> cells;  // (count value, frequency)
+  {
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size();) {
+      const double v = std::max(1.0, std::round(sorted[i]));
+      std::size_t j = i;
+      while (j < sorted.size() && std::max(1.0, std::round(sorted[j])) == v) ++j;
+      cells.emplace_back(v, static_cast<double>(j - i));
+      i = j;
+    }
+  }
+
+  // MLE of the rounding-censored lognormal: P(K = k) = F(k + 0.5) -
+  // F(k - 0.5), with the k = 1 cell absorbing all mass below 1.5.
+  auto neg_loglik = [&cells](std::span<const double> p) {
+    const double mu = p[0];
+    const double sigma = p[1];
+    if (!(sigma >= 0.05) || sigma > 6.0 || mu < -10.0 || mu > 15.0) return kInf;
+    const LogNormal model(mu, sigma);
+    double ll = 0.0;
+    for (const auto& [k, freq] : cells) {
+      const double lo = k <= 1.0 ? 0.0 : model.cdf(k - 0.5);
+      const double hi = model.cdf(k + 0.5);
+      const double mass = hi - lo;
+      if (!(mass > 1e-300)) return kInf;
+      ll += freq * std::log(mass);
+    }
+    return -ll;
+  };
+
+  const LogNormalFit start = fit_lognormal(sample);
+  const auto best = nelder_mead(
+      neg_loglik,
+      {std::clamp(start.mu, -9.0, 14.0), std::clamp(start.sigma, 0.2, 5.0)});
+  return {best[0], std::max(best[1], 1e-9)};
+}
+
+WeibullFit fit_weibull_truncated(std::span<const double> sample, double lo,
+                                 double hi) {
+  require_positive(sample, "fit_weibull_truncated");
+  const WeibullFit start = fit_weibull(sample);
+
+  // Optimize in log-space so alpha, lambda stay positive.
+  auto neg_loglik = [&](std::span<const double> p) {
+    const double alpha = std::exp(p[0]);
+    const double lambda = std::exp(p[1]);
+    if (!(alpha > 1e-6) || alpha > 1e3 || !(lambda > 1e-12) || lambda > 1e12) {
+      return kInf;
+    }
+    const Weibull model(alpha, lambda);
+    const double mass =
+        (hi == kInf ? 1.0 : model.cdf(hi)) - (lo <= 0.0 ? 0.0 : model.cdf(lo));
+    if (!(mass > 1e-300)) return kInf;
+    double ll = 0.0;
+    for (double x : sample) {
+      const double pdf = model.pdf(x);
+      if (!(pdf > 0.0)) return kInf;
+      ll += std::log(pdf);
+    }
+    ll -= static_cast<double>(sample.size()) * std::log(mass);
+    return -ll;
+  };
+
+  const auto best =
+      nelder_mead(neg_loglik, {std::log(start.alpha), std::log(start.lambda)});
+  return {std::exp(best[0]), std::exp(best[1])};
+}
+
+DistributionPtr BimodalLogNormalFit::to_distribution() const {
+  return bimodal_split(make_lognormal(body.mu, body.sigma),
+                       make_lognormal(tail.mu, tail.sigma), split, body_weight,
+                       body_lo);
+}
+
+DistributionPtr BimodalWeibullLogNormalFit::to_distribution() const {
+  return bimodal_split(make_weibull(body.alpha, body.lambda),
+                       make_lognormal(tail.mu, tail.sigma), split, body_weight);
+}
+
+DistributionPtr BimodalLogNormalParetoFit::to_distribution() const {
+  // The Pareto tail has support [split, inf) already; truncating it to
+  // [split, inf) is the identity, so bimodal_split composes correctly.
+  return bimodal_split(make_lognormal(body.mu, body.sigma),
+                       make_pareto(tail_alpha, split), split, body_weight);
+}
+
+BimodalLogNormalFit fit_bimodal_lognormal(std::span<const double> sample,
+                                          double split, double body_lo) {
+  auto [body, tail] = split_sample(sample, split);
+  if (body.size() < 2 || tail.size() < 2) {
+    throw std::invalid_argument(
+        "fit_bimodal_lognormal: need >= 2 observations on both sides of split");
+  }
+  BimodalLogNormalFit fit;
+  fit.split = split;
+  fit.body_lo = body_lo;
+  fit.body_weight =
+      static_cast<double>(body.size()) / static_cast<double>(sample.size());
+  fit.body = fit_lognormal_truncated(body, body_lo, split);
+  fit.tail = fit_lognormal_truncated(tail, split, kInf);
+  return fit;
+}
+
+BimodalWeibullLogNormalFit fit_bimodal_weibull_lognormal(
+    std::span<const double> sample, double split) {
+  auto [body, tail] = split_sample(sample, split);
+  if (body.size() < 2 || tail.size() < 2) {
+    throw std::invalid_argument(
+        "fit_bimodal_weibull_lognormal: need >= 2 observations on both sides");
+  }
+  BimodalWeibullLogNormalFit fit;
+  fit.split = split;
+  fit.body_weight =
+      static_cast<double>(body.size()) / static_cast<double>(sample.size());
+  fit.body = fit_weibull_truncated(body, 0.0, split);
+  fit.tail = fit_lognormal_truncated(tail, split, kInf);
+  return fit;
+}
+
+BimodalLogNormalParetoFit fit_bimodal_lognormal_pareto(
+    std::span<const double> sample, double split) {
+  auto [body, tail] = split_sample(sample, split);
+  if (body.size() < 2 || tail.empty()) {
+    throw std::invalid_argument(
+        "fit_bimodal_lognormal_pareto: insufficient observations");
+  }
+  BimodalLogNormalParetoFit fit;
+  fit.split = split;
+  fit.body_weight =
+      static_cast<double>(body.size()) / static_cast<double>(sample.size());
+  fit.body = fit_lognormal_truncated(body, 0.0, split);
+  fit.tail_alpha = fit_pareto_tail(tail, split);
+  return fit;
+}
+
+}  // namespace p2pgen::stats

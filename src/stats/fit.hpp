@@ -1,0 +1,119 @@
+// p2pgen — distribution fitting (maximum likelihood / least squares).
+//
+// The paper fits each workload measure with a small analytic model
+// (Appendix, Tables A.1–A.5): lognormal, Weibull + lognormal with a body/
+// tail split, lognormal + Pareto, and Zipf-like pmfs.  This module provides
+// the corresponding estimators:
+//
+//   * fit_lognormal         — closed-form MLE (moments of logs)
+//   * fit_weibull           — MLE via Newton iteration on the shape
+//   * fit_pareto_tail       — MLE for the tail index with known beta
+//   * fit_lognormal_truncated / fit_weibull_truncated — MLE under interval
+//     truncation, via Nelder–Mead on the truncated log-likelihood (the
+//     body/tail pieces of the paper's bimodal models are truncated
+//     distributions, so untruncated MLE would be biased)
+//   * fit_bimodal_*         — the full body/tail composites of Tables
+//     A.1 (lognormal+lognormal), A.3 (Weibull+lognormal) and
+//     A.4 (lognormal+Pareto)
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "stats/distributions.hpp"
+
+namespace p2pgen::stats {
+
+/// Lognormal parameters.
+struct LogNormalFit {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+
+/// Weibull parameters (F(x) = 1 - exp(-lambda x^alpha)).
+struct WeibullFit {
+  double alpha = 1.0;
+  double lambda = 1.0;
+};
+
+/// Closed-form lognormal MLE.  Requires all values > 0, size >= 2.
+LogNormalFit fit_lognormal(std::span<const double> sample);
+
+/// Weibull MLE (Newton on the profile likelihood of alpha).
+/// Requires all values > 0, size >= 2.
+WeibullFit fit_weibull(std::span<const double> sample);
+
+/// Pareto tail-index MLE with fixed beta: alpha = n / sum(ln(x/beta)).
+/// Requires all values >= beta > 0, size >= 1.
+double fit_pareto_tail(std::span<const double> sample, double beta);
+
+/// Lognormal MLE when the observations are known to be conditioned on
+/// [lo, hi] (hi may be +inf).  Maximizes the truncated likelihood.
+LogNormalFit fit_lognormal_truncated(std::span<const double> sample, double lo,
+                                     double hi);
+
+/// Lognormal MLE for rounding-discretized observations (integer counts
+/// k >= 1 arising from rounding a continuous lognormal, with k = 1
+/// absorbing all mass below 1.5).  This is how #queries-per-session data
+/// must be fit: half the sessions issue exactly one query, so a naive MLE
+/// on logs (many log(1) = 0 values) would badly misplace mu/sigma —
+/// Table A.2's parameters are only recoverable with the censored model.
+LogNormalFit fit_lognormal_discretized(std::span<const double> sample);
+
+/// Weibull MLE under truncation to [lo, hi].
+WeibullFit fit_weibull_truncated(std::span<const double> sample, double lo,
+                                 double hi);
+
+/// A fitted body/tail bimodal model: P(body) = body_weight; the body is the
+/// base distribution conditioned on [0, split], the tail conditioned on
+/// (split, inf).
+struct BimodalLogNormalFit {
+  double split = 0.0;
+  double body_lo = 0.0;  // lower bound of the body window (Table A.1: 64 s)
+  double body_weight = 0.0;
+  LogNormalFit body;
+  LogNormalFit tail;
+
+  /// Reconstructs the composite model distribution.
+  DistributionPtr to_distribution() const;
+};
+
+struct BimodalWeibullLogNormalFit {
+  double split = 0.0;
+  double body_weight = 0.0;
+  WeibullFit body;      // Weibull body (Table A.3)
+  LogNormalFit tail;    // lognormal tail
+
+  DistributionPtr to_distribution() const;
+};
+
+struct BimodalLogNormalParetoFit {
+  double split = 0.0;
+  double body_weight = 0.0;
+  LogNormalFit body;    // lognormal body (Table A.4)
+  double tail_alpha = 1.0;  // Pareto tail, beta == split
+
+  DistributionPtr to_distribution() const;
+};
+
+/// Table A.1 form: lognormal body on [body_lo, split], lognormal tail above.
+BimodalLogNormalFit fit_bimodal_lognormal(std::span<const double> sample,
+                                          double split, double body_lo = 0.0);
+
+/// Table A.3 form: Weibull body, lognormal tail.
+BimodalWeibullLogNormalFit fit_bimodal_weibull_lognormal(
+    std::span<const double> sample, double split);
+
+/// Table A.4 form: lognormal body, Pareto tail with beta = split.
+BimodalLogNormalParetoFit fit_bimodal_lognormal_pareto(
+    std::span<const double> sample, double split);
+
+/// Generic derivative-free minimizer (Nelder–Mead).  Returns the best
+/// point found.  Exposed for tests and for custom fitting needs.
+std::vector<double> nelder_mead(
+    const std::function<double(std::span<const double>)>& objective,
+    std::vector<double> start, double scale = 0.5, int max_iterations = 2000,
+    double tolerance = 1e-10);
+
+}  // namespace p2pgen::stats

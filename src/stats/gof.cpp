@@ -1,0 +1,115 @@
+#include "stats/gof.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace p2pgen::stats {
+
+double ks_statistic(std::span<const double> sample, const Distribution& model) {
+  if (sample.empty()) throw std::invalid_argument("ks_statistic: empty sample");
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double f = model.cdf(sorted[i]);
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::max(std::abs(f - lo), std::abs(hi - f)));
+  }
+  return d;
+}
+
+double ks_pvalue(double d, std::size_t n) {
+  if (d <= 0.0) return 1.0;
+  if (d >= 1.0) return 0.0;
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  // Effective statistic with small-sample correction (Stephens).
+  const double t = d * (sqrt_n + 0.12 + 0.11 / sqrt_n);
+  // Q_KS(t) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 t^2)
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * t * t);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+double ks_test(std::span<const double> sample, const Distribution& model) {
+  return ks_pvalue(ks_statistic(sample, model), sample.size());
+}
+
+double chi_square_statistic(std::span<const double> sample,
+                            const Distribution& model, std::size_t bins) {
+  if (bins < 2) throw std::invalid_argument("chi_square_statistic: bins must be >= 2");
+  if (sample.empty()) throw std::invalid_argument("chi_square_statistic: empty sample");
+  // Equal-probability cells by model quantiles.
+  std::vector<double> edges(bins - 1);
+  for (std::size_t i = 1; i < bins; ++i) {
+    edges[i - 1] = model.quantile(static_cast<double>(i) / static_cast<double>(bins));
+  }
+  std::vector<double> counts(bins, 0.0);
+  for (double x : sample) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), x);
+    counts[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+  }
+  const double expected =
+      static_cast<double>(sample.size()) / static_cast<double>(bins);
+  double stat = 0.0;
+  for (double c : counts) {
+    const double d = c - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+double gamma_q(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) throw std::invalid_argument("gamma_q: invalid args");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) {
+    // Series for P(a, x); Q = 1 - P.
+    double term = 1.0 / a;
+    double sum = term;
+    double ap = a;
+    for (int i = 0; i < 500; ++i) {
+      ap += 1.0;
+      term *= x / ap;
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 1e-15) break;
+    }
+    const double p = sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+    return std::clamp(1.0 - p, 0.0, 1.0);
+  }
+  // Continued fraction for Q(a, x) (Lentz's algorithm).
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  const double q = std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+  return std::clamp(q, 0.0, 1.0);
+}
+
+double chi_square_pvalue(double statistic, std::size_t dof) {
+  if (dof == 0) throw std::invalid_argument("chi_square_pvalue: dof must be > 0");
+  return gamma_q(static_cast<double>(dof) / 2.0, statistic / 2.0);
+}
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,37 @@
+// p2pgen — goodness-of-fit tests.
+//
+// Used by the test suite (to verify samplers against their analytic CDFs)
+// and by the analysis pipeline (to score the Appendix model fits against
+// the measured data, as Figure A.1 does visually).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "stats/distribution.hpp"
+
+namespace p2pgen::stats {
+
+/// One-sample Kolmogorov–Smirnov statistic: sup |ECDF(x) - F(x)|.
+double ks_statistic(std::span<const double> sample, const Distribution& model);
+
+/// Asymptotic p-value for a KS statistic d at sample size n
+/// (Kolmogorov distribution, Marsaglia-style series).
+double ks_pvalue(double d, std::size_t n);
+
+/// Convenience: KS test of sample against model, returns the p-value.
+double ks_test(std::span<const double> sample, const Distribution& model);
+
+/// Chi-square statistic of a sample against a model using `bins`
+/// equal-probability cells (by model quantiles).
+double chi_square_statistic(std::span<const double> sample,
+                            const Distribution& model, std::size_t bins);
+
+/// Upper-tail probability of a chi-square variate with `dof` degrees of
+/// freedom (regularized incomplete gamma Q(dof/2, x/2)).
+double chi_square_pvalue(double statistic, std::size_t dof);
+
+/// Regularized upper incomplete gamma function Q(a, x), a > 0, x >= 0.
+double gamma_q(double a, double x);
+
+}  // namespace p2pgen::stats

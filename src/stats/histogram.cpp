@@ -1,0 +1,103 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pgen::stats {
+
+namespace {
+constexpr double kSecondsPerDay = 86400.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: requires bins > 0");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / bin_width());
+  counts_[std::min(idx, counts_.size() - 1)] += weight;
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+double Histogram::count(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[i];
+}
+
+std::vector<double> Histogram::fractions() const {
+  std::vector<double> f(counts_.size(), 0.0);
+  if (total_ <= 0.0) return f;
+  for (std::size_t i = 0; i < counts_.size(); ++i) f[i] = counts_[i] / total_;
+  return f;
+}
+
+DayBinSeries::DayBinSeries(std::size_t bin_seconds) : bin_seconds_(bin_seconds) {
+  if (bin_seconds == 0 || 86400 % bin_seconds != 0) {
+    throw std::invalid_argument("DayBinSeries: bin_seconds must divide 86400");
+  }
+  bins_per_day_ = 86400 / bin_seconds;
+}
+
+void DayBinSeries::add(double t_seconds, double weight) {
+  if (t_seconds < 0.0) throw std::invalid_argument("DayBinSeries: negative time");
+  const auto day = static_cast<std::size_t>(t_seconds / kSecondsPerDay);
+  const double tod = t_seconds - static_cast<double>(day) * kSecondsPerDay;
+  const std::size_t bin = bin_of(tod);
+  if (day >= per_day_.size()) {
+    per_day_.resize(day + 1, std::vector<double>(bins_per_day_, 0.0));
+  }
+  per_day_[day][bin] += weight;
+}
+
+std::size_t DayBinSeries::bin_of(double time_of_day_seconds) const {
+  const auto bin = static_cast<std::size_t>(time_of_day_seconds /
+                                            static_cast<double>(bin_seconds_));
+  return std::min(bin, bins_per_day_ - 1);
+}
+
+std::vector<DayBinSeries::BinStats> DayBinSeries::stats() const {
+  std::vector<BinStats> out(bins_per_day_);
+  if (per_day_.empty()) return out;
+  for (std::size_t b = 0; b < bins_per_day_; ++b) {
+    double mn = per_day_[0][b];
+    double mx = per_day_[0][b];
+    double sum = 0.0;
+    for (const auto& day : per_day_) {
+      mn = std::min(mn, day[b]);
+      mx = std::max(mx, day[b]);
+      sum += day[b];
+    }
+    out[b] = {mn, sum / static_cast<double>(per_day_.size()), mx};
+  }
+  return out;
+}
+
+std::vector<double> DayBinSeries::totals() const {
+  std::vector<double> out(bins_per_day_, 0.0);
+  for (const auto& day : per_day_) {
+    for (std::size_t b = 0; b < bins_per_day_; ++b) out[b] += day[b];
+  }
+  return out;
+}
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,91 @@
+// p2pgen — histograms and time-of-day binning.
+//
+// The paper's time-of-day figures (Figures 1, 3, 4) bin events into fixed
+// intervals of the 24-hour day (30-minute or 1-hour bins) and report the
+// min / average / max across days for each bin.  DayBinSeries implements
+// exactly that aggregation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2pgen::stats {
+
+/// Fixed-width linear histogram over [lo, hi).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds a value; out-of-range values are counted in underflow/overflow.
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+  double bin_width() const noexcept;
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const;
+  double underflow() const noexcept { return underflow_; }
+  double overflow() const noexcept { return overflow_; }
+  double total() const noexcept { return total_; }
+
+  /// Normalized bin fractions (each count / total, 0 if empty).
+  std::vector<double> fractions() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Per-day-bin aggregation across multiple days: for each time-of-day bin,
+/// tracks the per-day totals so min / mean / max across days can be
+/// reported (the three curves in Figures 3 and 4).
+class DayBinSeries {
+ public:
+  /// bin_seconds must divide 86400.
+  explicit DayBinSeries(std::size_t bin_seconds);
+
+  /// Adds a weighted event at absolute time `t_seconds` since trace start.
+  void add(double t_seconds, double weight = 1.0);
+
+  std::size_t bins_per_day() const noexcept { return bins_per_day_; }
+  std::size_t bin_seconds() const noexcept { return bin_seconds_; }
+  /// Number of day rows that received at least the structure (max day seen + 1).
+  std::size_t days() const noexcept { return per_day_.size(); }
+
+  /// Index of the day bin for a time of day (seconds in [0, 86400)).
+  std::size_t bin_of(double time_of_day_seconds) const;
+
+  /// Across-days statistics for one bin.
+  struct BinStats {
+    double min = 0.0;
+    double mean = 0.0;
+    double max = 0.0;
+  };
+
+  /// Across-days min/mean/max for every bin.  Days with zero activity in a
+  /// bin contribute zero (matching the paper: the average is over the whole
+  /// trace period).
+  std::vector<BinStats> stats() const;
+
+  /// Per-bin totals summed across all days.
+  std::vector<double> totals() const;
+
+  /// Raw per-day rows ([day][bin]) for custom aggregations such as the
+  /// per-day passive-fraction ratios of Figure 4.
+  const std::vector<std::vector<double>>& per_day() const noexcept {
+    return per_day_;
+  }
+
+ private:
+  std::size_t bin_seconds_;
+  std::size_t bins_per_day_;
+  std::vector<std::vector<double>> per_day_;  // [day][bin]
+};
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,129 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace p2pgen::stats {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q must be in [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double quantile(std::span<const double> sample, double q) {
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+Summary summarize(std::span<const double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  std::vector<double> sorted(sample.begin(), sample.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  s.mean = sum / static_cast<double>(s.count);
+
+  if (s.count >= 2) {
+    double ss = 0.0;
+    for (double x : sorted) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(s.count - 1);
+    s.stddev = std::sqrt(s.variance);
+  }
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p90 = quantile_sorted(sorted, 0.90);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearson_correlation: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("pearson_correlation: need >= 2 points");
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Average ranks (1-based; ties get the mean of their positions).
+std::vector<double> average_ranks(std::span<const double> xs) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    const double rank = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("spearman_correlation: size mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("spearman_correlation: need >= 2 points");
+  }
+  const auto rx = average_ranks(xs);
+  const auto ry = average_ranks(ys);
+  return pearson_correlation(rx, ry);
+}
+
+double log_mean(std::span<const double> sample) {
+  if (sample.empty()) throw std::invalid_argument("log_mean: empty sample");
+  double sum = 0.0;
+  for (double x : sample) {
+    if (!(x > 0.0)) throw std::invalid_argument("log_mean: values must be > 0");
+    sum += std::log(x);
+  }
+  return sum / static_cast<double>(sample.size());
+}
+
+}  // namespace p2pgen::stats

@@ -1,0 +1,49 @@
+// p2pgen — descriptive statistics over samples.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p2pgen::stats {
+
+/// Moments and order statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1) estimator; 0 for n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Computes the summary of a sample.  Empty input yields a zero summary.
+Summary summarize(std::span<const double> sample);
+
+/// Quantile of a sample via linear interpolation between order statistics
+/// (type-7, the numpy/R default).  Requires non-empty sample and q in [0,1].
+double quantile(std::span<const double> sample, double q);
+
+/// Same, but assumes the data is already sorted ascending.
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Pearson correlation coefficient of two equally-sized samples
+/// (0 if either side is constant).  Requires xs.size() == ys.size() >= 2.
+double pearson_correlation(std::span<const double> xs, std::span<const double> ys);
+
+/// Mean of log-values (requires all values > 0) — convenience for lognormal
+/// diagnostics.
+double log_mean(std::span<const double> sample);
+
+/// Spearman rank correlation of two equally-sized samples: Pearson
+/// correlation of the (average-tie) ranks.  Robust for the heavy-tailed
+/// workload measures where Pearson is dominated by outliers.
+double spearman_correlation(std::span<const double> xs,
+                            std::span<const double> ys);
+
+}  // namespace p2pgen::stats

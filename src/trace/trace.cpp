@@ -1,0 +1,57 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+namespace p2pgen::trace {
+
+double event_time(const TraceEvent& event) {
+  return std::visit([](const auto& e) { return e.time; }, event);
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  bool first = true;
+  for (const auto& event : events_) {
+    const double t = event_time(event);
+    if (first) {
+      s.first_time = t;
+      first = false;
+    }
+    s.first_time = std::min(s.first_time, t);
+    s.last_time = std::max(s.last_time, t);
+
+    if (const auto* start = std::get_if<SessionStart>(&event)) {
+      ++s.direct_connections;
+      if (start->ultrapeer) {
+        ++s.ultrapeer_connections;
+      } else {
+        ++s.leaf_connections;
+      }
+    } else if (const auto* msg = std::get_if<MessageEvent>(&event)) {
+      switch (msg->type) {
+        case gnutella::MessageType::kQuery:
+          ++s.query_messages;
+          if (msg->hops == 1) ++s.hop1_queries;
+          break;
+        case gnutella::MessageType::kQueryHit:
+          ++s.queryhit_messages;
+          break;
+        case gnutella::MessageType::kPing:
+          ++s.ping_messages;
+          break;
+        case gnutella::MessageType::kPong:
+          ++s.pong_messages;
+          break;
+        case gnutella::MessageType::kBye:
+          ++s.bye_messages;
+          break;
+        case gnutella::MessageType::kRouteTableUpdate:
+          ++s.route_update_messages;
+          break;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace p2pgen::trace

@@ -1,0 +1,232 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+
+namespace p2pgen::trace {
+namespace {
+
+constexpr char kMagic[4] = {'P', '2', 'P', 'T'};
+constexpr std::uint32_t kVersion = 2;  // v2 adds MessageEvent::guid_hash
+
+enum class RecordKind : std::uint8_t {
+  kSessionStart = 1,
+  kMessage = 2,
+  kSessionEnd = 3,
+};
+
+void put_bytes(std::ostream& out, const void* data, std::size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+}
+
+template <typename T>
+void put_pod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_bytes(out, &value, sizeof(value));
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put_pod(out, static_cast<std::uint32_t>(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+void get_bytes(std::istream& in, void* data, std::size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in.gcount()) != n) {
+    throw std::runtime_error("trace: truncated input");
+  }
+}
+
+template <typename T>
+T get_pod(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value{};
+  get_bytes(in, &value, sizeof(value));
+  return value;
+}
+
+std::string get_string(std::istream& in) {
+  const auto size = get_pod<std::uint32_t>(in);
+  if (size > 1u << 20) throw std::runtime_error("trace: oversized string");
+  std::string s(size, '\0');
+  if (size > 0) get_bytes(in, s.data(), size);
+  return s;
+}
+
+void write_event(std::ostream& out, const TraceEvent& event) {
+  if (const auto* start = std::get_if<SessionStart>(&event)) {
+    put_pod(out, RecordKind::kSessionStart);
+    put_pod(out, start->time);
+    put_pod(out, start->session_id);
+    put_pod(out, start->ip);
+    put_pod(out, static_cast<std::uint8_t>(start->ultrapeer));
+    put_string(out, start->user_agent);
+  } else if (const auto* msg = std::get_if<MessageEvent>(&event)) {
+    put_pod(out, RecordKind::kMessage);
+    put_pod(out, msg->time);
+    put_pod(out, msg->session_id);
+    put_pod(out, static_cast<std::uint8_t>(msg->type));
+    put_pod(out, msg->ttl);
+    put_pod(out, msg->hops);
+    put_pod(out, msg->guid_hash);
+    put_string(out, msg->query);
+    put_pod(out, static_cast<std::uint8_t>(msg->sha1));
+    put_pod(out, msg->source_ip);
+    put_pod(out, msg->shared_files);
+  } else {
+    const auto& end = std::get<SessionEnd>(event);
+    put_pod(out, RecordKind::kSessionEnd);
+    put_pod(out, end.time);
+    put_pod(out, end.session_id);
+    put_pod(out, static_cast<std::uint8_t>(end.reason));
+  }
+}
+
+TraceEvent read_event(std::istream& in, RecordKind kind,
+                      std::uint32_t version) {
+  switch (kind) {
+    case RecordKind::kSessionStart: {
+      SessionStart s;
+      s.time = get_pod<double>(in);
+      s.session_id = get_pod<std::uint64_t>(in);
+      s.ip = get_pod<std::uint32_t>(in);
+      s.ultrapeer = get_pod<std::uint8_t>(in) != 0;
+      s.user_agent = get_string(in);
+      return s;
+    }
+    case RecordKind::kMessage: {
+      MessageEvent m;
+      m.time = get_pod<double>(in);
+      m.session_id = get_pod<std::uint64_t>(in);
+      m.type = static_cast<gnutella::MessageType>(get_pod<std::uint8_t>(in));
+      m.ttl = get_pod<std::uint8_t>(in);
+      m.hops = get_pod<std::uint8_t>(in);
+      if (version >= 2) m.guid_hash = get_pod<std::uint64_t>(in);
+      m.query = get_string(in);
+      m.sha1 = get_pod<std::uint8_t>(in) != 0;
+      m.source_ip = get_pod<std::uint32_t>(in);
+      m.shared_files = get_pod<std::uint32_t>(in);
+      return m;
+    }
+    case RecordKind::kSessionEnd: {
+      SessionEnd e;
+      e.time = get_pod<double>(in);
+      e.session_id = get_pod<std::uint64_t>(in);
+      e.reason = static_cast<EndReason>(get_pod<std::uint8_t>(in));
+      return e;
+    }
+  }
+  throw std::runtime_error("trace: unknown record kind");
+}
+
+void write_header(std::ostream& out) {
+  put_bytes(out, kMagic, sizeof(kMagic));
+  put_pod(out, kVersion);
+}
+
+std::uint32_t read_header(std::istream& in) {
+  char magic[4];
+  get_bytes(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace: bad magic");
+  }
+  const auto version = get_pod<std::uint32_t>(in);
+  if (version == 0 || version > kVersion) {
+    throw std::runtime_error("trace: unsupported version");
+  }
+  return version;
+}
+
+}  // namespace
+
+void write_binary(const Trace& trace, std::ostream& out) {
+  write_header(out);
+  for (const auto& event : trace.events()) write_event(out, event);
+  if (!out) throw std::runtime_error("trace: write failure");
+}
+
+Trace read_binary(std::istream& in) {
+  const std::uint32_t version = read_header(in);
+  Trace trace;
+  while (true) {
+    std::uint8_t kind_byte = 0;
+    in.read(reinterpret_cast<char*>(&kind_byte), 1);
+    if (in.gcount() == 0) break;  // clean EOF
+    trace.append(read_event(in, static_cast<RecordKind>(kind_byte), version));
+  }
+  return trace;
+}
+
+void save_binary(const Trace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  write_binary(trace, out);
+}
+
+Trace load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_binary(in);
+}
+
+void write_csv(const Trace& trace, std::ostream& out) {
+  out << "kind,time,session_id,ip,ultrapeer,user_agent,type,ttl,hops,query,"
+         "sha1,source_ip,shared_files,guid_hash,end_reason\n";
+  for (const auto& event : trace.events()) {
+    if (const auto* s = std::get_if<SessionStart>(&event)) {
+      out << "start," << s->time << ',' << s->session_id << ',' << s->ip << ','
+          << (s->ultrapeer ? 1 : 0) << ",\"" << s->user_agent
+          << "\",,,,,,,,\n";
+    } else if (const auto* m = std::get_if<MessageEvent>(&event)) {
+      out << "msg," << m->time << ',' << m->session_id << ",,,,"
+          << gnutella::message_type_name(m->type) << ','
+          << static_cast<int>(m->ttl) << ',' << static_cast<int>(m->hops)
+          << ",\"" << m->query << "\"," << (m->sha1 ? 1 : 0) << ','
+          << m->source_ip << ',' << m->shared_files << ',' << m->guid_hash
+          << ",\n";
+    } else {
+      const auto& e = std::get<SessionEnd>(event);
+      out << "end," << e.time << ',' << e.session_id << ",,,,,,,,,,,,"
+          << static_cast<int>(e.reason) << '\n';
+    }
+  }
+}
+
+struct BinaryTraceWriter::Impl {
+  std::ofstream out;
+  bool closed = false;
+};
+
+BinaryTraceWriter::BinaryTraceWriter(const std::string& path)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->out.open(path, std::ios::binary);
+  if (!impl_->out) throw std::runtime_error("trace: cannot open " + path);
+  write_header(impl_->out);
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; a failed flush here is unreportable.
+  }
+}
+
+void BinaryTraceWriter::on_event(const TraceEvent& event) {
+  if (impl_->closed) throw std::logic_error("BinaryTraceWriter: already closed");
+  write_event(impl_->out, event);
+  ++events_written_;
+}
+
+void BinaryTraceWriter::close() {
+  if (impl_->closed) return;
+  impl_->closed = true;
+  impl_->out.flush();
+  if (!impl_->out) throw std::runtime_error("BinaryTraceWriter: flush failed");
+  impl_->out.close();
+}
+
+}  // namespace p2pgen::trace

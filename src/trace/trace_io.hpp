@@ -1,0 +1,58 @@
+// p2pgen — trace serialization.
+//
+// Two formats:
+//   * a compact binary format ("P2PT" magic, version 1) with exact
+//     round-trip semantics — used to persist simulated traces and by the
+//     streaming BinaryTraceWriter sink for paper-scale runs that should
+//     not be held in memory;
+//   * CSV export for ad-hoc inspection (examples/trace_inspector).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace p2pgen::trace {
+
+/// Serializes a whole trace to a binary stream.  Throws std::runtime_error
+/// on stream failure.
+void write_binary(const Trace& trace, std::ostream& out);
+
+/// Reads a whole binary trace.  Throws std::runtime_error on malformed
+/// input or stream failure.
+Trace read_binary(std::istream& in);
+
+/// File-path conveniences.
+void save_binary(const Trace& trace, const std::string& path);
+Trace load_binary(const std::string& path);
+
+/// CSV export (one row per event, header included).
+void write_csv(const Trace& trace, std::ostream& out);
+
+/// A TraceSink that streams events straight to a binary file.
+class BinaryTraceWriter : public TraceSink {
+ public:
+  /// Opens `path` for writing and emits the header.  Throws on failure.
+  explicit BinaryTraceWriter(const std::string& path);
+  ~BinaryTraceWriter() override;
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Flushes and closes; further on_event calls throw.  Called by the
+  /// destructor if not called explicitly.
+  void close();
+
+  std::uint64_t events_written() const noexcept { return events_written_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::uint64_t events_written_ = 0;
+};
+
+}  // namespace p2pgen::trace

@@ -1,0 +1,102 @@
+// Tests for the TCP-stream message assembler: arbitrary chunking must
+// yield exactly the sent descriptor sequence; malformed framing poisons.
+#include <gtest/gtest.h>
+
+#include "gnutella/codec.hpp"
+
+namespace p2pgen::gnutella {
+namespace {
+
+std::vector<Message> corpus(std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<Message> msgs;
+  msgs.push_back(make_ping(rng));
+  msgs.push_back(make_query(rng, "free music"));
+  msgs.push_back(make_pong(Guid::generate(rng), 0x18010203, 7, 7 * 4096));
+  msgs.push_back(make_query(rng, "", "urn:sha1:ABCDEFGHIJKLMNOP"));
+  msgs.push_back(make_bye(rng, 200, "done"));
+  msgs.push_back(
+      make_query_hit(Guid::generate(rng), 1, {{1, 2, "a.mp3"}}, Guid::generate(rng)));
+  return msgs;
+}
+
+std::vector<std::uint8_t> wire_of(const std::vector<Message>& msgs) {
+  std::vector<std::uint8_t> stream;
+  for (const auto& m : msgs) {
+    const auto w = encode(m);
+    stream.insert(stream.end(), w.begin(), w.end());
+  }
+  return stream;
+}
+
+/// Feeds the stream in chunks of the given size and collects descriptors.
+std::vector<Message> reassemble(const std::vector<std::uint8_t>& stream,
+                                std::size_t chunk) {
+  MessageAssembler assembler;
+  std::vector<Message> out;
+  for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const std::size_t n = std::min(chunk, stream.size() - pos);
+    assembler.feed(std::span<const std::uint8_t>(stream.data() + pos, n));
+    while (auto msg = assembler.next()) out.push_back(std::move(*msg));
+  }
+  return out;
+}
+
+class AssemblerChunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AssemblerChunking, ReassemblesExactSequence) {
+  const auto msgs = corpus(1);
+  const auto stream = wire_of(msgs);
+  const auto result = reassemble(stream, GetParam());
+  ASSERT_EQ(result.size(), msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    EXPECT_EQ(result[i], msgs[i]) << "message " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, AssemblerChunking,
+                         ::testing::Values(1, 2, 3, 7, 23, 64, 1024));
+
+TEST(Assembler, BufferedCountsPartialDescriptor) {
+  MessageAssembler assembler;
+  stats::Rng rng(2);
+  const auto wire = encode(make_query(rng, "partial"));
+  assembler.feed(std::span<const std::uint8_t>(wire.data(), wire.size() - 1));
+  EXPECT_FALSE(assembler.next().has_value());
+  EXPECT_EQ(assembler.buffered(), wire.size() - 1);
+  assembler.feed(std::span<const std::uint8_t>(wire.data() + wire.size() - 1, 1));
+  EXPECT_TRUE(assembler.next().has_value());
+  EXPECT_EQ(assembler.buffered(), 0u);
+  EXPECT_EQ(assembler.produced(), 1u);
+}
+
+TEST(Assembler, MalformedFramingPoisons) {
+  MessageAssembler assembler;
+  stats::Rng rng(3);
+  auto wire = encode(make_ping(rng));
+  wire[16] = 0x42;  // unknown type byte
+  assembler.feed(wire);
+  EXPECT_THROW(assembler.next(), DecodeError);
+  EXPECT_TRUE(assembler.poisoned());
+  EXPECT_THROW(assembler.next(), DecodeError);  // sticky
+}
+
+TEST(Assembler, LongStreamCompactsInternally) {
+  MessageAssembler assembler;
+  stats::Rng rng(4);
+  std::uint64_t produced = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto wire = encode(make_query(rng, "q" + std::to_string(i)));
+    assembler.feed(wire);
+    while (auto msg = assembler.next()) {
+      const auto& q = std::get<QueryPayload>(msg->payload);
+      EXPECT_EQ(q.keywords, "q" + std::to_string(produced));
+      ++produced;
+    }
+  }
+  EXPECT_EQ(produced, 2000u);
+  EXPECT_EQ(assembler.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pgen::gnutella

@@ -1,0 +1,304 @@
+// Tests for the behavior layer: client profiles, peer plans, the
+// measurement node's protocol mechanics, and short end-to-end trace
+// simulations.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "analysis/dataset.hpp"
+#include "analysis/filters.hpp"
+#include "behavior/trace_simulation.hpp"
+
+namespace p2pgen::behavior {
+namespace {
+
+TEST(ClientPopulation, WeightsAreRespected) {
+  std::vector<ClientProfile> profiles(2);
+  profiles[0].user_agent = "A";
+  profiles[0].weight = 3.0;
+  profiles[1].user_agent = "B";
+  profiles[1].weight = 1.0;
+  ClientPopulation population(std::move(profiles));
+  stats::Rng rng(1);
+  int a = 0;
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) {
+    a += population.sample(rng).user_agent == "A" ? 1 : 0;
+  }
+  EXPECT_NEAR(a / static_cast<double>(kN), 0.75, 0.01);
+}
+
+TEST(ClientPopulation, RejectsEmptyAndBadWeights) {
+  EXPECT_THROW(ClientPopulation({}), std::invalid_argument);
+  std::vector<ClientProfile> profiles(1);
+  profiles[0].weight = 0.0;
+  EXPECT_THROW(ClientPopulation(std::move(profiles)), std::invalid_argument);
+}
+
+TEST(ClientPopulation, DefaultPopulationQuickDisconnectCalibrated) {
+  // The aggregate quick-disconnect probability sits a little below the
+  // paper's 70 % because silent user sessions near the 64 s boundary are
+  // also measured as short (see the calibration note in
+  // default_population()); the *measured* sub-64 s share is ~0.70, which
+  // TraceSimulation.QuickDisconnectShareNearPaper asserts.
+  const auto population = ClientPopulation::default_population();
+  double weighted = 0.0;
+  double total = 0.0;
+  for (const auto& p : population.profiles()) {
+    weighted += p.weight * p.quick_disconnect_prob;
+    total += p.weight;
+  }
+  EXPECT_NEAR(weighted / total, 0.66, 0.03);
+}
+
+TEST(QuickDisconnectDuration, MatchesRule3Spectrum) {
+  stats::Rng rng(2);
+  int under10 = 0;
+  int in20to25 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    const double d = sample_quick_disconnect_duration(rng);
+    ASSERT_GT(d, 0.0);
+    ASSERT_LT(d, 64.0);
+    under10 += d < 10.0 ? 1 : 0;
+    in20to25 += (d >= 20.0 && d <= 25.0) ? 1 : 0;
+  }
+  // Within quick disconnects: 29/70 under 10 s, 32/70 in 20-25 s.
+  EXPECT_NEAR(under10 / static_cast<double>(kN), 0.414, 0.02);
+  EXPECT_NEAR(in20to25 / static_cast<double>(kN), 0.457, 0.02);
+}
+
+struct PlannerFixture : ::testing::Test {
+  core::SessionSampler sampler{core::WorkloadModel::paper_default(), 3};
+  geo::GeoIpDatabase geodb = geo::GeoIpDatabase::synthetic();
+  geo::IpAllocator allocator{geodb};
+  PeerPlanner planner{sampler, allocator, BackgroundTrafficConfig{}};
+  stats::Rng rng{4};
+};
+
+TEST_F(PlannerFixture, QuickPlansAreShortAndVisiblyClosed) {
+  ClientProfile profile;
+  profile.quick_disconnect_prob = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = planner.plan(0.0, core::Region::kNorthAmerica,
+                                   ClientPopulation({profile}).profiles()[0],
+                                   rng);
+    EXPECT_TRUE(plan.quick_disconnect);
+    EXPECT_LT(plan.duration, 64.0);
+    EXPECT_NE(plan.end_mode, EndMode::kSilent);
+  }
+}
+
+TEST_F(PlannerFixture, SendsAreSortedByTime) {
+  ClientProfile profile = ClientPopulation::default_population().profiles()[0];
+  profile.quick_disconnect_prob = 0.0;
+  ClientPopulation one({profile});
+  for (int i = 0; i < 100; ++i) {
+    const auto plan = planner.plan(1000.0, core::Region::kEurope,
+                                   one.profiles()[0], rng);
+    for (std::size_t k = 1; k < plan.sends.size(); ++k) {
+      EXPECT_GE(plan.sends[k].at, plan.sends[k - 1].at);
+    }
+  }
+}
+
+TEST_F(PlannerFixture, ArtifactsCarryRule1And2Signatures) {
+  ClientProfile profile;
+  profile.quick_disconnect_prob = 0.0;
+  profile.sha1_requery_rate = 0.05;
+  profile.auto_requery_interval = 30.0;
+  profile.auto_requery_max = 5;
+  ClientPopulation one({profile});
+  bool saw_sha1 = false;
+  bool saw_repeat = false;
+  for (int i = 0; i < 300 && !(saw_sha1 && saw_repeat); ++i) {
+    const auto plan = planner.plan(0.0, core::Region::kNorthAmerica,
+                                   one.profiles()[0], rng);
+    std::unordered_set<std::string> texts;
+    for (const auto& send : plan.sends) {
+      const auto* q = std::get_if<gnutella::QueryPayload>(&send.message.payload);
+      if (q == nullptr) continue;
+      if (q->has_sha1() && q->keywords.empty()) saw_sha1 = true;
+      if (!q->keywords.empty() && !texts.insert(q->keywords).second) {
+        saw_repeat = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_sha1);
+  EXPECT_TRUE(saw_repeat);
+}
+
+TEST_F(PlannerFixture, RemoteMessagesHaveRemoteHops) {
+  for (int i = 0; i < 100; ++i) {
+    const auto q = planner.remote_query(1000.0, rng);
+    EXPECT_GE(q.hops, 2);
+    EXPECT_LE(q.hops, 7);
+    const auto p = planner.remote_pong(1000.0, rng);
+    EXPECT_GE(p.hops, 2);
+    const auto& pong = std::get<gnutella::PongPayload>(p.payload);
+    EXPECT_TRUE(geodb.lookup(pong.ip).has_value());
+  }
+}
+
+// ------------------------------------------------------- trace simulation
+
+behavior::TraceSimulationConfig tiny_config(double days = 0.02) {
+  behavior::TraceSimulationConfig config;
+  config.duration_days = days;
+  config.arrival_rate = 1.0;
+  config.seed = 77;
+  return config;
+}
+
+TEST(TraceSimulation, ProducesWellFormedTrace) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(), trace);
+  sim.run();
+  ASSERT_GT(trace.size(), 100u);
+  const auto stats = trace.stats();
+  EXPECT_GT(stats.direct_connections, 100u);
+  EXPECT_GT(stats.hop1_queries, 0u);
+  EXPECT_GT(stats.ping_messages, 0u);
+  EXPECT_GT(stats.pong_messages, 0u);
+  // Events are time-ordered.
+  double prev = 0.0;
+  for (const auto& event : trace.events()) {
+    const double t = trace::event_time(event);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TraceSimulation, DeterministicForSameSeed) {
+  auto run_once = [] {
+    trace::Trace trace;
+    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                  tiny_config(), trace);
+    sim.run();
+    return trace.stats();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.query_messages, b.query_messages);
+  EXPECT_EQ(a.direct_connections, b.direct_connections);
+  EXPECT_EQ(a.hop1_queries, b.hop1_queries);
+}
+
+TEST(TraceSimulation, EverySessionEndsAtMostOnce) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(), trace);
+  sim.run();
+  std::unordered_set<std::uint64_t> started;
+  std::unordered_set<std::uint64_t> ended;
+  for (const auto& event : trace.events()) {
+    if (const auto* s = std::get_if<trace::SessionStart>(&event)) {
+      EXPECT_TRUE(started.insert(s->session_id).second);
+    } else if (const auto* e = std::get_if<trace::SessionEnd>(&event)) {
+      EXPECT_TRUE(ended.insert(e->session_id).second);
+      EXPECT_TRUE(started.count(e->session_id));
+    }
+  }
+  // Almost all sessions should have ended (a handful may be open at the
+  // horizon).
+  EXPECT_GE(ended.size() + 250, started.size());
+}
+
+TEST(TraceSimulation, MessagesBelongToLiveSessions) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(), trace);
+  sim.run();
+  std::unordered_set<std::uint64_t> live;
+  for (const auto& event : trace.events()) {
+    if (const auto* s = std::get_if<trace::SessionStart>(&event)) {
+      live.insert(s->session_id);
+    } else if (const auto* e = std::get_if<trace::SessionEnd>(&event)) {
+      live.erase(e->session_id);
+    } else {
+      const auto& m = std::get<trace::MessageEvent>(event);
+      EXPECT_TRUE(live.count(m.session_id)) << "orphan message";
+    }
+  }
+}
+
+TEST(TraceSimulation, RespectsConnectionCap) {
+  trace::Trace trace;
+  auto config = tiny_config(0.05);
+  config.arrival_rate = 8.0;       // overload
+  config.node.max_connections = 50;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                trace);
+  sim.run();
+  EXPECT_GT(sim.node().rejected_connections(), 0u);
+  EXPECT_LE(sim.node().active_sessions(), 50u);
+  // Verify concurrency never exceeded the cap by replaying the trace.
+  std::size_t live = 0;
+  std::size_t max_live = 0;
+  for (const auto& event : trace.events()) {
+    if (std::holds_alternative<trace::SessionStart>(event)) {
+      max_live = std::max(max_live, ++live);
+    } else if (std::holds_alternative<trace::SessionEnd>(event)) {
+      --live;
+    }
+  }
+  EXPECT_LE(max_live, 50u);
+}
+
+TEST(TraceSimulation, SilentPeersAreReapedByIdleProbe) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(0.03), trace);
+  sim.run();
+  std::size_t idle_probe = 0;
+  std::size_t bye = 0;
+  std::size_t teardown = 0;
+  for (const auto& event : trace.events()) {
+    if (const auto* e = std::get_if<trace::SessionEnd>(&event)) {
+      switch (e->reason) {
+        case trace::EndReason::kIdleProbe: ++idle_probe; break;
+        case trace::EndReason::kBye: ++bye; break;
+        case trace::EndReason::kTeardown: ++teardown; break;
+      }
+    }
+  }
+  EXPECT_GT(idle_probe, 0u);
+  EXPECT_GT(bye, 0u);
+  EXPECT_GT(teardown, 0u);
+}
+
+TEST(TraceSimulation, UltrapeerShareNearPaper) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(0.05), trace);
+  sim.run();
+  const auto stats = trace.stats();
+  const double share = static_cast<double>(stats.ultrapeer_connections) /
+                       static_cast<double>(stats.direct_connections);
+  EXPECT_NEAR(share, 0.40, 0.05);  // paper: ~40 % ultrapeers
+}
+
+TEST(TraceSimulation, QuickDisconnectShareNearPaper) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(0.05), trace);
+  sim.run();
+  auto ds = analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
+  analysis::FilterReport report = analysis::apply_filters(ds);
+  const double short_share =
+      static_cast<double>(report.rule3_removed_sessions) /
+      static_cast<double>(report.initial_sessions);
+  EXPECT_NEAR(short_share, 0.70, 0.06);  // paper: ~70 % under 64 s
+}
+
+TEST(TraceSimulation, RunTwiceThrows) {
+  trace::Trace trace;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(),
+                                tiny_config(0.01), trace);
+  sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace p2pgen::behavior

@@ -1,0 +1,249 @@
+// Integration test: the closed-loop reproduction requirement.
+//
+// Ground-truth behavior (the paper's fitted model) -> overlay simulation ->
+// trace -> session reconstruction -> filter rules -> characterization ->
+// model refit.  The refit model must agree with the ground truth on the
+// measures the paper reports: passive fractions, regional orderings of the
+// CCDFs, Zipf-ish popularity, hot-set drift, and the headline Appendix
+// parameters (within generous sampling tolerances — this is one simulated
+// day, not forty).
+#include <gtest/gtest.h>
+
+#include "analysis/filters.hpp"
+#include "analysis/model_fit.hpp"
+#include "behavior/trace_simulation.hpp"
+#include "stats/summary.hpp"
+
+namespace p2pgen {
+namespace {
+
+using core::DayPeriod;
+using core::Region;
+
+constexpr auto kNa = geo::region_index(Region::kNorthAmerica);
+constexpr auto kEu = geo::region_index(Region::kEurope);
+constexpr auto kAsia = geo::region_index(Region::kAsia);
+
+/// One shared simulation for the whole suite (it is the expensive part).
+class ClosedLoop : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new trace::Trace();
+    behavior::TraceSimulationConfig config;
+    config.duration_days = 2.0;
+    config.warmup_days = 1.0;
+    config.arrival_rate = 1.2;
+    config.seed = 20040315;
+    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                  *trace_);
+    sim.run();
+    dataset_ = new analysis::TraceDataset(
+        analysis::build_dataset(*trace_, geo::GeoIpDatabase::synthetic()));
+    report_ = analysis::apply_filters(*dataset_);
+    measures_ = new analysis::SessionMeasures(
+        analysis::session_measures(*dataset_));
+  }
+
+  static void TearDownTestSuite() {
+    delete measures_;
+    delete dataset_;
+    delete trace_;
+    measures_ = nullptr;
+    dataset_ = nullptr;
+    trace_ = nullptr;
+  }
+
+  static trace::Trace* trace_;
+  static analysis::TraceDataset* dataset_;
+  static analysis::FilterReport report_;
+  static analysis::SessionMeasures* measures_;
+};
+
+trace::Trace* ClosedLoop::trace_ = nullptr;
+analysis::TraceDataset* ClosedLoop::dataset_ = nullptr;
+analysis::FilterReport ClosedLoop::report_;
+analysis::SessionMeasures* ClosedLoop::measures_ = nullptr;
+
+TEST_F(ClosedLoop, Table2FilterProportions) {
+  // Rule 3 removes ~70 % of sessions; automated queries dominate the
+  // hop-1 query stream (rules 1+2 remove more than the final user count).
+  const double short_share = static_cast<double>(report_.rule3_removed_sessions) /
+                             static_cast<double>(report_.initial_sessions);
+  EXPECT_NEAR(short_share, 0.70, 0.06);
+  EXPECT_GT(report_.rule1_removed + report_.rule2_removed,
+            report_.final_queries);
+  EXPECT_GT(report_.rule4_excluded, 0u);
+  EXPECT_GT(report_.rule5_excluded, 0u);
+  EXPECT_EQ(report_.initial_queries,
+            report_.rule1_removed + report_.rule2_removed +
+                report_.rule3_removed_queries + report_.final_queries);
+}
+
+TEST_F(ClosedLoop, PassiveFractionsInPaperRange) {
+  const auto pf = analysis::passive_fraction(*dataset_);
+  EXPECT_GT(pf.overall[kNa], 0.70);
+  EXPECT_LT(pf.overall[kNa], 0.90);
+  EXPECT_GT(pf.overall[kEu], 0.65);
+  EXPECT_LT(pf.overall[kEu], 0.88);
+  EXPECT_GT(pf.overall[kAsia], 0.70);
+  EXPECT_LT(pf.overall[kAsia], 0.95);
+}
+
+TEST_F(ClosedLoop, GeographyFollowsFigure1Shape) {
+  const auto geography = analysis::geographic_distribution(*dataset_);
+  // North America dominates every hour, for one-hop AND all peers.
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_GT(geography.onehop[kNa][h], geography.onehop[kEu][h]) << h;
+    EXPECT_GT(geography.onehop[kNa][h], geography.onehop[kAsia][h]) << h;
+    EXPECT_GT(geography.allpeers[kNa][h], geography.allpeers[kEu][h]) << h;
+  }
+  // Europe peaks around noon-midnight, bottoms in the early morning (the
+  // all-peers sample tracks the mix directly; the one-hop stock is
+  // smoothed by long European sessions).
+  EXPECT_GT(geography.allpeers[kEu][14], geography.allpeers[kEu][4]);
+  // One-hop and all-peer fractions agree within the stock-vs-flow
+  // smearing margin (representativeness, Figure 1).
+  for (std::size_t h = 0; h < 24; ++h) {
+    EXPECT_NEAR(geography.onehop[kNa][h], geography.allpeers[kNa][h], 0.20);
+  }
+}
+
+TEST_F(ClosedLoop, QueriesPerSessionOrderingAcrossRegions) {
+  // Figure 6(a): compare the fraction of sessions with >= 5 queries —
+  // EU ~30 % > NA ~20 % > Asia ~8 %.  (Tail fractions are robust to the
+  // +1/+2 count noise that pre-connect replay bursts add, which would
+  // swamp a comparison of means for the small Asian sample.)
+  auto tail_fraction = [](const std::vector<double>& counts) {
+    std::size_t heavy = 0;
+    for (double c : counts) heavy += c >= 5.0 ? 1 : 0;
+    return static_cast<double>(heavy) / static_cast<double>(counts.size());
+  };
+  ASSERT_GT(measures_->queries_by_region[kEu].size(), 50u);
+  ASSERT_GT(measures_->queries_by_region[kNa].size(), 50u);
+  ASSERT_GT(measures_->queries_by_region[kAsia].size(), 20u);
+  const double eu = tail_fraction(measures_->queries_by_region[kEu]);
+  const double na = tail_fraction(measures_->queries_by_region[kNa]);
+  const double as = tail_fraction(measures_->queries_by_region[kAsia]);
+  EXPECT_GT(eu, na);
+  EXPECT_GT(na, as);
+}
+
+TEST_F(ClosedLoop, PassiveDurationOrderingAcrossRegions) {
+  // Figure 5(a): Asia shortest, Europe longest (compare medians).
+  const auto eu = stats::summarize(measures_->passive_duration_by_region[kEu]);
+  const auto na = stats::summarize(measures_->passive_duration_by_region[kNa]);
+  const auto as = stats::summarize(measures_->passive_duration_by_region[kAsia]);
+  EXPECT_GT(eu.median, na.median);
+  EXPECT_GT(na.median, as.median);
+}
+
+TEST_F(ClosedLoop, InterarrivalOrderingAcrossRegions) {
+  // Figure 8(a): Europe has the shortest interarrival times.
+  const auto eu = stats::summarize(measures_->interarrival_by_region[kEu]);
+  const auto na = stats::summarize(measures_->interarrival_by_region[kNa]);
+  ASSERT_GT(eu.count, 50u);
+  ASSERT_GT(na.count, 50u);
+  EXPECT_LT(eu.median, na.median);
+}
+
+TEST_F(ClosedLoop, AfterLastHeavierThanInterarrival) {
+  // Paper conclusion (5): time-after-last-query has a much heavier tail
+  // than time-between-queries.
+  const auto al = stats::summarize(measures_->after_last_by_region[kNa]);
+  const auto ia = stats::summarize(measures_->interarrival_by_region[kNa]);
+  EXPECT_GT(al.p90, ia.p90);
+}
+
+TEST_F(ClosedLoop, TableA2RecoveredWithinTolerance) {
+  const auto fits = analysis::fit_appendix_tables(*measures_);
+  EXPECT_NEAR(fits.queries[kNa].mu, -0.0673, 0.45);
+  EXPECT_NEAR(fits.queries[kNa].sigma, 1.360, 0.40);
+  EXPECT_NEAR(fits.queries[kEu].mu, 0.520, 0.45);
+  // Europe clearly above North America (the paper's headline ordering).
+  EXPECT_GT(fits.queries[kEu].mu, fits.queries[kNa].mu);
+  // Asia's parameter recovery is limited by pre-connect replay
+  // contamination: replay bursts add +1/+2 counted queries, which for the
+  // small organic Asian query volume dominates the count distribution —
+  // the same effect the paper observes in Figure 6(c).  Assert only a
+  // broad band here; the distributional ordering is asserted via the
+  // >= 5-query tail fractions in QueriesPerSessionOrderingAcrossRegions.
+  EXPECT_LT(fits.queries[kAsia].mu, fits.queries[kEu].mu);
+  EXPECT_NEAR(fits.queries[kAsia].mu, -1.029, 1.6);
+}
+
+TEST_F(ClosedLoop, TableA1RecoveredShape) {
+  const auto fits = analysis::fit_appendix_tables(*measures_);
+  const auto& peak = fits.passive[kNa][static_cast<std::size_t>(DayPeriod::kPeak)];
+  ASSERT_GT(peak.body_weight, 0.0) << "fit did not run (too few samples)";
+  EXPECT_NEAR(peak.body_weight, 0.75, 0.08);
+  EXPECT_NEAR(peak.tail.mu, 6.397, 1.0);
+  const auto& nonpeak =
+      fits.passive[kNa][static_cast<std::size_t>(DayPeriod::kNonPeak)];
+  ASSERT_GT(nonpeak.body_weight, 0.0);
+  // Non-peak has a smaller body share (longer sessions), per Table A.1.
+  EXPECT_LT(nonpeak.body_weight, peak.body_weight);
+}
+
+TEST_F(ClosedLoop, TableA4RecoveredShape) {
+  const auto fits = analysis::fit_appendix_tables(*measures_);
+  const auto& peak =
+      fits.interarrival[kNa][static_cast<std::size_t>(DayPeriod::kPeak)];
+  ASSERT_GT(peak.body_weight, 0.0);
+  EXPECT_NEAR(peak.body.mu, 3.353, 0.8);
+  EXPECT_NEAR(peak.tail_alpha, 0.9041, 0.35);
+}
+
+TEST_F(ClosedLoop, PopularityIsZipfLikeWithRegionalSeparation) {
+  const analysis::DailyQueryTables tables(*dataset_);
+  const auto sizes = analysis::query_class_sizes(tables, {1});
+  ASSERT_FALSE(sizes.empty());
+  const auto& row = sizes[0];
+  // Table 3 structure: large exclusive sets, small intersections.
+  EXPECT_GT(row.na, 50.0);
+  EXPECT_GT(row.eu, 50.0);
+  EXPECT_GT(row.asia, 5.0);
+  EXPECT_LT(row.na_eu, 0.12 * row.na);
+  EXPECT_LT(row.all3, row.na_eu + 1.0);
+
+  const auto pop = analysis::popularity_distributions(tables);
+  EXPECT_GT(pop.na_only.zipf_alpha, 0.1);
+  EXPECT_LT(pop.na_only.zipf_alpha, 1.0);
+}
+
+TEST_F(ClosedLoop, HotSetDriftIsSubstantial) {
+  const analysis::DailyQueryTables tables(*dataset_);
+  const double drift =
+      analysis::estimate_daily_drift(tables, Region::kNorthAmerica);
+  // Ground truth replaces 65 % of slots per day; measurement adds noise
+  // (rank churn), so accept a broad band that still excludes "stable".
+  EXPECT_GT(drift, 0.35);
+  EXPECT_LT(drift, 0.95);
+}
+
+TEST_F(ClosedLoop, RefitModelValidatesAndRegenerates) {
+  const auto refit = analysis::fit_workload_model(*dataset_);
+  EXPECT_NO_THROW(refit.validate());
+
+  // Generate from the refit model and check first-order statistics agree
+  // with the original ground truth generation.
+  core::WorkloadGenerator::Config config;
+  config.num_peers = 150;
+  config.duration = 4 * 3600.0;
+  config.seed = 5;
+  core::WorkloadGenerator gen(refit, config);
+  std::size_t passive = 0;
+  std::size_t total = 0;
+  std::vector<double> queries;
+  gen.generate([&](const core::GeneratedSession& s) {
+    ++total;
+    passive += s.passive ? 1 : 0;
+    if (!s.passive) queries.push_back(static_cast<double>(s.queries.size()));
+  });
+  ASSERT_GT(total, 200u);
+  EXPECT_NEAR(static_cast<double>(passive) / static_cast<double>(total), 0.78,
+              0.08);
+  EXPECT_GT(stats::summarize(queries).mean, 1.0);
+}
+
+}  // namespace
+}  // namespace p2pgen

@@ -1,0 +1,218 @@
+// Property-style tests for the distribution families: CDF monotonicity,
+// quantile/CDF inversion, sampler-vs-CDF agreement (KS), analytic means,
+// truncation and mixture semantics.  Parameterized over the families the
+// IMC'04 workload model uses, including the exact Appendix parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/gof.hpp"
+
+namespace p2pgen::stats {
+namespace {
+
+struct DistCase {
+  std::string label;
+  DistributionPtr dist;
+};
+
+std::vector<DistCase> make_cases() {
+  std::vector<DistCase> cases;
+  cases.push_back({"lognormal_paperA2_NA", make_lognormal(-0.0673, 1.360)});
+  cases.push_back({"lognormal_paperA1_tail", make_lognormal(6.397, 2.749)});
+  cases.push_back({"weibull_paperA3", make_weibull(1.477, 0.005252)});
+  cases.push_back({"weibull_shape_below_1", make_weibull(0.9351, 0.03380)});
+  cases.push_back({"pareto_paperA4", make_pareto(0.9041, 103.0)});
+  cases.push_back({"pareto_finite_mean", make_pareto(2.5, 10.0)});
+  cases.push_back({"exponential", make_exponential(0.01)});
+  cases.push_back({"uniform", make_uniform(2.0, 50.0)});
+  cases.push_back({"truncated_lognormal_body",
+                   std::make_shared<Truncated>(make_lognormal(2.108, 2.502),
+                                               64.0, 120.0)});
+  cases.push_back({"truncated_pareto_tail",
+                   std::make_shared<Truncated>(make_pareto(1.143, 103.0), 103.0,
+                                               std::numeric_limits<double>::infinity())});
+  cases.push_back({"mixture_paperA1",
+                   bimodal_split(make_lognormal(2.108, 2.502),
+                                 make_lognormal(6.397, 2.749), 120.0, 0.75,
+                                 64.0)});
+  cases.push_back({"mixture_weibull_lognormal",
+                   bimodal_split(make_weibull(1.477, 0.005252),
+                                 make_lognormal(5.091, 2.905), 45.0, 0.5)});
+  return cases;
+}
+
+class DistributionProperty : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionProperty, CdfIsMonotoneAndBounded) {
+  const auto& d = *GetParam().dist;
+  double prev = -0.1;
+  for (double x = 0.0; x <= 1e6; x = (x == 0.0 ? 0.001 : x * 1.8)) {
+    const double c = d.cdf(x);
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    EXPECT_GE(c, prev - 1e-12) << "cdf not monotone at x=" << x;
+    prev = c;
+  }
+}
+
+TEST_P(DistributionProperty, CcdfComplementsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double x : {0.5, 1.0, 10.0, 103.0, 120.0, 5000.0}) {
+    EXPECT_NEAR(d.cdf(x) + d.ccdf(x), 1.0, 1e-9) << "x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, QuantileInvertsCdf) {
+  const auto& d = *GetParam().dist;
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = d.quantile(p);
+    EXPECT_NEAR(d.cdf(x), p, 5e-3) << "p=" << p << " x=" << x;
+  }
+}
+
+TEST_P(DistributionProperty, SamplesMatchCdfByKs) {
+  const auto& d = *GetParam().dist;
+  Rng rng(0xC0FFEE);
+  std::vector<double> sample(4000);
+  for (double& x : sample) x = d.sample(rng);
+  // 4000 samples: KS critical value at alpha=0.001 is ~0.031.
+  EXPECT_LT(ks_statistic(sample, d), 0.035) << GetParam().label;
+}
+
+TEST_P(DistributionProperty, PdfNonNegative) {
+  const auto& d = *GetParam().dist;
+  for (double x = 0.001; x <= 1e6; x *= 2.7) EXPECT_GE(d.pdf(x), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionProperty,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const auto& info) { return info.param.label; });
+
+TEST(LogNormal, AnalyticMean) {
+  LogNormal d(1.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(1.0 + 0.125), 1e-9);
+}
+
+TEST(LogNormal, RejectsBadSigma) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(LogNormal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Weibull, MedianMatchesClosedForm) {
+  // F(x) = 1 - exp(-lambda x^alpha): median = (ln 2 / lambda)^(1/alpha).
+  Weibull d(1.477, 0.005252);
+  const double median = std::pow(std::log(2.0) / 0.005252, 1.0 / 1.477);
+  EXPECT_NEAR(d.quantile(0.5), median, 1e-9);
+}
+
+TEST(Weibull, MeanMatchesGammaFormula) {
+  Weibull d(2.0, 0.25);  // scale = lambda^(-1/alpha) = 2
+  EXPECT_NEAR(d.mean(), 2.0 * std::tgamma(1.5), 1e-9);
+}
+
+TEST(Pareto, InfiniteMeanWhenAlphaBelowOne) {
+  EXPECT_TRUE(std::isinf(Pareto(0.9041, 103.0).mean()));
+  EXPECT_NEAR(Pareto(2.0, 10.0).mean(), 20.0, 1e-9);
+}
+
+TEST(Pareto, SupportStartsAtBeta) {
+  Pareto d(1.5, 103.0);
+  EXPECT_EQ(d.cdf(103.0), 0.0);
+  EXPECT_EQ(d.ccdf(50.0), 1.0);
+  EXPECT_EQ(d.pdf(50.0), 0.0);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(d.sample(rng), 103.0);
+}
+
+TEST(Exponential, MemorylessCcdf) {
+  Exponential d(0.1);
+  EXPECT_NEAR(d.ccdf(10.0) * d.ccdf(5.0), d.ccdf(15.0), 1e-12);
+}
+
+TEST(Uniform, DensityIsFlat) {
+  Uniform d(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(d.pdf(15.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.pdf(25.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 15.0);
+}
+
+TEST(Truncated, SamplesStayInsideWindow) {
+  Truncated d(make_lognormal(2.108, 2.502), 64.0, 120.0);
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 64.0);
+    ASSERT_LE(x, 120.0);
+  }
+  EXPECT_EQ(d.cdf(64.0), 0.0);
+  EXPECT_EQ(d.cdf(120.0), 1.0);
+}
+
+TEST(Truncated, RejectsEmptyMassWindow) {
+  // Pareto(., 103) has no mass below 103.
+  EXPECT_THROW(Truncated(make_pareto(1.0, 103.0), 1.0, 50.0),
+               std::invalid_argument);
+}
+
+TEST(Truncated, MeanIsInsideWindow) {
+  Truncated d(make_lognormal(6.397, 2.749), 120.0, 1e6);
+  const double m = d.mean();
+  EXPECT_GT(m, 120.0);
+  EXPECT_LT(m, 1e6);
+}
+
+TEST(Mixture, WeightsSplitSampling) {
+  // Two disjoint uniforms: the weight is recoverable by counting.
+  Mixture d(0.3, make_uniform(0.0, 1.0), make_uniform(10.0, 11.0));
+  Rng rng(5);
+  int low = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) low += d.sample(rng) < 5.0 ? 1 : 0;
+  EXPECT_NEAR(low / static_cast<double>(kN), 0.3, 0.01);
+}
+
+TEST(Mixture, CdfIsWeightedSum) {
+  Mixture d(0.4, make_uniform(0.0, 1.0), make_uniform(10.0, 11.0));
+  EXPECT_NEAR(d.cdf(5.0), 0.4, 1e-12);
+  EXPECT_NEAR(d.cdf(10.5), 0.4 + 0.6 * 0.5, 1e-12);
+}
+
+TEST(Mixture, QuantileBridgesComponents) {
+  Mixture d(0.5, make_uniform(0.0, 1.0), make_uniform(10.0, 11.0));
+  EXPECT_NEAR(d.quantile(0.25), 0.5, 1e-6);
+  EXPECT_NEAR(d.quantile(0.75), 10.5, 1e-6);
+}
+
+TEST(BimodalSplit, RespectsBodyWeightAndRanges) {
+  auto d = bimodal_split(make_lognormal(2.108, 2.502),
+                         make_lognormal(6.397, 2.749), 120.0, 0.75, 64.0);
+  Rng rng(6);
+  int body = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = d->sample(rng);
+    ASSERT_GE(x, 64.0);
+    body += x <= 120.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(body / static_cast<double>(kN), 0.75, 0.01);
+}
+
+TEST(BimodalSplit, RejectsBadBodyLo) {
+  EXPECT_THROW(bimodal_split(make_lognormal(0, 1), make_lognormal(0, 1), 10.0,
+                             0.5, 20.0),
+               std::invalid_argument);
+}
+
+TEST(InverseNormalCdf, RoundTripsWithNormalCdf) {
+  for (double p : {1e-6, 0.01, 0.2, 0.5, 0.8, 0.99, 1.0 - 1e-6}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-9) << p;
+  }
+  EXPECT_THROW(inverse_normal_cdf(0.0), std::invalid_argument);
+  EXPECT_THROW(inverse_normal_cdf(1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pgen::stats

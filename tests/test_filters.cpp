@@ -1,0 +1,274 @@
+// Tests for session reconstruction and the five filter rules, on crafted
+// traces with known expected outcomes (paper Section 3.3 semantics).
+#include <gtest/gtest.h>
+
+#include "analysis/dataset.hpp"
+#include "analysis/filters.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+constexpr std::uint32_t kNaIp = 0x18000001;  // 24.0.0.1 -> North America
+constexpr std::uint32_t kEuIp = 0xC1000001;  // 193.0.0.1 -> Europe
+
+/// Builds a trace with one session and the given hop-1 queries
+/// (time, keywords, sha1).
+trace::Trace one_session(double start, double end,
+                         const std::vector<std::tuple<double, std::string, bool>>&
+                             queries,
+                         std::uint32_t ip = kNaIp) {
+  trace::Trace t;
+  t.append(trace::SessionStart{start, 1, ip, false, "Test/1.0"});
+  for (const auto& [time, text, sha1] : queries) {
+    t.append(trace::MessageEvent{time, 1, gnutella::MessageType::kQuery, 6, 1,
+                                 text, sha1, 0, 0});
+  }
+  t.append(trace::SessionEnd{end, 1, trace::EndReason::kTeardown});
+  return t;
+}
+
+TraceDataset run(const trace::Trace& t, FilterReport* report = nullptr,
+                 FilterOptions options = {}) {
+  auto dataset = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  const auto r = apply_filters(dataset, options);
+  if (report) *report = r;
+  return dataset;
+}
+
+TEST(Dataset, ReconstructsSessionBoundariesAndRegion) {
+  const auto t = one_session(100.0, 400.0, {{150.0, "a b", false}});
+  const auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  ASSERT_EQ(ds.sessions.size(), 1u);
+  const auto& s = ds.sessions[0];
+  EXPECT_DOUBLE_EQ(s.start, 100.0);
+  EXPECT_DOUBLE_EQ(s.end, 400.0);
+  EXPECT_TRUE(s.has_end);
+  EXPECT_EQ(s.region, geo::Region::kNorthAmerica);
+  ASSERT_EQ(s.queries.size(), 1u);
+  EXPECT_EQ(s.queries[0].canonical, "a b");
+}
+
+TEST(Dataset, IgnoresRemoteQueriesForSessions) {
+  trace::Trace t;
+  t.append(trace::SessionStart{0.0, 1, kNaIp, false, "X"});
+  t.append(trace::MessageEvent{1.0, 1, gnutella::MessageType::kQuery, 5, 3,
+                               "remote", false, 0, 0});
+  t.append(trace::SessionEnd{100.0, 1, trace::EndReason::kTeardown});
+  const auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  EXPECT_TRUE(ds.sessions[0].queries.empty());
+  EXPECT_EQ(ds.hop1_queries, 0u);
+}
+
+TEST(Dataset, UnendedSessionsAreMarkedRemoved) {
+  trace::Trace t;
+  t.append(trace::SessionStart{0.0, 1, kNaIp, false, "X"});
+  t.append(trace::MessageEvent{500.0, 1, gnutella::MessageType::kPing, 1, 1,
+                               "", false, 0, 0});
+  const auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  EXPECT_FALSE(ds.sessions[0].has_end);
+  EXPECT_TRUE(ds.sessions[0].removed);
+}
+
+TEST(Dataset, CollectsAllPeerSamples) {
+  trace::Trace t;
+  t.append(trace::SessionStart{0.0, 1, kNaIp, true, "X"});
+  t.append(trace::MessageEvent{1.0, 1, gnutella::MessageType::kPong, 5, 3, "",
+                               false, kEuIp, 25});
+  t.append(trace::MessageEvent{2.0, 1, gnutella::MessageType::kPong, 1, 1, "",
+                               false, kNaIp, 7});
+  t.append(trace::MessageEvent{3.0, 1, gnutella::MessageType::kQueryHit, 4, 2,
+                               "", false, kEuIp, 0});
+  t.append(trace::SessionEnd{100.0, 1, trace::EndReason::kTeardown});
+  const auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  EXPECT_EQ(ds.all_peer_addresses.size(), 2u);  // remote pong + queryhit
+  ASSERT_EQ(ds.all_peer_shared_files.size(), 1u);
+  EXPECT_EQ(ds.all_peer_shared_files[0], 25u);
+  ASSERT_EQ(ds.onehop_shared_files.size(), 1u);
+  EXPECT_EQ(ds.onehop_shared_files[0], 7u);
+}
+
+TEST(Filters, Rule1RemovesSha1SourceSearches) {
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "", true},        // rule 1
+                              {20.0, "real query", false},
+                              {30.0, "with words", true}});  // sha1 but has kw
+  FilterReport report;
+  const auto ds = run(t, &report);
+  EXPECT_EQ(report.rule1_removed, 1u);
+  EXPECT_EQ(ds.sessions[0].queries[0].removed_by_rule, 1);
+  EXPECT_EQ(ds.sessions[0].queries[1].removed_by_rule, 0);
+  // SHA1 with non-empty keywords is NOT removed by rule 1 (the paper's
+  // rule targets "empty keywords and SHA1 extension").
+  EXPECT_EQ(ds.sessions[0].queries[2].removed_by_rule, 0);
+}
+
+TEST(Filters, Rule2RemovesInSessionRepeats) {
+  const auto t = one_session(0.0, 500.0,
+                             {{10.0, "Madonna Music", false},
+                              {100.0, "other", false},
+                              {200.0, "music MADONNA", false},   // same set
+                              {300.0, "madonna", false}});       // different
+  FilterReport report;
+  const auto ds = run(t, &report);
+  EXPECT_EQ(report.rule2_removed, 1u);
+  EXPECT_EQ(ds.sessions[0].queries[2].removed_by_rule, 2);
+  EXPECT_EQ(ds.sessions[0].counted_queries(), 3u);
+}
+
+TEST(Filters, Rule2IsPerSession) {
+  trace::Trace t;
+  t.append(trace::SessionStart{0.0, 1, kNaIp, false, "X"});
+  t.append(trace::MessageEvent{10.0, 1, gnutella::MessageType::kQuery, 6, 1,
+                               "same", false, 0, 0});
+  t.append(trace::SessionEnd{100.0, 1, trace::EndReason::kTeardown});
+  t.append(trace::SessionStart{200.0, 2, kNaIp, false, "X"});
+  t.append(trace::MessageEvent{210.0, 2, gnutella::MessageType::kQuery, 6, 1,
+                               "same", false, 0, 0});
+  t.append(trace::SessionEnd{400.0, 2, trace::EndReason::kTeardown});
+  FilterReport report;
+  run(t, &report);
+  // The repeat is in a different session: not a rule-2 hit.
+  EXPECT_EQ(report.rule2_removed, 0u);
+}
+
+TEST(Filters, Rule3DiscardsShortSessions) {
+  const auto t = one_session(0.0, 63.9, {{10.0, "q", false}});
+  FilterReport report;
+  const auto ds = run(t, &report);
+  EXPECT_EQ(report.rule3_removed_sessions, 1u);
+  EXPECT_EQ(report.rule3_removed_queries, 1u);
+  EXPECT_EQ(report.final_sessions, 0u);
+  EXPECT_TRUE(ds.sessions[0].removed);
+}
+
+TEST(Filters, Rule3BoundaryAt64Seconds) {
+  FilterReport report;
+  run(one_session(0.0, 64.0, {}), &report);
+  EXPECT_EQ(report.rule3_removed_sessions, 0u);
+  run(one_session(0.0, 63.999, {}), &report);
+  EXPECT_EQ(report.rule3_removed_sessions, 1u);
+}
+
+TEST(Filters, Rule4ExcludesSubsecondArrivals) {
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "a", false},
+                              {10.5, "b", false},    // gap 0.5 -> rule 4
+                              {11.0, "c", false},    // gap 0.5 -> rule 4
+                              {100.0, "d", false}}); // gap 89 -> fine
+  FilterReport report;
+  const auto ds = run(t, &report);
+  EXPECT_EQ(report.rule4_excluded, 2u);
+  EXPECT_EQ(report.rule5_excluded, 0u);
+  const auto& qs = ds.sessions[0].queries;
+  EXPECT_FALSE(qs[0].excluded_from_interarrival);
+  EXPECT_TRUE(qs[1].excluded_from_interarrival);
+  EXPECT_TRUE(qs[2].excluded_from_interarrival);
+  EXPECT_FALSE(qs[3].excluded_from_interarrival);
+  // Rules 4/5 queries are NOT removed — they still count for popularity
+  // (kept) even though the Section 4.5 count excludes them.
+  EXPECT_EQ(ds.sessions[0].kept_queries(), 4u);
+  EXPECT_EQ(ds.sessions[0].counted_queries(), 2u);
+}
+
+TEST(Filters, Rule5ExcludesIdenticalIntervals) {
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "a", false},
+                              {20.0, "b", false},    // gap 10 (first: kept)
+                              {30.0, "c", false},    // gap 10 == prev -> rule 5
+                              {40.0, "d", false},    // gap 10 == prev -> rule 5
+                              {55.0, "e", false}});  // gap 15 -> fine
+  FilterReport report;
+  const auto ds = run(t, &report);
+  EXPECT_EQ(report.rule4_excluded, 0u);
+  EXPECT_EQ(report.rule5_excluded, 2u);
+  EXPECT_TRUE(ds.sessions[0].queries[2].excluded_from_interarrival);
+  EXPECT_TRUE(ds.sessions[0].queries[3].excluded_from_interarrival);
+  EXPECT_FALSE(ds.sessions[0].queries[4].excluded_from_interarrival);
+}
+
+TEST(Filters, RulesApplyInSequence) {
+  // A sha1 query between two repeats: rule 1 removes it first, then the
+  // repeat check runs on the remainder.
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "song", false},
+                              {20.0, "", true},          // rule 1
+                              {30.0, "song", false}});   // rule 2
+  FilterReport report;
+  run(t, &report);
+  EXPECT_EQ(report.rule1_removed, 1u);
+  EXPECT_EQ(report.rule2_removed, 1u);
+  EXPECT_EQ(report.final_queries, 1u);
+}
+
+TEST(Filters, OptionsDisableIndividualRules) {
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "", true},
+                              {20.0, "x", false},
+                              {30.0, "x", false}});
+  FilterOptions options;
+  options.rule1_sha1 = false;
+  options.rule2_repeats = false;
+  FilterReport report;
+  run(t, &report, options);
+  EXPECT_EQ(report.rule1_removed, 0u);
+  EXPECT_EQ(report.rule2_removed, 0u);
+  EXPECT_EQ(report.final_queries, 3u);
+}
+
+TEST(Filters, IdempotentOnReapplication) {
+  const auto t = one_session(0.0, 300.0,
+                             {{10.0, "a", false},
+                              {10.4, "b", false},
+                              {30.0, "a", false}});
+  auto dataset = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  const auto first = apply_filters(dataset);
+  const auto second = apply_filters(dataset);
+  EXPECT_EQ(first.rule2_removed, second.rule2_removed);
+  EXPECT_EQ(first.rule4_excluded, second.rule4_excluded);
+  EXPECT_EQ(first.final_queries, second.final_queries);
+}
+
+TEST(Filters, ActivePassiveClassification) {
+  // A session whose only query is removed by rule 1 is passive.
+  const auto t = one_session(0.0, 300.0, {{10.0, "", true}});
+  const auto ds = run(t);
+  EXPECT_FALSE(ds.sessions[0].active());
+}
+
+TEST(Filters, ReportTotalsAreConsistent) {
+  // Table 2 arithmetic: initial = rule1 + rule2 + rule3 + final.
+  trace::Trace t;
+  std::uint64_t sid = 1;
+  stats::Rng rng(5);
+  double clock = 0.0;
+  for (int s = 0; s < 200; ++s) {
+    const double start = clock;
+    const double duration = rng.uniform(10.0, 600.0);
+    t.append(trace::SessionStart{start, sid, kNaIp, false, "X"});
+    double qt = start + 1.0;
+    const int n = static_cast<int>(rng.uniform_index(6));
+    for (int q = 0; q < n; ++q) {
+      qt += rng.uniform(0.2, 120.0);
+      if (qt >= start + duration) break;
+      const bool sha1 = rng.bernoulli(0.2);
+      const std::string text =
+          sha1 ? "" : "kw" + std::to_string(rng.uniform_index(4));
+      t.append(trace::MessageEvent{qt, sid, gnutella::MessageType::kQuery, 6,
+                                   1, text, sha1, 0, 0});
+    }
+    t.append(trace::SessionEnd{start + duration, sid,
+                               trace::EndReason::kTeardown});
+    clock += rng.uniform(1.0, 30.0);
+    ++sid;
+  }
+  FilterReport report;
+  run(t, &report);
+  EXPECT_EQ(report.initial_queries, report.rule1_removed + report.rule2_removed +
+                                        report.rule3_removed_queries +
+                                        report.final_queries);
+  EXPECT_EQ(report.initial_sessions,
+            report.rule3_removed_sessions + report.final_sessions);
+}
+
+}  // namespace
+}  // namespace p2pgen::analysis

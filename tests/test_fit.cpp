@@ -1,0 +1,161 @@
+// Parameter-recovery tests for the fitting module: every estimator must
+// recover the generating parameters from synthetic data — the same
+// requirement the closed-loop reproduction places on the whole pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.hpp"
+#include "stats/fit.hpp"
+#include "stats/gof.hpp"
+
+namespace p2pgen::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = d.sample(rng);
+  return xs;
+}
+
+TEST(FitLogNormal, RecoversParameters) {
+  LogNormal truth(2.108, 2.502);
+  const auto xs = draw(truth, 50000, 1);
+  const auto fit = fit_lognormal(xs);
+  EXPECT_NEAR(fit.mu, 2.108, 0.05);
+  EXPECT_NEAR(fit.sigma, 2.502, 0.05);
+}
+
+TEST(FitLogNormal, RejectsBadInput) {
+  EXPECT_THROW(fit_lognormal(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW(fit_lognormal(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+}
+
+struct WeibullCase {
+  double alpha;
+  double lambda;
+};
+
+class FitWeibullRecovery : public ::testing::TestWithParam<WeibullCase> {};
+
+TEST_P(FitWeibullRecovery, RecoversParameters) {
+  const auto [alpha, lambda] = GetParam();
+  Weibull truth(alpha, lambda);
+  const auto xs = draw(truth, 50000, 2);
+  const auto fit = fit_weibull(xs);
+  EXPECT_NEAR(fit.alpha, alpha, 0.03 * alpha);
+  EXPECT_NEAR(fit.lambda, lambda, 0.1 * lambda);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTableA3, FitWeibullRecovery,
+    ::testing::Values(WeibullCase{1.477, 0.005252}, WeibullCase{1.261, 0.01081},
+                      WeibullCase{0.9821, 0.02662}, WeibullCase{1.159, 0.01779},
+                      WeibullCase{0.9351, 0.03380}));
+
+TEST(FitParetoTail, RecoversAlpha) {
+  Pareto truth(0.9041, 103.0);
+  const auto xs = draw(truth, 50000, 3);
+  EXPECT_NEAR(fit_pareto_tail(xs, 103.0), 0.9041, 0.02);
+}
+
+TEST(FitParetoTail, RejectsValuesBelowBeta) {
+  EXPECT_THROW(fit_pareto_tail(std::vector<double>{50.0}, 103.0),
+               std::invalid_argument);
+}
+
+TEST(FitLogNormalTruncated, RecoversTailParameters) {
+  // Generate from the Table A.1 tail: lognormal(6.397, 2.749) given > 120 s.
+  Truncated truth(make_lognormal(6.397, 2.749), 120.0,
+                  std::numeric_limits<double>::infinity());
+  const auto xs = draw(truth, 50000, 4);
+  const auto fit = fit_lognormal_truncated(xs, 120.0,
+                                           std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(fit.mu, 6.397, 0.35);
+  EXPECT_NEAR(fit.sigma, 2.749, 0.35);
+}
+
+TEST(FitWeibullTruncated, RecoversBodyParameters) {
+  Truncated truth(make_weibull(1.477, 0.005252), 0.0, 45.0);
+  const auto xs = draw(truth, 50000, 5);
+  const auto fit = fit_weibull_truncated(xs, 0.0, 45.0);
+  EXPECT_NEAR(fit.alpha, 1.477, 0.15);
+  EXPECT_NEAR(fit.lambda, 0.005252, 0.0025);
+}
+
+TEST(FitLogNormalDiscretized, RecoversTableA2Parameters) {
+  // #queries/session: lognormal, rounded to integers, clamped >= 1 —
+  // exactly what the generator produces and the analysis measures.
+  LogNormal truth(-0.0673, 1.360);
+  Rng rng(6);
+  std::vector<double> counts(60000);
+  for (double& c : counts) {
+    c = std::max(1.0, std::round(truth.sample(rng)));
+  }
+  const auto fit = fit_lognormal_discretized(counts);
+  EXPECT_NEAR(fit.mu, -0.0673, 0.15);
+  EXPECT_NEAR(fit.sigma, 1.360, 0.15);
+
+  // The naive MLE must NOT be used for counts: it is badly biased here.
+  const auto naive = fit_lognormal(counts);
+  EXPECT_GT(std::abs(naive.mu - (-0.0673)), 0.25);
+}
+
+TEST(FitBimodalLogNormal, RecoversTableA1Shape) {
+  auto truth = bimodal_split(make_lognormal(2.108, 2.502),
+                             make_lognormal(6.397, 2.749), 120.0, 0.75, 64.0);
+  const auto xs = draw(*truth, 60000, 7);
+  const auto fit = fit_bimodal_lognormal(xs, 120.0, 64.0);
+  EXPECT_NEAR(fit.body_weight, 0.75, 0.01);
+  EXPECT_NEAR(fit.tail.mu, 6.397, 0.4);
+  EXPECT_NEAR(fit.tail.sigma, 2.749, 0.4);
+  // The refit composite must match the sample distribution (Figure A.1's
+  // criterion): compare by KS against the reconstructed model.
+  EXPECT_LT(ks_statistic(xs, *fit.to_distribution()), 0.02);
+}
+
+TEST(FitBimodalWeibullLogNormal, RecoversTableA3Shape) {
+  auto truth = bimodal_split(make_weibull(1.477, 0.005252),
+                             make_lognormal(5.091, 2.905), 45.0, 0.5);
+  const auto xs = draw(*truth, 60000, 8);
+  const auto fit = fit_bimodal_weibull_lognormal(xs, 45.0);
+  EXPECT_NEAR(fit.body_weight, 0.5, 0.01);
+  EXPECT_NEAR(fit.body.alpha, 1.477, 0.2);
+  EXPECT_NEAR(fit.tail.mu, 5.091, 0.4);
+  EXPECT_LT(ks_statistic(xs, *fit.to_distribution()), 0.02);
+}
+
+TEST(FitBimodalLogNormalPareto, RecoversTableA4Shape) {
+  auto truth = bimodal_split(make_lognormal(3.353, 1.625),
+                             make_pareto(0.9041, 103.0), 103.0, 0.68);
+  const auto xs = draw(*truth, 60000, 9);
+  const auto fit = fit_bimodal_lognormal_pareto(xs, 103.0);
+  EXPECT_NEAR(fit.body_weight, 0.68, 0.01);
+  EXPECT_NEAR(fit.tail_alpha, 0.9041, 0.03);
+  EXPECT_LT(ks_statistic(xs, *fit.to_distribution()), 0.02);
+}
+
+TEST(FitBimodal, ThrowsWhenOneSideEmpty) {
+  std::vector<double> all_body(100, 10.0);
+  for (std::size_t i = 0; i < all_body.size(); ++i) {
+    all_body[i] = 5.0 + static_cast<double>(i) * 0.1;
+  }
+  EXPECT_THROW(fit_bimodal_lognormal(all_body, 1000.0), std::invalid_argument);
+}
+
+TEST(NelderMead, MinimizesRosenbrockLikeBowl) {
+  auto objective = [](std::span<const double> p) {
+    const double dx = p[0] - 3.0;
+    const double dy = p[1] + 1.0;
+    return dx * dx + 10.0 * dy * dy;
+  };
+  const auto best = nelder_mead(objective, {0.0, 0.0});
+  EXPECT_NEAR(best[0], 3.0, 1e-4);
+  EXPECT_NEAR(best[1], -1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace p2pgen::stats

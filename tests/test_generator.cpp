@@ -1,0 +1,182 @@
+// Tests for the Figure 12 synthetic workload generator: structural
+// invariants of generated sessions, steady-state behavior, determinism,
+// and statistical agreement with the model it was given.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generator.hpp"
+#include "stats/summary.hpp"
+
+namespace p2pgen::core {
+namespace {
+
+WorkloadGenerator::Config small_config(std::uint64_t seed = 11) {
+  WorkloadGenerator::Config config;
+  config.num_peers = 100;
+  config.duration = 6 * 3600.0;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Generator, SessionsAreStructurallySound) {
+  WorkloadGenerator gen(WorkloadModel::paper_default(), small_config());
+  std::size_t active_seen = 0;
+  gen.generate([&](const GeneratedSession& s) {
+    EXPECT_GT(s.duration, 0.0);
+    EXPECT_GE(s.start, 0.0);
+    if (s.passive) {
+      EXPECT_TRUE(s.queries.empty());
+      return;
+    }
+    ++active_seen;
+    ASSERT_FALSE(s.queries.empty());
+    EXPECT_GT(s.first_query_delay, 0.0);
+    EXPECT_GT(s.after_last_delay, 0.0);
+    // Query times are ordered and inside the session.
+    double prev = s.start;
+    for (const auto& q : s.queries) {
+      EXPECT_GE(q.time, prev);
+      EXPECT_FALSE(q.text.empty());
+      EXPECT_GE(q.rank, 1u);
+      prev = q.time;
+    }
+    EXPECT_NEAR(s.queries.front().time, s.start + s.first_query_delay, 1e-9);
+    EXPECT_NEAR(s.end(), s.queries.back().time + s.after_last_delay, 1e-9);
+  });
+  EXPECT_GT(active_seen, 50u);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    WorkloadGenerator gen(WorkloadModel::paper_default(), small_config(seed));
+    std::vector<double> signature;
+    gen.generate([&](const GeneratedSession& s) {
+      signature.push_back(s.start);
+      signature.push_back(static_cast<double>(s.queries.size()));
+    });
+    return signature;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Generator, EmitsInStartOrder) {
+  WorkloadGenerator gen(WorkloadModel::paper_default(), small_config());
+  double prev = -1.0;
+  gen.generate([&](const GeneratedSession& s) {
+    EXPECT_GE(s.start, prev);
+    prev = s.start;
+  });
+}
+
+TEST(Generator, SteadyStateReplacesDepartedPeers) {
+  // Every slot's sessions must be back-to-back: next start == previous end.
+  WorkloadGenerator gen(WorkloadModel::paper_default(), small_config());
+  std::unordered_map<std::uint64_t, double> last_end;
+  gen.generate([&](const GeneratedSession& s) {
+    const auto it = last_end.find(s.slot);
+    if (it != last_end.end()) {
+      EXPECT_NEAR(s.start, it->second, 1e-9);
+    }
+    last_end[s.slot] = s.end();
+  });
+  EXPECT_EQ(last_end.size(), 100u);
+}
+
+TEST(Generator, PassiveFractionMatchesModel) {
+  WorkloadGenerator gen(WorkloadModel::paper_default(), small_config(17));
+  std::size_t passive = 0;
+  std::size_t total = 0;
+  gen.generate([&](const GeneratedSession& s) {
+    ++total;
+    passive += s.passive ? 1 : 0;
+  });
+  // Pooled across regions the model's passive fraction is ~0.81.
+  EXPECT_NEAR(static_cast<double>(passive) / static_cast<double>(total), 0.81,
+              0.04);
+}
+
+TEST(Generator, RegionMixFollowsTimeOfDay) {
+  // At 03:00 NA should be ~80 % of arrivals; at 12:00 only ~60 %.
+  auto count_na = [](double start_hour, std::uint64_t seed) {
+    WorkloadGenerator::Config config;
+    config.num_peers = 400;
+    config.start_time = start_hour * 3600.0;
+    config.duration = 1800.0;  // a short window keeps the hour fixed
+    config.warmup_stagger = 300.0;
+    config.seed = seed;
+    WorkloadGenerator gen(WorkloadModel::paper_default(), config);
+    std::size_t na = 0;
+    std::size_t total = 0;
+    gen.generate([&](const GeneratedSession& s) {
+      ++total;
+      na += s.region == Region::kNorthAmerica ? 1 : 0;
+    });
+    return static_cast<double>(na) / static_cast<double>(total);
+  };
+  EXPECT_NEAR(count_na(3.0, 21), 0.80, 0.05);
+  EXPECT_NEAR(count_na(12.0, 22), 0.60, 0.05);
+}
+
+TEST(Generator, EuropeansIssueMoreQueries) {
+  // Section 4.5 / Table A.2: EU sessions have more queries than Asia's.
+  WorkloadGenerator::Config config = small_config(23);
+  config.num_peers = 300;
+  config.duration = 12 * 3600.0;
+  WorkloadGenerator gen(WorkloadModel::paper_default(), config);
+  std::vector<double> eu;
+  std::vector<double> asia;
+  gen.generate([&](const GeneratedSession& s) {
+    if (s.passive) return;
+    if (s.region == Region::kEurope) {
+      eu.push_back(static_cast<double>(s.queries.size()));
+    }
+    if (s.region == Region::kAsia) {
+      asia.push_back(static_cast<double>(s.queries.size()));
+    }
+  });
+  ASSERT_GT(eu.size(), 30u);
+  ASSERT_GT(asia.size(), 10u);
+  EXPECT_GT(stats::summarize(eu).mean, stats::summarize(asia).mean);
+}
+
+TEST(Generator, QueryCountIsAtLeastOne) {
+  SessionSampler sampler(WorkloadModel::paper_default(), 3);
+  stats::Rng rng(4);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_GE(sampler.sample_query_count(Region::kAsia, rng), 1u);
+  }
+}
+
+TEST(Generator, SampleSessionInRegionHonorsRegion) {
+  SessionSampler sampler(WorkloadModel::paper_default(), 5);
+  stats::Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const auto s = sampler.sample_session_in_region(1000.0, Region::kEurope, rng);
+    EXPECT_EQ(s.region, Region::kEurope);
+    EXPECT_DOUBLE_EQ(s.start, 1000.0);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  WorkloadGenerator::Config config = small_config();
+  config.num_peers = 0;
+  EXPECT_THROW(WorkloadGenerator(WorkloadModel::paper_default(), config),
+               std::invalid_argument);
+  config = small_config();
+  config.duration = 0.0;
+  EXPECT_THROW(WorkloadGenerator(WorkloadModel::paper_default(), config),
+               std::invalid_argument);
+}
+
+TEST(Generator, GenerateAllMatchesVisitorCount) {
+  WorkloadGenerator gen1(WorkloadModel::paper_default(), small_config(31));
+  WorkloadGenerator gen2(WorkloadModel::paper_default(), small_config(31));
+  std::size_t visited = 0;
+  gen1.generate([&](const GeneratedSession&) { ++visited; });
+  EXPECT_EQ(gen2.generate_all().size(), visited);
+}
+
+}  // namespace
+}  // namespace p2pgen::core

@@ -1,0 +1,207 @@
+// Tests for the Section 4 measures on crafted datasets with known answers.
+#include <gtest/gtest.h>
+
+#include "analysis/filters.hpp"
+#include "analysis/measures.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+constexpr std::uint32_t kNaIp = 0x18000001;  // 24.x -> North America
+constexpr std::uint32_t kEuIp = 0xC1000001;  // 193.x -> Europe
+constexpr std::uint32_t kAsiaIp = 0xCA000001;  // 202.x -> Asia
+
+struct TraceBuilder {
+  trace::Trace trace;
+  std::uint64_t next_id = 1;
+
+  /// Adds a session with queries at given offsets from start.
+  std::uint64_t session(double start, double duration, std::uint32_t ip,
+                        const std::vector<double>& query_offsets = {},
+                        const std::string& text_prefix = "q") {
+    const std::uint64_t id = next_id++;
+    trace.append(trace::SessionStart{start, id, ip, false, "T/1.0"});
+    int k = 0;
+    for (double off : query_offsets) {
+      trace.append(trace::MessageEvent{
+          start + off, id, gnutella::MessageType::kQuery, 6, 1,
+          text_prefix + std::to_string(k++), false, 0, 0});
+    }
+    trace.append(
+        trace::SessionEnd{start + duration, id, trace::EndReason::kTeardown});
+    return id;
+  }
+
+  TraceDataset dataset() {
+    auto ds = build_dataset(trace, geo::GeoIpDatabase::synthetic());
+    apply_filters(ds);
+    return ds;
+  }
+};
+
+TEST(KeyPeriodOf, MatchesSection42Windows) {
+  EXPECT_EQ(key_period_of(3.5 * 3600.0), std::optional<std::size_t>(0));
+  EXPECT_EQ(key_period_of(11.5 * 3600.0), std::optional<std::size_t>(1));
+  EXPECT_EQ(key_period_of(13.0 * 3600.0), std::optional<std::size_t>(2));
+  EXPECT_EQ(key_period_of(19.99 * 3600.0), std::optional<std::size_t>(3));
+  EXPECT_FALSE(key_period_of(8.0 * 3600.0).has_value());
+  // Absolute times wrap by day.
+  EXPECT_EQ(key_period_of(86400.0 + 3.5 * 3600.0), std::optional<std::size_t>(0));
+}
+
+TEST(Geography, OccupancySplitsByRegionAndHour) {
+  TraceBuilder b;
+  // NA session covering hour 0 entirely; EU session covering hour 1.
+  b.session(0.0, 3600.0, kNaIp);
+  b.session(3600.0, 3600.0, kEuIp);
+  const auto ds = b.dataset();
+  const auto geo = geographic_distribution(ds);
+  EXPECT_NEAR(geo.onehop[geo::region_index(geo::Region::kNorthAmerica)][0], 1.0,
+              1e-9);
+  EXPECT_NEAR(geo.onehop[geo::region_index(geo::Region::kEurope)][1], 1.0, 1e-9);
+  EXPECT_NEAR(geo.onehop[geo::region_index(geo::Region::kEurope)][0], 0.0, 1e-9);
+}
+
+TEST(Geography, SessionsSpanningHoursSplitProportionally) {
+  TraceBuilder b;
+  b.session(1800.0, 3600.0, kNaIp);  // half in hour 0, half in hour 1
+  b.session(0.0, 7200.0, kEuIp);     // covers hours 0 and 1 fully
+  const auto ds = b.dataset();
+  const auto geo = geographic_distribution(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  const auto eu = geo::region_index(geo::Region::kEurope);
+  EXPECT_NEAR(geo.onehop[na][0], 1800.0 / 5400.0, 1e-9);
+  EXPECT_NEAR(geo.onehop[eu][0], 3600.0 / 5400.0, 1e-9);
+}
+
+TEST(Geography, AllPeersFromAdvertisedAddresses) {
+  TraceBuilder b;
+  b.session(0.0, 100.0, kNaIp);
+  // Remote PONGs in hour 2 advertising EU and Asia peers.
+  b.trace.append(trace::MessageEvent{2.5 * 3600.0, 1,
+                                     gnutella::MessageType::kPong, 5, 3, "",
+                                     false, kEuIp, 10});
+  b.trace.append(trace::MessageEvent{2.6 * 3600.0, 1,
+                                     gnutella::MessageType::kPong, 5, 3, "",
+                                     false, kAsiaIp, 5});
+  const auto ds = b.dataset();
+  const auto geo = geographic_distribution(ds);
+  EXPECT_NEAR(geo.allpeers[geo::region_index(geo::Region::kEurope)][2], 0.5,
+              1e-9);
+  EXPECT_NEAR(geo.allpeers[geo::region_index(geo::Region::kAsia)][2], 0.5,
+              1e-9);
+}
+
+TEST(SharedFiles, DistributionsSeparateOneHopFromRemote) {
+  TraceBuilder b;
+  b.session(0.0, 100.0, kNaIp);
+  b.trace.append(trace::MessageEvent{1.0, 1, gnutella::MessageType::kPong, 1,
+                                     1, "", false, kNaIp, 3});  // one-hop
+  b.trace.append(trace::MessageEvent{2.0, 1, gnutella::MessageType::kPong, 5,
+                                     3, "", false, kEuIp, 7});  // remote
+  b.trace.append(trace::MessageEvent{3.0, 1, gnutella::MessageType::kPong, 5,
+                                     4, "", false, kEuIp, 500});  // > 100
+  const auto ds = b.dataset();
+  const auto dist = shared_files_distribution(ds);
+  EXPECT_DOUBLE_EQ(dist.onehop[3], 1.0);
+  EXPECT_DOUBLE_EQ(dist.allpeers[7], 0.5);  // the 500-file peer is off-axis
+}
+
+TEST(PassiveFraction, CountsSessionsByStartHour) {
+  TraceBuilder b;
+  // Hour 0 of day 0: 3 NA sessions, 1 active.
+  b.session(100.0, 200.0, kNaIp);
+  b.session(200.0, 200.0, kNaIp);
+  b.session(300.0, 200.0, kNaIp, {50.0});
+  // Hour 0 of day 1: 2 NA sessions, 1 active.
+  b.session(86400.0 + 100.0, 200.0, kNaIp);
+  b.session(86400.0 + 200.0, 200.0, kNaIp, {60.0});
+  const auto ds = b.dataset();
+  const auto pf = passive_fraction(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  EXPECT_NEAR(pf.bins[na][0].mean, (2.0 / 3.0 + 0.5) / 2.0, 1e-9);
+  EXPECT_NEAR(pf.bins[na][0].min, 0.5, 1e-9);
+  EXPECT_NEAR(pf.bins[na][0].max, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(pf.overall[na], 3.0 / 5.0, 1e-9);
+}
+
+TEST(QueryLoad, BinsKeptQueriesPerRegion) {
+  TraceBuilder b;
+  b.session(0.0, 2000.0, kNaIp, {10.0, 500.0});
+  b.session(0.0, 2000.0, kEuIp, {1000.0});
+  const auto ds = b.dataset();
+  const auto load = query_load(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  const auto eu = geo::region_index(geo::Region::kEurope);
+  EXPECT_DOUBLE_EQ(load.bins[na][0].mean, 2.0);  // both NA queries in bin 0
+  EXPECT_DOUBLE_EQ(load.bins[eu][0].mean, 1.0);
+}
+
+TEST(SessionMeasures, PassiveDurationsAndActiveTimings) {
+  TraceBuilder b;
+  // Passive NA session, 500 s, started at hour 3 (key period 0).
+  b.session(3.0 * 3600.0, 500.0, kNaIp);
+  // Active NA session: queries at +20 and +50, duration 300.
+  b.session(3.0 * 3600.0 + 100.0, 300.0, kNaIp, {20.0, 50.0});
+  const auto ds = b.dataset();
+  const auto m = session_measures(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+
+  ASSERT_EQ(m.passive_duration_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.passive_duration_by_region[na][0], 500.0);
+  ASSERT_EQ(m.passive_duration_by_key_period[na][0].size(), 1u);
+
+  ASSERT_EQ(m.queries_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.queries_by_region[na][0], 2.0);
+
+  ASSERT_EQ(m.first_query_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.first_query_by_region[na][0], 20.0);
+  // 2 queries -> FirstQueryClass::kFewerThanThree (index 0).
+  ASSERT_EQ(m.first_query_by_class[na][0].size(), 1u);
+
+  ASSERT_EQ(m.interarrival_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.interarrival_by_region[na][0], 30.0);
+
+  ASSERT_EQ(m.after_last_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.after_last_by_region[na][0], 250.0);
+  // 2 queries -> LastQueryClass::kTwoToSeven (index 1).
+  ASSERT_EQ(m.after_last_by_class[na][1].size(), 1u);
+}
+
+TEST(SessionMeasures, ExcludedQueriesDoNotYieldInterarrivalSamples) {
+  TraceBuilder b;
+  // Burst: queries at +10, +10.5, +11 (rules 4), then +100.
+  b.session(0.0, 300.0, kNaIp, {10.0, 10.5, 11.0, 100.0});
+  const auto ds = b.dataset();
+  const auto m = session_measures(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  // Only the 11 -> 100 gap survives (89 s): gaps ending at excluded
+  // queries are dropped.
+  ASSERT_EQ(m.interarrival_by_region[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(m.interarrival_by_region[na][0], 89.0);
+  // #queries counted = 2 (rules 4/5 applied), per Section 4.5.
+  EXPECT_DOUBLE_EQ(m.queries_by_region[na][0], 2.0);
+}
+
+TEST(SessionMeasures, QueriesWithoutRules45CountsAllKept) {
+  TraceBuilder b;
+  b.session(0.0, 300.0, kNaIp, {10.0, 10.5, 11.0, 100.0});
+  const auto ds = b.dataset();
+  const auto counts = queries_without_rules45(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  ASSERT_EQ(counts[na].size(), 1u);
+  EXPECT_DOUBLE_EQ(counts[na][0], 4.0);
+}
+
+TEST(SessionMeasures, RemovedSessionsContributeNothing) {
+  TraceBuilder b;
+  b.session(0.0, 30.0, kNaIp, {10.0});  // rule 3: < 64 s
+  const auto ds = b.dataset();
+  const auto m = session_measures(ds);
+  const auto na = geo::region_index(geo::Region::kNorthAmerica);
+  EXPECT_TRUE(m.queries_by_region[na].empty());
+  EXPECT_TRUE(m.passive_duration_by_region[na].empty());
+}
+
+}  // namespace
+}  // namespace p2pgen::analysis

@@ -1,0 +1,204 @@
+// Tests for distribution-spec parsing and workload-model serialization:
+// name() -> parse round trips for every family, full-model save/load
+// equivalence (checked distributionally), and error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/generator.hpp"
+#include "core/model_io.hpp"
+#include "stats/distribution_io.hpp"
+#include "stats/gof.hpp"
+
+namespace p2pgen {
+namespace {
+
+using stats::DistributionPtr;
+
+/// name() -> parse -> equality of CDFs on a probe grid.
+void expect_same_distribution(const stats::Distribution& a,
+                              const stats::Distribution& b) {
+  for (double x = 0.01; x < 1e6; x *= 2.3) {
+    ASSERT_NEAR(a.cdf(x), b.cdf(x), 1e-9) << "x=" << x << " " << a.name();
+  }
+}
+
+class SpecRoundTrip : public ::testing::TestWithParam<DistributionPtr> {};
+
+TEST_P(SpecRoundTrip, NameParsesBackToSameDistribution) {
+  const auto& original = *GetParam();
+  const auto parsed = stats::parse_distribution(original.name());
+  expect_same_distribution(original, *parsed);
+  // The parse is canonical: names agree after one round trip.
+  EXPECT_EQ(parsed->name(), stats::parse_distribution(parsed->name())->name());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, SpecRoundTrip,
+    ::testing::Values(
+        stats::make_lognormal(-0.0673, 1.36),
+        stats::make_lognormal(6.397, 2.749),
+        stats::make_weibull(1.477, 0.005252),
+        stats::make_pareto(0.9041, 103.0),
+        stats::make_exponential(0.25),
+        stats::make_uniform(2.0, 64.0),
+        std::make_shared<stats::Truncated>(stats::make_lognormal(2.108, 2.502),
+                                           64.0, 120.0),
+        std::make_shared<stats::Truncated>(
+            stats::make_pareto(1.143, 103.0), 103.0,
+            std::numeric_limits<double>::infinity()),
+        stats::bimodal_split(stats::make_lognormal(2.108, 2.502),
+                             stats::make_lognormal(6.397, 2.749), 120.0, 0.75,
+                             64.0),
+        stats::bimodal_split(stats::make_weibull(1.477, 0.005252),
+                             stats::make_lognormal(5.091, 2.905), 45.0, 0.5)));
+
+TEST(ParseDistribution, AcceptsWhitespaceVariations) {
+  const auto d = stats::parse_distribution(
+      "  mixture( w = 0.5 ,lognormal(mu=1,sigma=2), pareto(alpha=1.5,beta=10) ) ");
+  EXPECT_NEAR(d->cdf(10.0), 0.5 * stats::LogNormal(1, 2).cdf(10.0), 1e-12);
+}
+
+TEST(ParseDistribution, RejectsMalformedSpecs) {
+  using stats::DistributionParseError;
+  EXPECT_THROW(stats::parse_distribution(""), DistributionParseError);
+  EXPECT_THROW(stats::parse_distribution("lognormal(mu=1)"),
+               DistributionParseError);  // missing sigma
+  EXPECT_THROW(stats::parse_distribution("lognormal(mu=1, sigma=-2)"),
+               DistributionParseError);  // constructor rejects
+  EXPECT_THROW(stats::parse_distribution("gamma(k=1, theta=2)"),
+               DistributionParseError);  // unknown family
+  EXPECT_THROW(stats::parse_distribution("lognormal(mu=1, sigma=2) trailing"),
+               DistributionParseError);
+  EXPECT_THROW(stats::parse_distribution("truncated(lognormal(mu=1, sigma=2))"),
+               DistributionParseError);  // missing range
+  EXPECT_THROW(stats::parse_distribution("mixture(lognormal(mu=1, sigma=2))"),
+               DistributionParseError);  // missing weight
+}
+
+TEST(ParseDistribution, InfinityInTruncationRange) {
+  const auto d = stats::parse_distribution(
+      "truncated(lognormal(mu=6.397, sigma=2.749), [120, inf])");
+  EXPECT_EQ(d->cdf(120.0), 0.0);
+  EXPECT_GT(d->cdf(1e9), 0.99);
+}
+
+TEST(ModelIo, PaperDefaultRoundTripsDistributionally) {
+  const auto original = core::WorkloadModel::paper_default();
+  std::stringstream buffer;
+  core::save_model(original, buffer);
+  const auto loaded = core::load_model(buffer);
+  EXPECT_NO_THROW(loaded.validate());
+
+  EXPECT_DOUBLE_EQ(loaded.max_session_seconds, original.max_session_seconds);
+  for (std::size_t h = 0; h < 24; ++h) {
+    for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+      EXPECT_DOUBLE_EQ(loaded.region_mix[h][r], original.region_mix[h][r]);
+    }
+  }
+  for (std::size_t r = 0; r < geo::kRegionCount; ++r) {
+    EXPECT_DOUBLE_EQ(loaded.passive_fraction[r], original.passive_fraction[r]);
+    expect_same_distribution(*loaded.queries_per_session[r],
+                             *original.queries_per_session[r]);
+    for (std::size_t p = 0; p < core::kDayPeriodCount; ++p) {
+      expect_same_distribution(*loaded.passive_duration[r][p],
+                               *original.passive_duration[r][p]);
+      for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+        expect_same_distribution(*loaded.first_query[r][p][c],
+                                 *original.first_query[r][p][c]);
+      }
+      for (std::size_t c = 0; c < core::kInterarrivalClassCount; ++c) {
+        expect_same_distribution(*loaded.interarrival[r][p][c],
+                                 *original.interarrival[r][p][c]);
+      }
+      for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+        expect_same_distribution(*loaded.after_last[r][p][c],
+                                 *original.after_last[r][p][c]);
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(loaded.popularity.daily_drift,
+                   original.popularity.daily_drift);
+  for (std::size_t c = 0; c < core::kQueryClassCount; ++c) {
+    EXPECT_EQ(loaded.popularity.classes[c].catalog_size,
+              original.popularity.classes[c].catalog_size);
+    EXPECT_EQ(loaded.popularity.classes[c].two_piece,
+              original.popularity.classes[c].two_piece);
+  }
+}
+
+TEST(ModelIo, LoadedModelDrivesGeneratorIdentically) {
+  const auto original = core::WorkloadModel::paper_default();
+  std::stringstream buffer;
+  core::save_model(original, buffer);
+  const auto loaded = core::load_model(buffer);
+
+  auto run = [](const core::WorkloadModel& model) {
+    core::WorkloadGenerator::Config config;
+    config.num_peers = 50;
+    config.duration = 3600.0;
+    config.seed = 99;
+    core::WorkloadGenerator gen(model, config);
+    std::vector<double> signature;
+    gen.generate([&](const core::GeneratedSession& s) {
+      signature.push_back(s.start);
+      signature.push_back(s.duration);
+      signature.push_back(static_cast<double>(s.queries.size()));
+    });
+    return signature;
+  };
+  // Exact parameter preservation -> bit-identical generation.
+  EXPECT_EQ(run(original), run(loaded));
+}
+
+TEST(ModelIo, PartialFileOverridesOnlyGivenFields) {
+  std::stringstream buffer;
+  buffer << "p2pgen-model v1\n"
+         << "passive_fraction 0.5 0.5 0.5 0.5\n";
+  const auto loaded = core::load_model(buffer);
+  EXPECT_DOUBLE_EQ(loaded.passive_fraction[0], 0.5);
+  // Everything else inherits paper_default.
+  const auto fallback = core::WorkloadModel::paper_default();
+  EXPECT_DOUBLE_EQ(loaded.region_mix[0][0], fallback.region_mix[0][0]);
+}
+
+TEST(ModelIo, ReportsErrorsWithLineNumbers) {
+  {
+    std::stringstream buffer;
+    buffer << "not a header\n";
+    EXPECT_THROW(core::load_model(buffer), std::runtime_error);
+  }
+  {
+    std::stringstream buffer;
+    buffer << "p2pgen-model v1\nbogus_keyword 1 2 3\n";
+    try {
+      core::load_model(buffer);
+      FAIL() << "expected throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    }
+  }
+  {
+    std::stringstream buffer;
+    buffer << "p2pgen-model v1\nregion_mix 99 0.1 0.1 0.1 0.7\n";
+    EXPECT_THROW(core::load_model(buffer), std::runtime_error);
+  }
+  {
+    // Mix row that no longer sums to 1 fails final validation.
+    std::stringstream buffer;
+    buffer << "p2pgen-model v1\nregion_mix 0 0.9 0.9 0.9 0.9\n";
+    EXPECT_THROW(core::load_model(buffer), std::runtime_error);
+  }
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/p2pgen_model_test.txt";
+  core::save_model_file(core::WorkloadModel::paper_default(), path);
+  const auto loaded = core::load_model_file(path);
+  EXPECT_NO_THROW(loaded.validate());
+  EXPECT_THROW(core::load_model_file("/nonexistent/path/model.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p2pgen

@@ -1,0 +1,193 @@
+// Tests for the Section 4.6 popularity analysis: daily tables, Table 3
+// class sizes, hot-set drift, per-day pmf averaging and Zipf fitting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/filters.hpp"
+#include "analysis/popularity_analysis.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+constexpr std::uint32_t kNaIp = 0x18000001;
+constexpr std::uint32_t kEuIp = 0xC1000001;
+constexpr std::uint32_t kAsiaIp = 0xCA000001;
+
+struct PopBuilder {
+  trace::Trace trace;
+  std::uint64_t next_id = 1;
+
+  /// One long session issuing the given queries at 100 s spacing.
+  void session(double start, std::uint32_t ip,
+               const std::vector<std::string>& queries) {
+    const std::uint64_t id = next_id++;
+    trace.append(trace::SessionStart{start, id, ip, false, "T"});
+    double t = start + 10.0;
+    for (const auto& q : queries) {
+      trace.append(trace::MessageEvent{t, id, gnutella::MessageType::kQuery, 6,
+                                       1, q, false, 0, 0});
+      t += 97.0 + static_cast<double>(id % 13);  // avoid identical gaps
+    }
+    trace.append(trace::SessionEnd{t + 200.0, id, trace::EndReason::kTeardown});
+  }
+
+  TraceDataset dataset() {
+    auto ds = build_dataset(trace, geo::GeoIpDatabase::synthetic());
+    apply_filters(ds);
+    return ds;
+  }
+};
+
+TEST(DailyQueryTables, SplitsByDayAndRegion) {
+  PopBuilder b;
+  b.session(1000.0, kNaIp, {"alpha", "beta"});
+  b.session(2000.0, kEuIp, {"alpha"});
+  b.session(86400.0 + 1000.0, kNaIp, {"gamma"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  ASSERT_GE(tables.days(), 2u);
+  const auto& day0 = tables.day(0);
+  EXPECT_EQ(day0.at("alpha")[0], 1u);  // NA
+  EXPECT_EQ(day0.at("alpha")[1], 1u);  // EU
+  EXPECT_EQ(day0.at("beta")[0], 1u);
+  EXPECT_EQ(day0.count("gamma"), 0u);
+  EXPECT_EQ(tables.day(1).at("gamma")[0], 1u);
+}
+
+TEST(QueryClassSizes, Table3Arithmetic) {
+  PopBuilder b;
+  // Day 0: NA = {a,b,c}, EU = {a,d}, Asia = {a,e}.
+  b.session(1000.0, kNaIp, {"a", "b", "c"});
+  b.session(2000.0, kEuIp, {"a", "d"});
+  b.session(3000.0, kAsiaIp, {"a", "e"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  const auto rows = query_class_sizes(tables, {1});
+  ASSERT_EQ(rows.size(), 1u);
+  const auto& row = rows[0];
+  EXPECT_DOUBLE_EQ(row.na, 3.0);
+  EXPECT_DOUBLE_EQ(row.eu, 2.0);
+  EXPECT_DOUBLE_EQ(row.asia, 2.0);
+  EXPECT_DOUBLE_EQ(row.na_eu, 1.0);
+  EXPECT_DOUBLE_EQ(row.na_asia, 1.0);
+  EXPECT_DOUBLE_EQ(row.eu_asia, 1.0);
+  EXPECT_DOUBLE_EQ(row.all3, 1.0);
+}
+
+TEST(QueryClassSizes, MultiDayWindowsUnion) {
+  PopBuilder b;
+  b.session(1000.0, kNaIp, {"a"});
+  b.session(86400.0 + 1000.0, kNaIp, {"b"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  const auto rows = query_class_sizes(tables, {2, 1});
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].na, 2.0);  // 2-day window unions {a} U {b}
+  EXPECT_DOUBLE_EQ(rows[1].na, 1.0);  // per-day average = 1
+}
+
+TEST(HotSetDrift, CountsCarriedOverQueries) {
+  PopBuilder b;
+  // Day 0 NA top queries: q1 x3, q2 x2, q3 x1.
+  b.session(1000.0, kNaIp, {"q1", "q2", "q3"});
+  b.session(5000.0, kNaIp, {"q1", "q2"});
+  b.session(9000.0, kNaIp, {"q1"});
+  // Day 1: q1 reappears, q2/q3 gone, q4 fresh.
+  b.session(86400.0 + 1000.0, kNaIp, {"q1", "q4"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  const auto drift = hot_set_drift(tables, core::Region::kNorthAmerica);
+  // Band 0 (top 10 of day 0 = {q1,q2,q3}), target top-10 of day 1 = {q1,q4}:
+  ASSERT_EQ(drift.counts[0][0].size(), 1u);
+  EXPECT_EQ(drift.counts[0][0][0], 1);  // only q1 carried over
+}
+
+TEST(HotSetDrift, RejectsNonMainRegion) {
+  PopBuilder b;
+  b.session(1000.0, kNaIp, {"x"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  EXPECT_THROW(hot_set_drift(tables, core::Region::kOther),
+               std::invalid_argument);
+}
+
+TEST(PopularityDistributions, SeparatesClassesAndNormalizes) {
+  PopBuilder b;
+  // NA-only: na1 x3, na2 x1.  EU-only: eu1 x2.  Both: mix1.
+  b.session(1000.0, kNaIp, {"na1", "na2", "mix1"});
+  b.session(5000.0, kNaIp, {"na1"});
+  b.session(9000.0, kNaIp, {"na1"});
+  b.session(2000.0, kEuIp, {"eu1", "mix1"});
+  b.session(6000.0, kEuIp, {"eu1"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  const auto pop = popularity_distributions(tables);
+  ASSERT_EQ(pop.na_only.pmf.size(), 2u);
+  EXPECT_NEAR(pop.na_only.pmf[0], 0.75, 1e-9);  // na1: 3 of 4
+  EXPECT_NEAR(pop.na_only.pmf[1], 0.25, 1e-9);
+  ASSERT_EQ(pop.eu_only.pmf.size(), 1u);
+  EXPECT_NEAR(pop.eu_only.pmf[0], 1.0, 1e-9);
+  ASSERT_EQ(pop.intersection.pmf.size(), 1u);
+}
+
+TEST(PopularityDistributions, RecoversZipfAlphaFromSyntheticCounts) {
+  // Build one day of NA-only queries whose frequencies follow rank^-0.5
+  // scaled up; the fitted alpha should come back near 0.5.
+  PopBuilder b;
+  double start = 1000.0;
+  for (int rank = 1; rank <= 30; ++rank) {
+    const int count = static_cast<int>(
+        std::lround(200.0 * std::pow(static_cast<double>(rank), -0.5)));
+    for (int i = 0; i < count; ++i) {
+      b.session(start, kNaIp, {"query" + std::to_string(rank)});
+      start += 70.0;
+    }
+  }
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  const auto pop = popularity_distributions(tables, 30);
+  EXPECT_NEAR(pop.na_only.zipf_alpha, 0.5, 0.12);
+}
+
+TEST(EstimateDailyDrift, ZeroWhenHotSetStable) {
+  PopBuilder b;
+  for (int day = 0; day < 3; ++day) {
+    b.session(day * 86400.0 + 1000.0, kNaIp, {"stable1", "stable2"});
+  }
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  EXPECT_DOUBLE_EQ(estimate_daily_drift(tables, core::Region::kNorthAmerica),
+                   0.0);
+}
+
+TEST(EstimateDailyDrift, OneWhenHotSetFullyChanges) {
+  PopBuilder b;
+  b.session(1000.0, kNaIp, {"day0a", "day0b"});
+  b.session(86400.0 + 1000.0, kNaIp, {"day1a", "day1b"});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  EXPECT_DOUBLE_EQ(estimate_daily_drift(tables, core::Region::kNorthAmerica),
+                   1.0);
+}
+
+TEST(PopularityQueries, Rules45QueriesCountButRemovedOnesDoNot) {
+  // Popularity uses kept (rules 1-3 survivor) queries, including rule-4/5
+  // exclusions; rule-2 repeats must not double count.
+  PopBuilder b;
+  b.session(1000.0, kNaIp, {"popular", "other"});
+  // Session with a repeat of "popular" (rule 2 removes the second).
+  const std::uint64_t id = b.next_id++;
+  b.trace.append(trace::SessionStart{5000.0, id, kNaIp, false, "T"});
+  b.trace.append(trace::MessageEvent{5010.0, id, gnutella::MessageType::kQuery,
+                                     6, 1, "popular", false, 0, 0});
+  b.trace.append(trace::MessageEvent{5110.0, id, gnutella::MessageType::kQuery,
+                                     6, 1, "popular", false, 0, 0});
+  b.trace.append(trace::SessionEnd{5400.0, id, trace::EndReason::kTeardown});
+  const auto ds = b.dataset();
+  DailyQueryTables tables(ds);
+  EXPECT_EQ(tables.day(0).at("popular")[0], 2u);  // once per session
+}
+
+}  // namespace
+}  // namespace p2pgen::analysis

@@ -1,0 +1,180 @@
+// Cross-cutting property tests: generator-vs-model distributional
+// agreement, truncated means, histogram invariants, keyword-canonical
+// properties, and parser robustness under fuzzed input.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/generator.hpp"
+#include "gnutella/message.hpp"
+#include "stats/distribution_io.hpp"
+#include "stats/gof.hpp"
+#include "stats/histogram.hpp"
+
+namespace p2pgen {
+namespace {
+
+TEST(GeneratorDistributional, PassiveDurationsMatchModelByKs) {
+  // Sessions generated for a fixed region/period must follow the model's
+  // passive-duration distribution (capped at max_session_seconds).
+  auto model = core::WorkloadModel::paper_default();
+  core::SessionSampler sampler(model, 5);
+  stats::Rng rng(6);
+  std::vector<double> durations;
+  // 02:00 at the node: NA peak period.
+  const double start = 2.0 * 3600.0;
+  while (durations.size() < 4000) {
+    const auto s = sampler.sample_session_in_region(
+        start, core::Region::kNorthAmerica, rng);
+    if (s.passive) durations.push_back(s.duration);
+  }
+  const auto na = geo::region_index(core::Region::kNorthAmerica);
+  const auto peak = static_cast<std::size_t>(core::DayPeriod::kPeak);
+  // The cap only affects the extreme tail; KS over the full sample is
+  // still tight.
+  EXPECT_LT(stats::ks_statistic(durations, *model.passive_duration[na][peak]),
+            0.03);
+}
+
+TEST(GeneratorDistributional, QueryRanksFollowZipf) {
+  auto model = core::WorkloadModel::paper_default();
+  core::SessionSampler sampler(model, 7);
+  stats::Rng rng(8);
+  // Sample many EU-only class ranks and compare the top-rank frequency
+  // against the model pmf.
+  const auto z = model.popularity
+                     .classes[static_cast<std::size_t>(core::QueryClass::kEuOnly)]
+                     .make_rank_distribution();
+  core::QueryVocabulary vocab(model.popularity, 9);
+  std::size_t rank1 = 0;
+  constexpr std::size_t kDraws = 50000;
+  for (std::size_t i = 0; i < kDraws; ++i) {
+    rank1 += vocab.sample_rank(core::QueryClass::kEuOnly, rng) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(rank1) / kDraws, z.pmf(1), 3e-4);
+}
+
+TEST(GeneratorDistributional, SessionsRespectDurationCap) {
+  auto model = core::WorkloadModel::paper_default();
+  model.max_session_seconds = 3600.0;  // aggressive cap to exercise paths
+  core::SessionSampler sampler(model, 10);
+  stats::Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const auto s = sampler.sample_session(1000.0, rng);
+    EXPECT_LE(s.duration, 3600.0 + 1e-9);
+    if (!s.passive) {
+      EXPECT_LE(s.queries.back().time - s.start, 3600.0 + 1e-9);
+    }
+  }
+}
+
+TEST(TruncatedMean, MatchesAnalyticForUniform) {
+  // Uniform(0, 100) truncated to [20, 60] has mean 40.
+  stats::Truncated d(stats::make_uniform(0.0, 100.0), 20.0, 60.0);
+  EXPECT_NEAR(d.mean(), 40.0, 0.1);
+}
+
+TEST(TruncatedMean, MatchesMonteCarloForLogNormal) {
+  stats::Truncated d(stats::make_lognormal(2.0, 1.0), 5.0, 50.0);
+  stats::Rng rng(12);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(d.mean(), sum / kN, 0.1);
+}
+
+TEST(Histogram, FractionsSumToCoverageShare) {
+  stats::Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 80; ++i) h.add(static_cast<double>(i % 10) + 0.5);
+  for (int i = 0; i < 20; ++i) h.add(1000.0);  // overflow
+  const auto fractions = h.fractions();
+  double total = 0.0;
+  for (double f : fractions) total += f;
+  EXPECT_NEAR(total, 0.8, 1e-12);  // 80 of 100 samples are in range
+}
+
+TEST(DayBinSeries, PerDayAccessorMatchesTotals) {
+  stats::DayBinSeries s(3600);
+  s.add(100.0, 2.0);
+  s.add(86400.0 + 100.0, 3.0);
+  const auto& days = s.per_day();
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_DOUBLE_EQ(days[0][0], 2.0);
+  EXPECT_DOUBLE_EQ(days[1][0], 3.0);
+  EXPECT_DOUBLE_EQ(s.totals()[0], 5.0);
+}
+
+TEST(CanonicalKeywords, IsIdempotentAndOrderInvariant) {
+  stats::Rng rng(13);
+  static constexpr const char* kWords[] = {"alpha", "beta", "Gamma", "DELTA",
+                                           "epsilon"};
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random multiset of words in random order.
+    std::string a;
+    std::string b;
+    std::vector<int> picks;
+    const std::size_t n = 1 + rng.uniform_index(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      picks.push_back(static_cast<int>(rng.uniform_index(5)));
+    }
+    for (int p : picks) {
+      a += std::string(kWords[static_cast<std::size_t>(p)]) + " ";
+    }
+    // Reversed order with random extra whitespace.
+    for (auto it = picks.rbegin(); it != picks.rend(); ++it) {
+      b += "  " + std::string(kWords[static_cast<std::size_t>(*it)]) + "\t";
+    }
+    const auto ca = gnutella::canonical_keywords(a);
+    EXPECT_EQ(ca, gnutella::canonical_keywords(b));
+    EXPECT_EQ(ca, gnutella::canonical_keywords(ca));  // idempotent
+  }
+}
+
+TEST(DistributionParser, FuzzedInputNeverCrashes) {
+  stats::Rng rng(14);
+  static constexpr const char* kTokens[] = {
+      "lognormal", "weibull",  "pareto", "mixture", "truncated", "(",
+      ")",         ",",        "=",      "mu",      "sigma",     "alpha",
+      "w",         "1.5",      "-2",     "inf",     "[",         "]",
+      "0.5",       "garbage"};
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string spec;
+    const std::size_t n = rng.uniform_index(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      spec += kTokens[rng.uniform_index(std::size(kTokens))];
+      if (rng.bernoulli(0.3)) spec += ' ';
+    }
+    try {
+      (void)stats::parse_distribution(spec);
+    } catch (const stats::DistributionParseError&) {
+      // expected for almost all inputs
+    }
+  }
+  SUCCEED();
+}
+
+TEST(WorkloadGenerator, WarmupStaggerSpreadsInitialArrivals) {
+  core::WorkloadGenerator::Config config;
+  config.num_peers = 200;
+  config.duration = 1200.0;
+  config.warmup_stagger = 600.0;
+  config.seed = 15;
+  core::WorkloadGenerator gen(core::WorkloadModel::paper_default(), config);
+  std::vector<double> first_starts;
+  std::unordered_map<std::uint64_t, bool> seen;
+  gen.generate([&](const core::GeneratedSession& s) {
+    if (!seen[s.slot]) {
+      seen[s.slot] = true;
+      first_starts.push_back(s.start);
+    }
+  });
+  ASSERT_EQ(first_starts.size(), 200u);
+  // Roughly uniform over [0, 600): both halves populated.
+  std::size_t early = 0;
+  for (double t : first_starts) early += t < 300.0 ? 1 : 0;
+  EXPECT_GT(early, 60u);
+  EXPECT_LT(early, 140u);
+}
+
+}  // namespace
+}  // namespace p2pgen

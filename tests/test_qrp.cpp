@@ -1,0 +1,118 @@
+// Tests for the Query Routing Protocol table and its end-to-end effect:
+// leaves receive forwarded queries only when their QRP table matches
+// (paper Section 3.1).
+#include <gtest/gtest.h>
+
+#include "behavior/trace_simulation.hpp"
+#include "gnutella/codec.hpp"
+#include "gnutella/qrp.hpp"
+
+namespace p2pgen::gnutella {
+namespace {
+
+TEST(QrpTable, InsertedKeywordsAlwaysMatch) {
+  QrpTable table(16);
+  table.insert_keywords_of("free music mp3");
+  EXPECT_TRUE(table.might_match("free"));
+  EXPECT_TRUE(table.might_match("free music"));
+  EXPECT_TRUE(table.might_match("mp3 music free"));
+}
+
+TEST(QrpTable, ConjunctionSemantics) {
+  QrpTable table(16);
+  table.insert_keyword("alpha");
+  table.insert_keyword("beta");
+  EXPECT_TRUE(table.might_match("alpha beta"));
+  // A query containing an un-inserted keyword fails the conjunction
+  // (unless a hash collision happens; these words do not collide at 2^16).
+  EXPECT_FALSE(table.might_match("alpha gammaqzw"));
+  EXPECT_FALSE(table.might_match(""));
+  EXPECT_FALSE(table.might_match("   "));
+}
+
+TEST(QrpTable, HashIsCaseInsensitive) {
+  EXPECT_EQ(QrpTable::hash_keyword("MuSiC", 16), QrpTable::hash_keyword("music", 16));
+  QrpTable table(16);
+  table.insert_keyword("Music");
+  EXPECT_TRUE(table.might_match("MUSIC"));
+}
+
+TEST(QrpTable, FalsePositiveRateIsSmallAtLowFill) {
+  QrpTable table(16);
+  for (int i = 0; i < 500; ++i) {
+    table.insert_keyword("word" + std::to_string(i));
+  }
+  EXPECT_LT(table.fill_ratio(), 0.01);
+  int false_positives = 0;
+  constexpr int kProbes = 5000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (table.might_match("absent" + std::to_string(i))) ++false_positives;
+  }
+  // ~500/65536 bits set -> fp rate below ~2 %.
+  EXPECT_LT(false_positives, kProbes / 50);
+}
+
+TEST(QrpTable, MergeIsUnion) {
+  QrpTable a(12);
+  QrpTable b(12);
+  a.insert_keyword("left");
+  b.insert_keyword("right");
+  a.merge(b);
+  EXPECT_TRUE(a.might_match("left"));
+  EXPECT_TRUE(a.might_match("right"));
+  QrpTable c(13);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(QrpTable, PatchRoundTrip) {
+  QrpTable table(12);
+  table.insert_keywords_of("some shared keywords here");
+  const auto patch = table.to_patch();
+  EXPECT_EQ(patch.size(), (std::size_t{1} << 12) / 8);
+  const auto restored = QrpTable::from_patch(patch);
+  EXPECT_EQ(restored.log2_size(), 12u);
+  EXPECT_DOUBLE_EQ(restored.fill_ratio(), table.fill_ratio());
+  EXPECT_TRUE(restored.might_match("shared keywords"));
+  EXPECT_THROW(QrpTable::from_patch(std::vector<std::uint8_t>(3)),
+               std::invalid_argument);
+}
+
+TEST(QrpTable, RejectsBadSize) {
+  EXPECT_THROW(QrpTable(0), std::invalid_argument);
+  EXPECT_THROW(QrpTable(25), std::invalid_argument);
+}
+
+TEST(RouteTableUpdate, CodecRoundTrip) {
+  stats::Rng rng(1);
+  QrpTable table(12);
+  table.insert_keywords_of("codec test words");
+  const Message original = make_route_table_update(rng, table.to_patch());
+  EXPECT_EQ(original.type(), MessageType::kRouteTableUpdate);
+  const auto wire = encode(original);
+  EXPECT_EQ(wire[16], 0x30);
+  EXPECT_EQ(decode(wire), original);
+}
+
+TEST(QrpEndToEnd, LeafForwardingIsSuppressedByQrp) {
+  // With forwarding on, the node must suppress most leaf forwards (leaf
+  // tables are sparse) while still forwarding to ultrapeers.
+  trace::Trace trace;
+  behavior::TraceSimulationConfig config;
+  config.duration_days = 0.03;
+  config.arrival_rate = 1.5;
+  config.seed = 515;
+  config.node.forward_fanout = 16;
+  behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                trace);
+  sim.run();
+  EXPECT_GT(sim.node().forwarded_messages(), 0u);
+  EXPECT_GT(sim.node().qrp_suppressed(), 0u);
+  // Suppressions should dominate leaf candidates: leaves share few
+  // keyword sets relative to the query stream.
+  EXPECT_GT(sim.node().qrp_suppressed(), sim.node().forwarded_messages() / 4);
+  // Route-table updates were received and counted.
+  EXPECT_GT(trace.stats().route_update_messages, 0u);
+}
+
+}  // namespace
+}  // namespace p2pgen::gnutella

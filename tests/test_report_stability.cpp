@@ -1,0 +1,150 @@
+// Tests for the figure-data exporter and the half-trace stability report.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/filters.hpp"
+#include "analysis/report.hpp"
+#include "analysis/stability.hpp"
+#include "behavior/trace_simulation.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+constexpr std::uint32_t kNaIp = 0x18000001;
+
+/// A small simulated dataset shared by the export tests.
+const TraceDataset& sim_dataset() {
+  static const TraceDataset dataset = [] {
+    trace::Trace trace;
+    behavior::TraceSimulationConfig config;
+    config.duration_days = 0.05;
+    config.arrival_rate = 1.5;
+    config.seed = 808;
+    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                  trace);
+    sim.run();
+    auto ds = build_dataset(trace, geo::GeoIpDatabase::synthetic());
+    apply_filters(ds);
+    return ds;
+  }();
+  return dataset;
+}
+
+TEST(FigureExport, WritesAllFilesWithHeaders) {
+  const std::string dir = ::testing::TempDir() + "/p2pgen_figs";
+  std::filesystem::create_directories(dir);
+  const auto inventory = export_figure_data(sim_dataset(), dir);
+  EXPECT_EQ(inventory.files.size(), 11u);
+  for (const auto& name : inventory.files) {
+    const std::string path = dir + "/" + name;
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << path;
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_FALSE(first_line.empty()) << path;
+    if (name.ends_with(".csv")) {
+      EXPECT_NE(first_line.find(','), std::string::npos) << path;
+    }
+  }
+}
+
+TEST(FigureExport, CcdfRowsAreMonotone) {
+  const std::string dir = ::testing::TempDir() + "/p2pgen_figs2";
+  std::filesystem::create_directories(dir);
+  export_figure_data(sim_dataset(), dir);
+  std::ifstream in(dir + "/fig5_passive_duration.csv");
+  std::string line;
+  std::getline(in, line);  // header
+  std::string prev_region;
+  double prev_y = 2.0;
+  int rows = 0;
+  while (std::getline(in, line)) {
+    const auto c1 = line.find(',');
+    const auto c2 = line.find(',', c1 + 1);
+    const std::string region = line.substr(0, c1);
+    const double y = std::stod(line.substr(c2 + 1));
+    if (region != prev_region) {
+      prev_region = region;
+      prev_y = 2.0;
+    }
+    EXPECT_LE(y, prev_y + 1e-12);
+    prev_y = y;
+    ++rows;
+  }
+  EXPECT_GT(rows, 50);
+}
+
+TEST(FigureExport, ThrowsOnBadDirectory) {
+  EXPECT_THROW(export_figure_data(sim_dataset(), "/nonexistent/dir/xyz"),
+               std::runtime_error);
+}
+
+TEST(Stability, IdenticalHalvesScoreNearZero) {
+  // Two identical day-long halves: same sessions shifted by one day.
+  trace::Trace t;
+  std::uint64_t id = 1;
+  stats::Rng rng(3);
+  for (int half = 0; half < 2; ++half) {
+    stats::Rng half_rng(99);  // same stream for both halves
+    for (int s = 0; s < 300; ++s) {
+      const double start =
+          half * 86400.0 + half_rng.uniform(0.0, 80000.0);
+      const double duration = 70.0 + half_rng.uniform(0.0, 400.0);
+      t.append(trace::SessionStart{start, id, kNaIp, false, "X"});
+      if (half_rng.bernoulli(0.25)) {
+        t.append(trace::MessageEvent{start + 10.0, id,
+                                     gnutella::MessageType::kQuery, 6, 1,
+                                     "q" + std::to_string(s), false, 0, 0});
+      }
+      t.append(trace::SessionEnd{start + duration, id,
+                                 trace::EndReason::kTeardown});
+      ++id;
+    }
+  }
+  auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  apply_filters(ds);
+  const auto report = stability_report(ds);
+  const auto& na = report.regions[geo::region_index(geo::Region::kNorthAmerica)];
+  EXPECT_GT(na.sessions_first, 200u);
+  EXPECT_NEAR(na.passive_fraction_first, na.passive_fraction_second, 0.02);
+  EXPECT_LT(na.passive_duration_ks, 0.05);
+}
+
+TEST(Stability, DetectsDistributionShiftBetweenHalves) {
+  // Second half sessions are 10x longer: KS must light up.
+  trace::Trace t;
+  std::uint64_t id = 1;
+  stats::Rng rng(4);
+  for (int half = 0; half < 2; ++half) {
+    for (int s = 0; s < 200; ++s) {
+      const double start = half * 86400.0 + rng.uniform(0.0, 80000.0);
+      const double duration = (half == 0 ? 100.0 : 1000.0) + rng.uniform(0.0, 50.0);
+      t.append(trace::SessionStart{start, id, kNaIp, false, "X"});
+      t.append(trace::SessionEnd{start + duration, id,
+                                 trace::EndReason::kTeardown});
+      ++id;
+    }
+  }
+  auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  apply_filters(ds);
+  const auto report = stability_report(ds);
+  const auto& na = report.regions[geo::region_index(geo::Region::kNorthAmerica)];
+  EXPECT_GT(na.passive_duration_ks, 0.9);
+}
+
+TEST(Stability, SparseMeasuresReportZero) {
+  trace::Trace t;
+  t.append(trace::SessionStart{10.0, 1, kNaIp, false, "X"});
+  t.append(trace::SessionEnd{100.0, 1, trace::EndReason::kTeardown});
+  auto ds = build_dataset(t, geo::GeoIpDatabase::synthetic());
+  apply_filters(ds);
+  const auto report = stability_report(ds);
+  const auto& na = report.regions[geo::region_index(geo::Region::kNorthAmerica)];
+  EXPECT_EQ(na.passive_duration_ks, 0.0);
+  EXPECT_EQ(na.queries_per_session_ks, 0.0);
+}
+
+}  // namespace
+}  // namespace p2pgen::analysis

@@ -1,0 +1,135 @@
+// Tests for stats::Rng — determinism, uniformity, and moment sanity.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace p2pgen::stats {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValuesUnbiased) {
+  Rng rng(9);
+  std::array<int, 7> counts{};
+  constexpr int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.uniform_index(7)] += 1;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 7.0, 5.0 * std::sqrt(kDraws / 7.0));
+  }
+}
+
+TEST(Rng, UniformIndexZeroAndOne) {
+  Rng rng(10);
+  EXPECT_EQ(rng.uniform_index(0), 0u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_index(1), 0u);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(12);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0;
+  double ss = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    ss += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(ss / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(14);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / kN, 5.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.exponential(0.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.0, 0.05);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng base(42);
+  Rng a = base.split(1);
+  Rng b = base.split(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+
+  // Deterministic: the same split id yields the same stream.
+  Rng a2 = base.split(1);
+  Rng a3 = Rng(42).split(1);
+  EXPECT_EQ(a2.next_u64(), a3.next_u64());
+}
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 m1(0);
+  SplitMix64 m2(0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(m1.next(), m2.next());
+}
+
+}  // namespace
+}  // namespace p2pgen::stats

@@ -1,0 +1,206 @@
+// Tests for the discrete-event kernel and the overlay transport.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace p2pgen::sim {
+namespace {
+
+TEST(Simulator, ExecutesInTimeThenIdOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(2.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(1.0, [&] { order.push_back(2); });  // same time, later id
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(0.5, chain);
+  };
+  sim.schedule_after(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(sim.now(), 49.5);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));     // double cancel is a no-op
+  EXPECT_FALSE(sim.cancel(99999));  // unknown id
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, RejectsPastSchedulingAndNullHandlers) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(1.0, nullptr), std::invalid_argument);
+}
+
+TEST(TimeHelpers, DayAndHourArithmetic) {
+  EXPECT_DOUBLE_EQ(time_of_day(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(time_of_day(86400.0 + 3600.0), 3600.0);
+  EXPECT_EQ(hour_of_day(3600.0 * 25), 1);
+  EXPECT_EQ(hour_of_day(86399.0), 23);
+  EXPECT_EQ(day_index(86399.0), 0);
+  EXPECT_EQ(day_index(86400.0), 1);
+}
+
+// ---------------------------------------------------------------- network
+
+/// Records everything it sees.
+class RecorderNode : public Node {
+ public:
+  struct Seen {
+    ConnId conn;
+    gnutella::MessageType type;
+  };
+
+  void on_connection_open(ConnId conn, NodeId peer) override {
+    opens.push_back({conn, peer});
+  }
+  void on_connection_closed(ConnId conn) override { closes.push_back(conn); }
+  void on_handshake(ConnId conn, const gnutella::Handshake& hs) override {
+    handshakes.emplace_back(conn, hs.user_agent());
+  }
+  void on_message(ConnId conn, const gnutella::Message& msg) override {
+    messages.push_back({conn, msg.type()});
+  }
+
+  std::vector<std::pair<ConnId, NodeId>> opens;
+  std::vector<ConnId> closes;
+  std::vector<std::pair<ConnId, std::string>> handshakes;
+  std::vector<Seen> messages;
+};
+
+struct NetworkFixture : ::testing::Test {
+  Simulator sim;
+  Network net{sim, Network::Config{0.05, true}};
+  RecorderNode a;
+  RecorderNode b;
+  NodeId ida = net.add_node(a);
+  NodeId idb = net.add_node(b);
+};
+
+TEST_F(NetworkFixture, ConnectNotifiesBothEnds) {
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  ASSERT_EQ(a.opens.size(), 1u);
+  ASSERT_EQ(b.opens.size(), 1u);
+  EXPECT_EQ(a.opens[0].second, idb);
+  EXPECT_EQ(b.opens[0].second, ida);
+  EXPECT_TRUE(net.is_open(conn));
+  EXPECT_EQ(net.peer_of(conn, ida), idb);
+}
+
+TEST_F(NetworkFixture, MessagesDeliverWithLatency) {
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  stats::Rng rng(1);
+  net.send(conn, ida, gnutella::make_query(rng, "hi"));
+  sim.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].type, gnutella::MessageType::kQuery);
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_GT(net.wire_bytes(), 0u);
+}
+
+TEST_F(NetworkFixture, GracefulCloseDeliversInFlightMessages) {
+  // TCP FIN semantics: a BYE sent right before close() still arrives.
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  stats::Rng rng(2);
+  net.send(conn, ida, gnutella::make_bye(rng, 200, "bye"));
+  net.close(conn);
+  sim.run();
+  ASSERT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(b.messages[0].type, gnutella::MessageType::kBye);
+  EXPECT_EQ(a.closes.size(), 1u);
+  EXPECT_EQ(b.closes.size(), 1u);
+  EXPECT_FALSE(net.is_open(conn));
+}
+
+TEST_F(NetworkFixture, SendOnClosedConnectionIsDropped) {
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  net.close(conn);
+  stats::Rng rng(3);
+  net.send(conn, ida, gnutella::make_ping(rng));  // still in map, not open
+  sim.run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_GE(net.messages_dropped(), 1u);
+}
+
+TEST_F(NetworkFixture, DoubleCloseIsNoOp) {
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  net.close(conn);
+  net.close(conn);
+  sim.run();
+  EXPECT_EQ(a.closes.size(), 1u);
+  EXPECT_EQ(b.closes.size(), 1u);
+}
+
+TEST_F(NetworkFixture, HandshakeDelivery) {
+  const ConnId conn = net.connect(ida, idb);
+  sim.run();
+  net.send_handshake(conn, ida,
+                     gnutella::Handshake::connect_request("TestAgent/1.0", false));
+  sim.run();
+  ASSERT_EQ(b.handshakes.size(), 1u);
+  EXPECT_EQ(b.handshakes[0].second, "TestAgent/1.0");
+}
+
+TEST_F(NetworkFixture, AddressRegistry) {
+  net.set_address(ida, 0x01020304);
+  EXPECT_EQ(net.address_of(ida), 0x01020304u);
+  EXPECT_EQ(net.address_of(idb), 0u);
+  EXPECT_THROW(net.address_of(999), std::invalid_argument);
+}
+
+TEST_F(NetworkFixture, InvalidEndpointsRejected) {
+  EXPECT_THROW(net.connect(ida, ida), std::invalid_argument);
+  EXPECT_THROW(net.connect(ida, 42), std::invalid_argument);
+  const ConnId conn = net.connect(ida, idb);
+  stats::Rng rng(4);
+  EXPECT_THROW(net.send(conn, 42, gnutella::make_ping(rng)),
+               std::invalid_argument);
+  EXPECT_THROW(net.peer_of(conn, 42), std::invalid_argument);
+}
+
+TEST(Network, RejectsNegativeLatency) {
+  Simulator sim;
+  EXPECT_THROW(Network(sim, Network::Config{-1.0, false}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p2pgen::sim
