@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_generator_perf.dir/bench_ablation_generator_perf.cpp.o"
+  "CMakeFiles/bench_ablation_generator_perf.dir/bench_ablation_generator_perf.cpp.o.d"
+  "bench_ablation_generator_perf"
+  "bench_ablation_generator_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_generator_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlations.dir/bench_correlations.cpp.o"
+  "CMakeFiles/bench_correlations.dir/bench_correlations.cpp.o.d"
+  "bench_correlations"
+  "bench_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

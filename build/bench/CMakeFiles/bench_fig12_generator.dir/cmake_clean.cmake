@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_generator.dir/bench_fig12_generator.cpp.o"
+  "CMakeFiles/bench_fig12_generator.dir/bench_fig12_generator.cpp.o.d"
+  "bench_fig12_generator"
+  "bench_fig12_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

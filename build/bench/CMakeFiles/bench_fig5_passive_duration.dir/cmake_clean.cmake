@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_passive_duration.dir/bench_fig5_passive_duration.cpp.o"
+  "CMakeFiles/bench_fig5_passive_duration.dir/bench_fig5_passive_duration.cpp.o.d"
+  "bench_fig5_passive_duration"
+  "bench_fig5_passive_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_passive_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_last_query.dir/bench_fig9_last_query.cpp.o"
+  "CMakeFiles/bench_fig9_last_query.dir/bench_fig9_last_query.cpp.o.d"
+  "bench_fig9_last_query"
+  "bench_fig9_last_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_last_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

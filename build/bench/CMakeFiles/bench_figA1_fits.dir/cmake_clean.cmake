@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figA1_fits.dir/bench_figA1_fits.cpp.o"
+  "CMakeFiles/bench_figA1_fits.dir/bench_figA1_fits.cpp.o.d"
+  "bench_figA1_fits"
+  "bench_figA1_fits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figA1_fits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

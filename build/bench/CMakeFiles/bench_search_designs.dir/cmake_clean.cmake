@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_search_designs.dir/bench_search_designs.cpp.o"
+  "CMakeFiles/bench_search_designs.dir/bench_search_designs.cpp.o.d"
+  "bench_search_designs"
+  "bench_search_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_search_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

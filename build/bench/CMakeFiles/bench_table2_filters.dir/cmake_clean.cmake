@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_filters.dir/bench_table2_filters.cpp.o"
+  "CMakeFiles/bench_table2_filters.dir/bench_table2_filters.cpp.o.d"
+  "bench_table2_filters"
+  "bench_table2_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

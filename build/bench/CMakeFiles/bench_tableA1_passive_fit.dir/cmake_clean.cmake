@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableA1_passive_fit.dir/bench_tableA1_passive_fit.cpp.o"
+  "CMakeFiles/bench_tableA1_passive_fit.dir/bench_tableA1_passive_fit.cpp.o.d"
+  "bench_tableA1_passive_fit"
+  "bench_tableA1_passive_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableA1_passive_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

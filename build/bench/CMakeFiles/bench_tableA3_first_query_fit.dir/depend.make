@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableA3_first_query_fit.
+# This may be replaced when dependencies are built.

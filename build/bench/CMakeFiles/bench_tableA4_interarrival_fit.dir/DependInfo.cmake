@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tableA4_interarrival_fit.cpp" "bench/CMakeFiles/bench_tableA4_interarrival_fit.dir/bench_tableA4_interarrival_fit.cpp.o" "gcc" "bench/CMakeFiles/bench_tableA4_interarrival_fit.dir/bench_tableA4_interarrival_fit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/p2pgen_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/p2pgen_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/behavior/CMakeFiles/p2pgen_behavior.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/p2pgen_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2pgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p2pgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2pgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2pgen_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p2pgen_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/p2pgen_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tableA4_interarrival_fit.dir/bench_tableA4_interarrival_fit.cpp.o"
+  "CMakeFiles/bench_tableA4_interarrival_fit.dir/bench_tableA4_interarrival_fit.cpp.o.d"
+  "bench_tableA4_interarrival_fit"
+  "bench_tableA4_interarrival_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tableA4_interarrival_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tableA4_interarrival_fit.
+# This may be replaced when dependencies are built.

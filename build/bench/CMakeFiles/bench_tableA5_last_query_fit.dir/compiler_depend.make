@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tableA5_last_query_fit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/p2pgen_bench_common.dir/bench_common.cpp.o.d"
+  "libp2pgen_bench_common.a"
+  "libp2pgen_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

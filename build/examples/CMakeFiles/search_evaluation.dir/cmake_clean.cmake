@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_evaluation.dir/search_evaluation.cpp.o"
+  "CMakeFiles/search_evaluation.dir/search_evaluation.cpp.o.d"
+  "search_evaluation"
+  "search_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

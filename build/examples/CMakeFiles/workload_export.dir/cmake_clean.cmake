@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_export.dir/workload_export.cpp.o"
+  "CMakeFiles/workload_export.dir/workload_export.cpp.o.d"
+  "workload_export"
+  "workload_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

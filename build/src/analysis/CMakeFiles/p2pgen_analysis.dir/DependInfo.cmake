@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/correlations.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/correlations.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/correlations.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/filters.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/filters.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/filters.cpp.o.d"
+  "/root/repo/src/analysis/hitrate.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/hitrate.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/hitrate.cpp.o.d"
+  "/root/repo/src/analysis/measures.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/measures.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/measures.cpp.o.d"
+  "/root/repo/src/analysis/model_fit.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/model_fit.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/model_fit.cpp.o.d"
+  "/root/repo/src/analysis/popularity_analysis.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/popularity_analysis.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/popularity_analysis.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stability.cpp" "src/analysis/CMakeFiles/p2pgen_analysis.dir/stability.cpp.o" "gcc" "src/analysis/CMakeFiles/p2pgen_analysis.dir/stability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2pgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p2pgen_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p2pgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2pgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2pgen_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/p2pgen_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

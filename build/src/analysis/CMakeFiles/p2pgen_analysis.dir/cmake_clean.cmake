@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_analysis.dir/correlations.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/correlations.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/filters.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/filters.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/hitrate.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/hitrate.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/measures.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/measures.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/model_fit.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/model_fit.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/popularity_analysis.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/popularity_analysis.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/report.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/p2pgen_analysis.dir/stability.cpp.o"
+  "CMakeFiles/p2pgen_analysis.dir/stability.cpp.o.d"
+  "libp2pgen_analysis.a"
+  "libp2pgen_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/behavior/client_profile.cpp" "src/behavior/CMakeFiles/p2pgen_behavior.dir/client_profile.cpp.o" "gcc" "src/behavior/CMakeFiles/p2pgen_behavior.dir/client_profile.cpp.o.d"
+  "/root/repo/src/behavior/measurement_node.cpp" "src/behavior/CMakeFiles/p2pgen_behavior.dir/measurement_node.cpp.o" "gcc" "src/behavior/CMakeFiles/p2pgen_behavior.dir/measurement_node.cpp.o.d"
+  "/root/repo/src/behavior/peer.cpp" "src/behavior/CMakeFiles/p2pgen_behavior.dir/peer.cpp.o" "gcc" "src/behavior/CMakeFiles/p2pgen_behavior.dir/peer.cpp.o.d"
+  "/root/repo/src/behavior/peer_plan.cpp" "src/behavior/CMakeFiles/p2pgen_behavior.dir/peer_plan.cpp.o" "gcc" "src/behavior/CMakeFiles/p2pgen_behavior.dir/peer_plan.cpp.o.d"
+  "/root/repo/src/behavior/trace_simulation.cpp" "src/behavior/CMakeFiles/p2pgen_behavior.dir/trace_simulation.cpp.o" "gcc" "src/behavior/CMakeFiles/p2pgen_behavior.dir/trace_simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/p2pgen_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/p2pgen_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/p2pgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/p2pgen_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnutella/CMakeFiles/p2pgen_gnutella.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/p2pgen_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_behavior.dir/client_profile.cpp.o"
+  "CMakeFiles/p2pgen_behavior.dir/client_profile.cpp.o.d"
+  "CMakeFiles/p2pgen_behavior.dir/measurement_node.cpp.o"
+  "CMakeFiles/p2pgen_behavior.dir/measurement_node.cpp.o.d"
+  "CMakeFiles/p2pgen_behavior.dir/peer.cpp.o"
+  "CMakeFiles/p2pgen_behavior.dir/peer.cpp.o.d"
+  "CMakeFiles/p2pgen_behavior.dir/peer_plan.cpp.o"
+  "CMakeFiles/p2pgen_behavior.dir/peer_plan.cpp.o.d"
+  "CMakeFiles/p2pgen_behavior.dir/trace_simulation.cpp.o"
+  "CMakeFiles/p2pgen_behavior.dir/trace_simulation.cpp.o.d"
+  "libp2pgen_behavior.a"
+  "libp2pgen_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

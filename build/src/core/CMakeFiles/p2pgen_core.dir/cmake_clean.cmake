@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_core.dir/generator.cpp.o"
+  "CMakeFiles/p2pgen_core.dir/generator.cpp.o.d"
+  "CMakeFiles/p2pgen_core.dir/model.cpp.o"
+  "CMakeFiles/p2pgen_core.dir/model.cpp.o.d"
+  "CMakeFiles/p2pgen_core.dir/model_io.cpp.o"
+  "CMakeFiles/p2pgen_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/p2pgen_core.dir/popularity.cpp.o"
+  "CMakeFiles/p2pgen_core.dir/popularity.cpp.o.d"
+  "libp2pgen_core.a"
+  "libp2pgen_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_geo.dir/geoip.cpp.o"
+  "CMakeFiles/p2pgen_geo.dir/geoip.cpp.o.d"
+  "libp2pgen_geo.a"
+  "libp2pgen_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnutella/codec.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/codec.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/codec.cpp.o.d"
+  "/root/repo/src/gnutella/guid.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/guid.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/guid.cpp.o.d"
+  "/root/repo/src/gnutella/handshake.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/handshake.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/handshake.cpp.o.d"
+  "/root/repo/src/gnutella/message.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/message.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/message.cpp.o.d"
+  "/root/repo/src/gnutella/qrp.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/qrp.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/qrp.cpp.o.d"
+  "/root/repo/src/gnutella/routing.cpp" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/routing.cpp.o" "gcc" "src/gnutella/CMakeFiles/p2pgen_gnutella.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/p2pgen_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

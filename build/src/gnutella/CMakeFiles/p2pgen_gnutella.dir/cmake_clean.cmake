@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_gnutella.dir/codec.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/codec.cpp.o.d"
+  "CMakeFiles/p2pgen_gnutella.dir/guid.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/guid.cpp.o.d"
+  "CMakeFiles/p2pgen_gnutella.dir/handshake.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/handshake.cpp.o.d"
+  "CMakeFiles/p2pgen_gnutella.dir/message.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/message.cpp.o.d"
+  "CMakeFiles/p2pgen_gnutella.dir/qrp.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/qrp.cpp.o.d"
+  "CMakeFiles/p2pgen_gnutella.dir/routing.cpp.o"
+  "CMakeFiles/p2pgen_gnutella.dir/routing.cpp.o.d"
+  "libp2pgen_gnutella.a"
+  "libp2pgen_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

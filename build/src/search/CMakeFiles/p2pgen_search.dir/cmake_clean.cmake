@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_search.dir/chord.cpp.o"
+  "CMakeFiles/p2pgen_search.dir/chord.cpp.o.d"
+  "CMakeFiles/p2pgen_search.dir/evaluation.cpp.o"
+  "CMakeFiles/p2pgen_search.dir/evaluation.cpp.o.d"
+  "CMakeFiles/p2pgen_search.dir/flooding.cpp.o"
+  "CMakeFiles/p2pgen_search.dir/flooding.cpp.o.d"
+  "CMakeFiles/p2pgen_search.dir/overlay.cpp.o"
+  "CMakeFiles/p2pgen_search.dir/overlay.cpp.o.d"
+  "libp2pgen_search.a"
+  "libp2pgen_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

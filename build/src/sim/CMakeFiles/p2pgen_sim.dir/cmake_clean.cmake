@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_sim.dir/network.cpp.o"
+  "CMakeFiles/p2pgen_sim.dir/network.cpp.o.d"
+  "CMakeFiles/p2pgen_sim.dir/simulator.cpp.o"
+  "CMakeFiles/p2pgen_sim.dir/simulator.cpp.o.d"
+  "libp2pgen_sim.a"
+  "libp2pgen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

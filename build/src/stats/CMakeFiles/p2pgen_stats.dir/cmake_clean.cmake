@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_stats.dir/distribution_io.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/distribution_io.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/distributions.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/fit.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/fit.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/gof.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/gof.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/histogram.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/rng.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/summary.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/p2pgen_stats.dir/zipf.cpp.o"
+  "CMakeFiles/p2pgen_stats.dir/zipf.cpp.o.d"
+  "libp2pgen_stats.a"
+  "libp2pgen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

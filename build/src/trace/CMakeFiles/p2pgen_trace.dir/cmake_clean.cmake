@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pgen_trace.dir/trace.cpp.o"
+  "CMakeFiles/p2pgen_trace.dir/trace.cpp.o.d"
+  "CMakeFiles/p2pgen_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/p2pgen_trace.dir/trace_io.cpp.o.d"
+  "libp2pgen_trace.a"
+  "libp2pgen_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pgen_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filters.dir/test_filters.cpp.o"
+  "CMakeFiles/test_filters.dir/test_filters.cpp.o.d"
+  "test_filters"
+  "test_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geo_trace.dir/test_geo_trace.cpp.o"
+  "CMakeFiles/test_geo_trace.dir/test_geo_trace.cpp.o.d"
+  "test_geo_trace"
+  "test_geo_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geo_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnutella.dir/test_gnutella.cpp.o"
+  "CMakeFiles/test_gnutella.dir/test_gnutella.cpp.o.d"
+  "test_gnutella"
+  "test_gnutella.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnutella.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qrp.dir/test_qrp.cpp.o"
+  "CMakeFiles/test_qrp.dir/test_qrp.cpp.o.d"
+  "test_qrp"
+  "test_qrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
