@@ -1,0 +1,153 @@
+// Ablation 3 — What a hostile overlay does to the measured workload.
+//
+// The paper's methodology (Section 3.2) is built to survive a network
+// where peers crash, links half-open, and descriptors get lost or
+// damaged.  This ablation runs the same measurement twice — once on a
+// clean transport, once with the fault layer injecting loss, corruption,
+// duplication, jitter, crashes and half-open links — and compares the
+// session-duration and interarrival distributions the analysis recovers.
+// The fault run also prints the robustness report: what was injected and
+// how the hardened node coped.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "analysis/report.hpp"
+
+namespace {
+
+using p2pgen::analysis::kRegions;
+
+/// Pools a per-region sample family into one vector.
+std::vector<double> pooled(
+    const std::array<std::vector<double>, kRegions>& by_region) {
+  std::vector<double> all;
+  for (const auto& region : by_region) {
+    all.insert(all.end(), region.begin(), region.end());
+  }
+  return all;
+}
+
+/// Two-sample Kolmogorov-Smirnov statistic: sup_x |F1(x) - F2(x)|.
+double ks_two_sample(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::abs(static_cast<double>(i) / na -
+                             static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2pgen;
+  bench::print_header("Ablation 3",
+                      "Measurement on a clean vs fault-injected overlay");
+
+  const auto scale = bench::bench_scale();
+  auto simulate = [&scale](sim::FaultConfig faults,
+                           trace::Trace& trace) {
+    behavior::TraceSimulationConfig config;
+    config.duration_days = scale.days;
+    config.arrival_rate = scale.arrival_rate;
+    config.seed = scale.seed;
+    config.faults = faults;
+    // Forwarding must be on for the retry/backoff path to have anything to
+    // do; retries themselves are only enabled in the faulted run so that a
+    // clean run reports zero fault activity.
+    config.node.forward_fanout = 4;
+    config.node.forward_retry_max = faults.enabled() ? 3 : 0;
+    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
+                                  trace);
+    sim.run();
+
+    analysis::RobustnessReport report;
+    report.injected = sim.fault_counters();
+    report.transport_delivered = sim.network().messages_delivered();
+    report.transport_dropped = sim.network().messages_dropped();
+    report.decode_errors = sim.node().decode_errors();
+    report.clean_bytes_before_error = sim.node().clean_bytes_before_error();
+    report.forward_retries = sim.node().forward_retries();
+    report.forward_retries_exhausted = sim.node().forward_retries_exhausted();
+    report.add_trace(trace);
+    return report;
+  };
+
+  std::cout << "\nsimulating " << scale.days << " day(s), clean overlay...\n";
+  trace::Trace clean_trace;
+  const auto clean_report = simulate(sim::FaultConfig{}, clean_trace);
+
+  std::cout << "simulating " << scale.days << " day(s), hostile overlay...\n";
+  sim::FaultConfig faults;
+  faults.loss_prob = 0.05;
+  faults.corrupt_prob = 0.02;
+  faults.duplicate_prob = 0.03;
+  faults.jitter_seconds = 1.0;
+  faults.crash_rate = 1.0 / 1800.0;   // mean 30 min to a link crash
+  faults.half_open_prob = 0.10;
+  faults.half_open_after_mean = 300.0;
+  trace::Trace faulty_trace;
+  const auto faulty_report = simulate(faults, faulty_trace);
+
+  const auto geodb = geo::GeoIpDatabase::synthetic();
+  auto clean_ds = analysis::build_dataset(clean_trace, geodb);
+  auto faulty_ds = analysis::build_dataset(faulty_trace, geodb);
+  analysis::apply_filters(clean_ds);
+  analysis::apply_filters(faulty_ds);
+  const auto clean_m = analysis::session_measures(clean_ds);
+  const auto faulty_m = analysis::session_measures(faulty_ds);
+
+  // --- distribution shifts ------------------------------------------------
+  const auto clean_dur = pooled(clean_m.passive_duration_by_region);
+  const auto faulty_dur = pooled(faulty_m.passive_duration_by_region);
+  const auto clean_ia = pooled(clean_m.interarrival_by_region);
+  const auto faulty_ia = pooled(faulty_m.interarrival_by_region);
+
+  std::cout << "\nPassive session duration ECDF (s, all regions pooled):\n";
+  bench::print_ccdf_family("duration_s", {"clean", "faults"},
+                           {&clean_dur, &faulty_dur});
+
+  std::cout << std::setprecision(4)
+            << "\nTwo-sample KS, session durations:   "
+            << ks_two_sample(clean_dur, faulty_dur)
+            << "   (n=" << clean_dur.size() << " vs " << faulty_dur.size()
+            << ")\n"
+            << "Two-sample KS, query interarrivals: "
+            << ks_two_sample(clean_ia, faulty_ia) << "   (n=" << clean_ia.size()
+            << " vs " << faulty_ia.size() << ")\n";
+
+  std::cout << "\nSession end reasons, clean vs faults:\n"
+            << "  BYE:        " << clean_report.bye_ends << " -> "
+            << faulty_report.bye_ends << "\n"
+            << "  teardown:   " << clean_report.teardown_ends << " -> "
+            << faulty_report.teardown_ends << "\n"
+            << "  idle probe: " << clean_report.probe_ends << " -> "
+            << faulty_report.probe_ends
+            << "   <- crashed peers join the silent ones\n"
+            << "  error:      " << clean_report.error_ends << " -> "
+            << faulty_report.error_ends
+            << "   <- corrupted descriptors, connection dropped\n";
+
+  std::cout << "\n";
+  analysis::print_robustness_report(std::cout, faulty_report);
+
+  std::cout << "\nConclusion: faults shift the *measured* session-duration\n"
+               "distribution (crashes end sessions early and are recorded\n"
+               "~30 s late by the idle probe; losses and half-open links\n"
+               "stretch interarrivals), while the hardened node itself keeps\n"
+               "running — decode errors cost one connection each, never the\n"
+               "measurement.\n";
+  return clean_report.any_faults() ? 1 : 0;  // clean run must stay clean
+}

@@ -9,13 +9,20 @@
 // 4. Re-fit the Appendix models and print ground-truth vs recovered
 //    parameters — the closed-loop validation.
 //
-//   $ ./measurement_pipeline [days] [arrival_rate]
+//   $ ./measurement_pipeline [days] [arrival_rate] [faults]
+//
+// Pass a third argument "faults" (or "1") to run the same measurement on
+// a hostile overlay: message loss, byte corruption, duplication, jitter,
+// abrupt peer crashes and half-open links — and print the robustness
+// report showing how the hardened node coped.
 #include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
 #include "analysis/filters.hpp"
 #include "analysis/model_fit.hpp"
+#include "analysis/report.hpp"
 #include "behavior/trace_simulation.hpp"
 
 int main(int argc, char** argv) {
@@ -26,8 +33,24 @@ int main(int argc, char** argv) {
   config.arrival_rate = argc > 2 ? std::atof(argv[2]) : 1.0;
   config.seed = 20040315;
 
+  const bool faults_on =
+      argc > 3 && (std::strcmp(argv[3], "faults") == 0 ||
+                   std::strcmp(argv[3], "1") == 0);
+  if (faults_on) {
+    config.faults.loss_prob = 0.03;
+    config.faults.corrupt_prob = 0.01;
+    config.faults.duplicate_prob = 0.02;
+    config.faults.jitter_seconds = 0.5;
+    config.faults.crash_rate = 1.0 / 3600.0;
+    config.faults.half_open_prob = 0.05;
+    config.faults.half_open_after_mean = 300.0;
+    config.node.forward_fanout = 4;
+    config.node.forward_retry_max = 3;
+  }
+
   std::cout << "== 1. simulating " << config.duration_days
-            << " day(s) of measurement ==\n";
+            << " day(s) of measurement"
+            << (faults_on ? " on a hostile overlay" : "") << " ==\n";
   trace::Trace trace;
   behavior::TraceSimulation simulation(core::WorkloadModel::paper_default(),
                                        config, trace);
@@ -45,6 +68,22 @@ int main(int argc, char** argv) {
                    static_cast<double>(std::max<std::uint64_t>(
                        1, stats.direct_connections))
             << "\n";
+
+  if (faults_on) {
+    analysis::RobustnessReport robustness;
+    robustness.injected = simulation.fault_counters();
+    robustness.transport_delivered = simulation.network().messages_delivered();
+    robustness.transport_dropped = simulation.network().messages_dropped();
+    robustness.decode_errors = simulation.node().decode_errors();
+    robustness.clean_bytes_before_error =
+        simulation.node().clean_bytes_before_error();
+    robustness.forward_retries = simulation.node().forward_retries();
+    robustness.forward_retries_exhausted =
+        simulation.node().forward_retries_exhausted();
+    robustness.add_trace(trace);
+    std::cout << "\n";
+    analysis::print_robustness_report(std::cout, robustness);
+  }
 
   std::cout << "\n== 2. session reconstruction + filter rules ==\n";
   auto dataset =

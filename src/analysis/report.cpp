@@ -216,4 +216,54 @@ FigureExport export_figure_data(const TraceDataset& dataset,
   return inventory;
 }
 
+void RobustnessReport::add_trace(const trace::Trace& trace) {
+  for (const auto& event : trace.events()) {
+    const auto* end = std::get_if<trace::SessionEnd>(&event);
+    if (end == nullptr) continue;
+    switch (end->reason) {
+      case trace::EndReason::kBye: ++bye_ends; break;
+      case trace::EndReason::kTeardown: ++teardown_ends; break;
+      case trace::EndReason::kIdleProbe: ++probe_ends; break;
+      case trace::EndReason::kError: ++error_ends; break;
+    }
+  }
+}
+
+bool RobustnessReport::any_faults() const noexcept {
+  return injected.messages_lost > 0 || injected.messages_corrupted > 0 ||
+         injected.messages_duplicated > 0 || injected.messages_delayed > 0 ||
+         injected.node_crashes > 0 || injected.half_open_links > 0 ||
+         injected.sends_into_dead_link > 0 || decode_errors > 0 ||
+         forward_retries > 0 || error_ends > 0;
+}
+
+void print_robustness_report(std::ostream& out,
+                             const RobustnessReport& report) {
+  auto row = [&out](const char* label, std::uint64_t value) {
+    out << "  " << label;
+    for (std::size_t i = std::char_traits<char>::length(label); i < 34; ++i) {
+      out << ' ';
+    }
+    out << value << "\n";
+  };
+  out << "robustness report (fault layer + measurement node):\n";
+  row("injected message loss:", report.injected.messages_lost);
+  row("injected corruptions:", report.injected.messages_corrupted);
+  row("injected duplicates:", report.injected.messages_duplicated);
+  row("injected delays (jitter):", report.injected.messages_delayed);
+  row("injected peer crashes:", report.injected.node_crashes);
+  row("half-open link directions:", report.injected.half_open_links);
+  row("sends into dead links:", report.injected.sends_into_dead_link);
+  row("transport delivered:", report.transport_delivered);
+  row("transport dropped:", report.transport_dropped);
+  row("decode errors caught:", report.decode_errors);
+  row("clean bytes before error:", report.clean_bytes_before_error);
+  row("forward retries:", report.forward_retries);
+  row("forward retries exhausted:", report.forward_retries_exhausted);
+  row("session ends: BYE:", report.bye_ends);
+  row("session ends: teardown:", report.teardown_ends);
+  row("session ends: idle probe:", report.probe_ends);
+  row("session ends: decode error:", report.error_ends);
+}
+
 }  // namespace p2pgen::analysis

@@ -7,9 +7,11 @@
 // bench binaries' tables.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 
 #include "analysis/dataset.hpp"
+#include "sim/fault.hpp"
 
 namespace p2pgen::analysis {
 
@@ -35,5 +37,40 @@ struct FigureExport {
 /// failure.  Returns the inventory.
 FigureExport export_figure_data(const TraceDataset& dataset,
                                 const std::string& directory);
+
+/// Fault / robustness counters of a measurement run: what the fault layer
+/// injected (sim::FaultCounters), how the measurement node coped, and the
+/// session-end-reason mix the trace recorded.  Consumers fill the
+/// transport and node rows from TraceSimulation / MeasurementNode
+/// accessors and derive the end mix with add_trace().
+struct RobustnessReport {
+  // Injected by the fault layer.
+  sim::FaultCounters injected;
+
+  // Transport totals.
+  std::uint64_t transport_delivered = 0;
+  std::uint64_t transport_dropped = 0;
+
+  // Measurement-node hardening counters.
+  std::uint64_t decode_errors = 0;            ///< malformed descriptors caught
+  std::uint64_t clean_bytes_before_error = 0; ///< stream progress before each
+  std::uint64_t forward_retries = 0;          ///< backoff retries scheduled
+  std::uint64_t forward_retries_exhausted = 0;
+
+  // Session-end-reason mix observed in the trace.
+  std::uint64_t bye_ends = 0;
+  std::uint64_t teardown_ends = 0;
+  std::uint64_t probe_ends = 0;  ///< silent peers + crashes (idle-probe reaps)
+  std::uint64_t error_ends = 0;  ///< abnormal closes after a DecodeError
+
+  /// Accumulates the end-reason mix from a recorded trace.
+  void add_trace(const trace::Trace& trace);
+
+  /// True when any fault fired or any hardening path ran.
+  bool any_faults() const noexcept;
+};
+
+/// Pretty-prints the report as aligned "label: value" rows.
+void print_robustness_report(std::ostream& out, const RobustnessReport& report);
 
 }  // namespace p2pgen::analysis

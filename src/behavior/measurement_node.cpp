@@ -117,7 +117,52 @@ void MeasurementNode::on_message(sim::ConnId conn,
                                  const gnutella::Message& message) {
   const auto it = sessions_.find(conn);
   if (it == sessions_.end()) return;  // pre-establishment or raced close
+  handle_message(conn, it->second, message);
+}
+
+void MeasurementNode::on_wire(sim::ConnId conn,
+                              const std::vector<std::uint8_t>& bytes) {
+  // Raw (possibly damaged) wire data from the fault layer: run it through
+  // the connection's stream assembler exactly as the real client ran its
+  // TCP stream through the codec.
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
   Session& session = it->second;
+  session.assembler.feed(bytes);
+  try {
+    while (auto message = session.assembler.next()) {
+      // handle_message never erases the session, so `session` stays valid
+      // across the loop.
+      handle_message(conn, session, *message);
+    }
+  } catch (const gnutella::DecodeError&) {
+    // Malformed descriptor: the real mutella dropped just this
+    // connection.  Record how far into the stream corruption hit and an
+    // abnormal-close event, then tear the connection down.
+    ++decode_errors_;
+    clean_bytes_before_error_ += session.assembler.consumed_total();
+    drop_connection_on_error(conn);
+  }
+}
+
+void MeasurementNode::drop_connection_on_error(sim::ConnId conn) {
+  const auto it = sessions_.find(conn);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  if (session.watchdog_event != 0) {
+    network_.simulator().cancel(session.watchdog_event);
+  }
+  trace::SessionEnd end;
+  end.time = network_.simulator().now();
+  end.session_id = session.session_id;
+  end.reason = trace::EndReason::kError;
+  sink_.on_event(end);
+  sessions_.erase(it);
+  network_.close(conn);
+}
+
+void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
+                                     const gnutella::Message& message) {
   note_activity(session);
 
   // The trace records everything the client receives, duplicates included
@@ -174,24 +219,52 @@ void MeasurementNode::on_message(sim::ConnId conn,
 
 void MeasurementNode::forward_query(sim::ConnId from,
                                     const gnutella::Message& message) {
+  forward_attempt(from, message,
+                  std::make_shared<std::unordered_set<sim::ConnId>>(), 0);
+}
+
+void MeasurementNode::forward_attempt(
+    sim::ConnId from, const gnutella::Message& message,
+    const std::shared_ptr<std::unordered_set<sim::ConnId>>& used,
+    int attempt) {
   const auto& payload = std::get<gnutella::QueryPayload>(message.payload);
-  int sent = 0;
   for (auto& [conn, session] : sessions_) {
-    if (conn == from) continue;
+    if (conn == from || used->count(conn) > 0) continue;
     if (!network_.is_open(conn)) continue;
     if (!session.ultrapeer) {
       // Section 3.1: leaves receive a query only if their QRP table says
       // they are likely to respond.  Leaves that never sent a table share
-      // nothing and are skipped entirely.
+      // nothing and are skipped entirely.  (Counted only on the first
+      // pass: a retry revisiting the same leaf is not a new suppression.)
       if (!session.qrp || !session.qrp->might_match(payload.keywords)) {
-        ++qrp_suppressed_;
+        if (attempt == 0) ++qrp_suppressed_;
         continue;
       }
     }
     network_.send(conn, id_, message.forwarded());
+    used->insert(conn);
     ++forwarded_;
-    if (++sent >= config_.forward_fanout) break;
+    if (used->size() >= static_cast<std::size_t>(config_.forward_fanout)) {
+      return;
+    }
   }
+  // Short pass: neighbor connections were lost under us.  Retry the
+  // remainder with exponential backoff — by then new neighbors may have
+  // connected — up to the configured bound.
+  if (config_.forward_retry_max <= 0) return;
+  if (attempt >= config_.forward_retry_max) {
+    ++forward_retries_exhausted_;
+    return;
+  }
+  ++forward_retries_;
+  const double delay = config_.forward_retry_base * static_cast<double>(1 << attempt);
+  network_.simulator().schedule_after(
+      delay, [this, from, message, used, attempt] {
+        if (used->size() >= static_cast<std::size_t>(config_.forward_fanout)) {
+          return;
+        }
+        forward_attempt(from, message, used, attempt + 1);
+      });
 }
 
 void MeasurementNode::note_activity(Session& session) {
@@ -230,8 +303,7 @@ void MeasurementNode::watchdog_fire(sim::ConnId conn) {
       end.session_id = session.session_id;
       end.reason = trace::EndReason::kIdleProbe;
       sink_.on_event(end);
-      const std::uint64_t sid = session.session_id;
-      (void)sid;
+      ++probe_closed_sessions_;
       sessions_.erase(it);
       network_.close(conn);
       return;

@@ -8,12 +8,22 @@
 // optionally forwarding queries to other ultrapeer neighbors, and
 // detecting silent peers with the 15 s idle + 15 s probe rule — which
 // overestimates silent session ends by ~30 s, exactly as the paper notes.
+//
+// The node is hardened against the hostile-overlay faults the real
+// mutella faced (sim/fault.hpp): corrupted wire data is run through a
+// per-connection stream assembler and a DecodeError tears down just that
+// connection (recorded as EndReason::kError), crashed peers are reaped by
+// the idle probe, and forward-fanout passes that come up short retry with
+// bounded exponential backoff.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "gnutella/codec.hpp"
 #include "gnutella/qrp.hpp"
 #include "gnutella/routing.hpp"
 #include "sim/network.hpp"
@@ -33,6 +43,13 @@ class MeasurementNode final : public sim::Node {
     /// If > 0, received first-seen queries are forwarded to up to this
     /// many other established ultrapeer connections (TTL permitting).
     int forward_fanout = 0;
+    /// When a forward pass reaches fewer than forward_fanout neighbors
+    /// (connections lost under it), retry the remainder up to this many
+    /// times with exponential backoff.  0 disables retries (and keeps
+    /// runs byte-identical to the pre-fault-layer behavior).
+    int forward_retry_max = 0;
+    /// First retry delay, seconds; doubles on each further attempt.
+    double forward_retry_base = 2.0;
   };
 
   MeasurementNode(sim::Network& network, trace::TraceSink& sink, Config config,
@@ -58,11 +75,38 @@ class MeasurementNode final : public sim::Node {
   /// Leaf forwards suppressed by a QRP miss.
   std::uint64_t qrp_suppressed() const noexcept { return qrp_suppressed_; }
 
+  // Robustness counters (the RobustnessReport rows) ----------------------
+
+  /// Malformed descriptors that fired the codec's DecodeError path; each
+  /// one tears down its connection (EndReason::kError).
+  std::uint64_t decode_errors() const noexcept { return decode_errors_; }
+
+  /// Cumulative cleanly-decoded bytes received on connections that later
+  /// hit a DecodeError — how far into each stream corruption struck.
+  std::uint64_t clean_bytes_before_error() const noexcept {
+    return clean_bytes_before_error_;
+  }
+
+  /// Sessions reaped by the idle+probe rule (silent peers and crashes —
+  /// the transport gives the node no way to tell them apart).
+  std::uint64_t probe_closed_sessions() const noexcept {
+    return probe_closed_sessions_;
+  }
+
+  /// Backoff retries scheduled because a forward pass came up short.
+  std::uint64_t forward_retries() const noexcept { return forward_retries_; }
+
+  /// Forwards still short of the fanout after the last allowed retry.
+  std::uint64_t forward_retries_exhausted() const noexcept {
+    return forward_retries_exhausted_;
+  }
+
   // sim::Node interface.
   void on_connection_open(sim::ConnId conn, sim::NodeId peer) override;
   void on_connection_closed(sim::ConnId conn) override;
   void on_handshake(sim::ConnId conn, const gnutella::Handshake& handshake) override;
   void on_message(sim::ConnId conn, const gnutella::Message& message) override;
+  void on_wire(sim::ConnId conn, const std::vector<std::uint8_t>& bytes) override;
 
  private:
   struct PendingConn {
@@ -83,14 +127,23 @@ class MeasurementNode final : public sim::Node {
     /// The leaf's QRP table, once received: queries are forwarded to this
     /// leaf only if every keyword hits the table (Section 3.1).
     std::optional<gnutella::QrpTable> qrp;
+    /// Reassembles raw wire data the fault layer delivers; its
+    /// DecodeError is this connection's abnormal-close trigger.
+    gnutella::MessageAssembler assembler;
   };
 
   void establish(sim::ConnId conn, PendingConn pending);
   void record_message(std::uint64_t session_id, const gnutella::Message& message);
+  void handle_message(sim::ConnId conn, Session& session,
+                      const gnutella::Message& message);
+  void drop_connection_on_error(sim::ConnId conn);
   void note_activity(Session& session);
   void arm_watchdog(sim::ConnId conn, double at);
   void watchdog_fire(sim::ConnId conn);
   void forward_query(sim::ConnId from, const gnutella::Message& message);
+  void forward_attempt(sim::ConnId from, const gnutella::Message& message,
+                       const std::shared_ptr<std::unordered_set<sim::ConnId>>& used,
+                       int attempt);
 
   sim::Network& network_;
   trace::TraceSink& sink_;
@@ -108,6 +161,11 @@ class MeasurementNode final : public sim::Node {
   std::uint64_t duplicates_ = 0;
   std::uint64_t forwarded_ = 0;
   std::uint64_t qrp_suppressed_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t clean_bytes_before_error_ = 0;
+  std::uint64_t probe_closed_sessions_ = 0;
+  std::uint64_t forward_retries_ = 0;
+  std::uint64_t forward_retries_exhausted_ = 0;
 };
 
 }  // namespace p2pgen::behavior

@@ -191,6 +191,19 @@ void SimulatedPeer::on_message(sim::ConnId conn, const gnutella::Message& messag
   }
 }
 
+void SimulatedPeer::on_crashed() {
+  // Abrupt death: cancel everything, including the planned session end,
+  // so the dead process never sends a BYE or closes the transport.  The
+  // connection stays up until the measurement node reaps it; its close
+  // notification is suppressed for us by the network, so the owner
+  // callback fires now — a crashed process is done.
+  silent_ = true;
+  cancel_all();
+  plan_.sends.clear();
+  plan_.sends.shrink_to_fit();
+  if (on_done_) on_done_(id_);
+}
+
 void SimulatedPeer::on_connection_closed(sim::ConnId /*conn*/) {
   closed_ = true;
   cancel_all();

@@ -38,6 +38,10 @@ class SimulatedPeer final : public sim::Node {
   void on_connection_closed(sim::ConnId conn) override;
   void on_handshake(sim::ConnId conn, const gnutella::Handshake& handshake) override;
   void on_message(sim::ConnId conn, const gnutella::Message& message) override;
+  /// Fault injection killed this peer: it dies where it stands — no BYE,
+  /// no teardown, no further sends; the measurement node's idle probe is
+  /// the only thing that will notice.
+  void on_crashed() override;
 
  private:
   /// Event-slot indices: each self-rechaining stream owns one slot so the

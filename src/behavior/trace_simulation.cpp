@@ -10,6 +10,7 @@ TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
                                  trace::TraceSink& sink)
     : config_(config),
       gated_sink_(sink, config.warmup_days * sim::kSecondsPerDay),
+      fault_injector_(config.faults, config.seed ^ 0x0F0F0F0F0F0F0F0FULL),
       net_(sim_, config.network),
       geodb_(geo::GeoIpDatabase::synthetic()),
       allocator_(geodb_),
@@ -31,6 +32,10 @@ TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
     throw std::invalid_argument("TraceSimulation: negative warmup");
   }
   node_id_ = node_.attach();
+  // The measurement node is the paper's own ultrapeer: it stayed up for
+  // the whole 40 days, so injected crashes only ever kill peers.
+  net_.set_fault_injector(&fault_injector_);
+  net_.protect_node(node_id_);
   horizon_ = (config_.warmup_days + config_.duration_days) * sim::kSecondsPerDay;
 }
 

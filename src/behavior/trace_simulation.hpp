@@ -60,6 +60,12 @@ struct TraceSimulationConfig {
   MeasurementNode::Config node{};
   BackgroundTrafficConfig background{};
   sim::Network::Config network{};
+
+  /// Fault-injection layer (sim/fault.hpp).  All-zero (the default) is
+  /// guaranteed byte-identical to a run without the fault layer: the
+  /// injector is always installed but draws nothing and schedules nothing
+  /// until a probability is nonzero.
+  sim::FaultConfig faults{};
 };
 
 /// Owns the simulator, network, node, peers and drives the run.
@@ -80,6 +86,11 @@ class TraceSimulation {
   const MeasurementNode& node() const noexcept { return node_; }
   const sim::Network& network() const noexcept { return net_; }
   sim::Simulator& simulator() noexcept { return sim_; }
+
+  /// The fault layer's counters (all zero when faults are disabled).
+  const sim::FaultCounters& fault_counters() const noexcept {
+    return fault_injector_.counters();
+  }
 
  private:
   void schedule_next_arrival(const ClientPopulation& clients);
@@ -104,6 +115,7 @@ class TraceSimulation {
   TraceSimulationConfig config_;
   GatingSink gated_sink_;
   sim::Simulator sim_;
+  sim::FaultInjector fault_injector_;
   sim::Network net_;
   geo::GeoIpDatabase geodb_;
   geo::IpAllocator allocator_;

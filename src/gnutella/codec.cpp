@@ -285,8 +285,16 @@ std::optional<Message> MessageAssembler::next() {
     return std::nullopt;
   }
   consumed_ += result->second;
+  consumed_total_ += result->second;
   ++produced_;
   return std::move(result->first);
+}
+
+void MessageAssembler::reset() {
+  buffer_.clear();
+  buffer_.shrink_to_fit();
+  consumed_ = 0;
+  poisoned_ = false;
 }
 
 Message decode(std::span<const std::uint8_t> wire) {

@@ -50,15 +50,23 @@ std::optional<std::pair<Message, std::size_t>> try_decode(
 /// Reassembles descriptors from a TCP byte stream delivered in arbitrary
 /// chunks.  feed() buffers the bytes; next() pops complete descriptors.
 /// A DecodeError from malformed framing poisons the assembler (the real
-/// client would drop the connection); further calls rethrow.
+/// client would drop the connection); further calls rethrow until
+/// reset() clears the poisoned state.
 class MessageAssembler {
  public:
   /// Appends raw bytes from the stream.
   void feed(std::span<const std::uint8_t> bytes);
 
   /// Pops the next complete descriptor, or std::nullopt if more bytes are
-  /// needed.  Throws DecodeError on malformed framing (sticky).
+  /// needed.  Throws DecodeError on malformed framing (sticky until
+  /// reset()).
   std::optional<Message> next();
+
+  /// Discards all pending bytes and clears the poisoned flag so a
+  /// connection-scoped assembler can be reused after a DecodeError.  The
+  /// lifetime counters (produced(), consumed_total()) are preserved: they
+  /// describe the stream's history, which a reset does not rewrite.
+  void reset();
 
   /// Bytes buffered but not yet consumed by complete descriptors.
   std::size_t buffered() const noexcept { return buffer_.size() - consumed_; }
@@ -66,11 +74,18 @@ class MessageAssembler {
   /// Total descriptors produced so far.
   std::uint64_t produced() const noexcept { return produced_; }
 
+  /// Cumulative bytes consumed by successfully decoded descriptors over
+  /// the assembler's lifetime.  When next() throws, this is exactly how
+  /// far into the stream the corruption hit — the measurement trace
+  /// records it as the session's clean-bytes high-water mark.
+  std::uint64_t consumed_total() const noexcept { return consumed_total_; }
+
   bool poisoned() const noexcept { return poisoned_; }
 
  private:
   std::vector<std::uint8_t> buffer_;
   std::size_t consumed_ = 0;
+  std::uint64_t consumed_total_ = 0;
   std::uint64_t produced_ = 0;
   bool poisoned_ = false;
 };

@@ -11,7 +11,11 @@
 //     are dropped, like segments after a RST),
 //   * nodes that can "go silent" — closing is one-sided until the other
 //     end notices, which the measurement node does with its 15 s + 15 s
-//     idle-probe rule (paper Section 3.2).
+//     idle-probe rule (paper Section 3.2),
+//   * an optional fault-injection layer (sim/fault.hpp): loss, byte
+//     corruption (delivered as raw wire data through Node::on_wire so the
+//     receiver's codec error paths fire), duplication, jitter/reordering,
+//     abrupt crashes and half-open links.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +24,7 @@
 
 #include "gnutella/handshake.hpp"
 #include "gnutella/message.hpp"
+#include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pgen::sim {
@@ -43,6 +48,18 @@ class Node {
 
   /// A Gnutella descriptor arrived.
   virtual void on_message(ConnId conn, const gnutella::Message& message) = 0;
+
+  /// Raw wire bytes arrived.  Only the fault layer produces these (a
+  /// corrupted descriptor is delivered in its damaged wire form so the
+  /// receiver's DecodeError handling runs for real).  The default decodes
+  /// one descriptor and forwards it to on_message; malformed data is
+  /// dropped silently, as a lenient client would.
+  virtual void on_wire(ConnId conn, const std::vector<std::uint8_t>& bytes);
+
+  /// The node itself died abruptly (fault injection).  Implementations
+  /// must stop all activity: a crashed node sends nothing, answers
+  /// nothing, and never observes events again.
+  virtual void on_crashed() {}
 };
 
 /// The overlay transport: owns connection state, delivers events through
@@ -63,6 +80,29 @@ class Network {
   /// Registers a node (non-owning; the node must stay alive while it has
   /// open connections or undelivered events).
   NodeId add_node(Node& node);
+
+  /// Installs a fault injector (non-owning, nullable).  With no injector,
+  /// or an injector whose config is all-zero, the transport behaves
+  /// exactly as it always has — byte-identical runs.
+  void set_fault_injector(FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
+  /// Marks a node as immune to injected crashes (the measurement node:
+  /// the paper's ultrapeer stayed up for the whole 40 days).
+  void protect_node(NodeId node);
+
+  /// Kills a node abruptly: no close events are generated, pending
+  /// deliveries to it vanish, and its future sends are swallowed.  The
+  /// other endpoints only find out via their own idle detection.
+  void crash_node(NodeId node);
+
+  /// True if the node was crashed by fault injection.
+  bool is_crashed(NodeId node) const;
+
+  /// Silently kills one direction of a connection (half-open link): sends
+  /// from `from_a ? a : b` are swallowed from now on.
+  void half_open(ConnId conn, bool from_a);
 
   /// Associates a transport address with a node (the "TCP remote address"
   /// the measurement methodology reads peer IPs from).
@@ -106,17 +146,33 @@ class Network {
   struct Connection {
     NodeId a = 0;
     NodeId b = 0;
-    bool open = false;  // false once close() starts (no new sends)
+    bool open = false;         // false once close() starts (no new sends)
+    bool dead_a_to_b = false;  // half-open: a's sends are swallowed
+    bool dead_b_to_a = false;  // half-open: b's sends are swallowed
+    // FIFO floors: absolute time of the latest delivery scheduled in each
+    // direction.  The overlay ran on TCP, so jitter may delay a stream but
+    // never reorder it; descriptors (and the teardown notification) are
+    // clamped to arrive no earlier than their predecessors.
+    double fifo_a_to_b = 0.0;
+    double fifo_b_to_a = 0.0;
   };
 
   Connection& conn_ref(ConnId conn);
   const Connection& conn_ref(ConnId conn) const;
 
+  bool faults_on() const noexcept { return injector_ && injector_->enabled(); }
+  void crash_unprotected_endpoint(ConnId conn);
+  void deliver_wire(ConnId conn, NodeId receiver, double at,
+                    std::vector<std::uint8_t> wire);
+
   Simulator& sim_;
   Config config_;
   std::vector<Node*> nodes_;
   std::vector<std::uint32_t> addresses_;
+  std::vector<char> crashed_;
+  std::vector<char> protected_;
   std::unordered_map<ConnId, Connection> connections_;
+  FaultInjector* injector_ = nullptr;
   ConnId next_conn_id_ = 1;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -33,28 +33,61 @@ void put_string(std::ostream& out, const std::string& s) {
   put_bytes(out, s.data(), s.size());
 }
 
-void get_bytes(std::istream& in, void* data, std::size_t n) {
-  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(in.gcount()) != n) {
-    throw std::runtime_error("trace: truncated input");
+/// Read cursor: tracks the absolute byte offset so every failure can name
+/// where in the stream it happened.
+class ByteSource {
+ public:
+  explicit ByteSource(std::istream& in) : in_(in) {}
+
+  std::uint64_t offset() const noexcept { return offset_; }
+
+  void get_bytes(void* data, std::size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    offset_ += got;
+    if (got != n) {
+      throw TraceIoError("trace: truncated input (needed " +
+                             std::to_string(n - got) +
+                             " more byte(s)) at byte offset " +
+                             std::to_string(offset_),
+                         offset_);
+    }
   }
-}
 
-template <typename T>
-T get_pod(std::istream& in) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  T value{};
-  get_bytes(in, &value, sizeof(value));
-  return value;
-}
+  template <typename T>
+  T get_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    get_bytes(&value, sizeof(value));
+    return value;
+  }
 
-std::string get_string(std::istream& in) {
-  const auto size = get_pod<std::uint32_t>(in);
-  if (size > 1u << 20) throw std::runtime_error("trace: oversized string");
-  std::string s(size, '\0');
-  if (size > 0) get_bytes(in, s.data(), size);
-  return s;
-}
+  std::string get_string() {
+    const auto at = offset_;
+    const auto size = get_pod<std::uint32_t>();
+    if (size > 1u << 20) {
+      throw TraceIoError("trace: oversized string (" + std::to_string(size) +
+                             " bytes) at byte offset " + std::to_string(at),
+                         at);
+    }
+    std::string s(size, '\0');
+    if (size > 0) get_bytes(s.data(), size);
+    return s;
+  }
+
+  /// Reads the next record-kind byte; returns false on a clean EOF (no
+  /// bytes available at a record boundary).
+  bool get_record_kind(std::uint8_t& kind) {
+    in_.read(reinterpret_cast<char*>(&kind), 1);
+    if (in_.gcount() == 0) return false;
+    ++offset_;
+    return true;
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
 
 void write_event(std::ostream& out, const TraceEvent& event) {
   if (const auto* start = std::get_if<SessionStart>(&event)) {
@@ -85,41 +118,44 @@ void write_event(std::ostream& out, const TraceEvent& event) {
   }
 }
 
-TraceEvent read_event(std::istream& in, RecordKind kind,
-                      std::uint32_t version) {
+TraceEvent read_event(ByteSource& in, RecordKind kind, std::uint32_t version,
+                      std::uint64_t record_offset) {
   switch (kind) {
     case RecordKind::kSessionStart: {
       SessionStart s;
-      s.time = get_pod<double>(in);
-      s.session_id = get_pod<std::uint64_t>(in);
-      s.ip = get_pod<std::uint32_t>(in);
-      s.ultrapeer = get_pod<std::uint8_t>(in) != 0;
-      s.user_agent = get_string(in);
+      s.time = in.get_pod<double>();
+      s.session_id = in.get_pod<std::uint64_t>();
+      s.ip = in.get_pod<std::uint32_t>();
+      s.ultrapeer = in.get_pod<std::uint8_t>() != 0;
+      s.user_agent = in.get_string();
       return s;
     }
     case RecordKind::kMessage: {
       MessageEvent m;
-      m.time = get_pod<double>(in);
-      m.session_id = get_pod<std::uint64_t>(in);
-      m.type = static_cast<gnutella::MessageType>(get_pod<std::uint8_t>(in));
-      m.ttl = get_pod<std::uint8_t>(in);
-      m.hops = get_pod<std::uint8_t>(in);
-      if (version >= 2) m.guid_hash = get_pod<std::uint64_t>(in);
-      m.query = get_string(in);
-      m.sha1 = get_pod<std::uint8_t>(in) != 0;
-      m.source_ip = get_pod<std::uint32_t>(in);
-      m.shared_files = get_pod<std::uint32_t>(in);
+      m.time = in.get_pod<double>();
+      m.session_id = in.get_pod<std::uint64_t>();
+      m.type = static_cast<gnutella::MessageType>(in.get_pod<std::uint8_t>());
+      m.ttl = in.get_pod<std::uint8_t>();
+      m.hops = in.get_pod<std::uint8_t>();
+      if (version >= 2) m.guid_hash = in.get_pod<std::uint64_t>();
+      m.query = in.get_string();
+      m.sha1 = in.get_pod<std::uint8_t>() != 0;
+      m.source_ip = in.get_pod<std::uint32_t>();
+      m.shared_files = in.get_pod<std::uint32_t>();
       return m;
     }
     case RecordKind::kSessionEnd: {
       SessionEnd e;
-      e.time = get_pod<double>(in);
-      e.session_id = get_pod<std::uint64_t>(in);
-      e.reason = static_cast<EndReason>(get_pod<std::uint8_t>(in));
+      e.time = in.get_pod<double>();
+      e.session_id = in.get_pod<std::uint64_t>();
+      e.reason = static_cast<EndReason>(in.get_pod<std::uint8_t>());
       return e;
     }
   }
-  throw std::runtime_error("trace: unknown record kind");
+  throw TraceIoError("trace: unknown record kind " +
+                         std::to_string(static_cast<int>(kind)) +
+                         " at byte offset " + std::to_string(record_offset),
+                     record_offset);
 }
 
 void write_header(std::ostream& out) {
@@ -127,15 +163,17 @@ void write_header(std::ostream& out) {
   put_pod(out, kVersion);
 }
 
-std::uint32_t read_header(std::istream& in) {
+std::uint32_t read_header(ByteSource& in) {
   char magic[4];
-  get_bytes(in, magic, sizeof(magic));
+  in.get_bytes(magic, sizeof(magic));
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("trace: bad magic");
+    throw TraceIoError("trace: bad magic at byte offset 0", 0);
   }
-  const auto version = get_pod<std::uint32_t>(in);
+  const auto version = in.get_pod<std::uint32_t>();
   if (version == 0 || version > kVersion) {
-    throw std::runtime_error("trace: unsupported version");
+    throw TraceIoError("trace: unsupported version " +
+                           std::to_string(version) + " at byte offset 4",
+                       4);
   }
   return version;
 }
@@ -149,13 +187,15 @@ void write_binary(const Trace& trace, std::ostream& out) {
 }
 
 Trace read_binary(std::istream& in) {
-  const std::uint32_t version = read_header(in);
+  ByteSource source(in);
+  const std::uint32_t version = read_header(source);
   Trace trace;
   while (true) {
+    const std::uint64_t record_offset = source.offset();
     std::uint8_t kind_byte = 0;
-    in.read(reinterpret_cast<char*>(&kind_byte), 1);
-    if (in.gcount() == 0) break;  // clean EOF
-    trace.append(read_event(in, static_cast<RecordKind>(kind_byte), version));
+    if (!source.get_record_kind(kind_byte)) break;  // clean EOF
+    trace.append(read_event(source, static_cast<RecordKind>(kind_byte),
+                            version, record_offset));
   }
   return trace;
 }
@@ -169,7 +209,11 @@ void save_binary(const Trace& trace, const std::string& path) {
 Trace load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("trace: cannot open " + path);
-  return read_binary(in);
+  try {
+    return read_binary(in);
+  } catch (const TraceIoError& e) {
+    throw TraceIoError(path + ": " + e.what(), e.byte_offset());
+  }
 }
 
 void write_csv(const Trace& trace, std::ostream& out) {

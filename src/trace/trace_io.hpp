@@ -16,12 +16,30 @@
 
 namespace p2pgen::trace {
 
+/// Thrown on truncated or corrupt trace input.  Carries the byte offset
+/// at which the malformation was detected, so a damaged multi-gigabyte
+/// trace file can be diagnosed (and salvaged up to the offset) instead of
+/// failing with a context-free error or silently reading a partial trace.
+class TraceIoError : public std::runtime_error {
+ public:
+  TraceIoError(const std::string& what, std::uint64_t byte_offset)
+      : std::runtime_error(what), byte_offset_(byte_offset) {}
+
+  /// Offset (bytes from the start of the stream) of the failure.
+  std::uint64_t byte_offset() const noexcept { return byte_offset_; }
+
+ private:
+  std::uint64_t byte_offset_;
+};
+
 /// Serializes a whole trace to a binary stream.  Throws std::runtime_error
 /// on stream failure.
 void write_binary(const Trace& trace, std::ostream& out);
 
-/// Reads a whole binary trace.  Throws std::runtime_error on malformed
-/// input or stream failure.
+/// Reads a whole binary trace.  Throws TraceIoError (with the byte
+/// offset) on truncated or malformed input, std::runtime_error on other
+/// stream failure.  A stream that ends exactly on a record boundary is a
+/// clean EOF.
 Trace read_binary(std::istream& in);
 
 /// File-path conveniences.

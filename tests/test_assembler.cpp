@@ -81,6 +81,57 @@ TEST(Assembler, MalformedFramingPoisons) {
   EXPECT_THROW(assembler.next(), DecodeError);  // sticky
 }
 
+TEST(Assembler, ResetClearsPoisonAndAllowsReuse) {
+  MessageAssembler assembler;
+  stats::Rng rng(5);
+  const auto good = encode(make_query(rng, "before"));
+  assembler.feed(good);
+  ASSERT_TRUE(assembler.next().has_value());
+
+  auto bad = encode(make_ping(rng));
+  bad[16] = 0x42;  // unknown type byte
+  assembler.feed(bad);
+  EXPECT_THROW(assembler.next(), DecodeError);
+  ASSERT_TRUE(assembler.poisoned());
+
+  assembler.reset();
+  EXPECT_FALSE(assembler.poisoned());
+  EXPECT_EQ(assembler.buffered(), 0u);  // damaged tail discarded
+
+  // The same instance works again on a fresh, clean stream.
+  const auto after = encode(make_query(rng, "after"));
+  assembler.feed(after);
+  const auto msg = assembler.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(std::get<QueryPayload>(msg->payload).keywords, "after");
+  EXPECT_EQ(assembler.produced(), 2u);  // lifetime counter survives reset
+}
+
+TEST(Assembler, ConsumedTotalTracksCleanBytes) {
+  MessageAssembler assembler;
+  stats::Rng rng(6);
+  const auto first = encode(make_query(rng, "one"));
+  const auto second = encode(make_ping(rng));
+  assembler.feed(first);
+  assembler.feed(second);
+  EXPECT_EQ(assembler.consumed_total(), 0u);  // nothing popped yet
+  ASSERT_TRUE(assembler.next().has_value());
+  EXPECT_EQ(assembler.consumed_total(), first.size());
+  ASSERT_TRUE(assembler.next().has_value());
+  EXPECT_EQ(assembler.consumed_total(), first.size() + second.size());
+
+  // A decode failure does not advance the clean-bytes mark...
+  auto bad = encode(make_ping(rng));
+  bad[16] = 0x42;
+  assembler.feed(bad);
+  EXPECT_THROW(assembler.next(), DecodeError);
+  EXPECT_EQ(assembler.consumed_total(), first.size() + second.size());
+
+  // ...and reset preserves it: it describes the stream's history.
+  assembler.reset();
+  EXPECT_EQ(assembler.consumed_total(), first.size() + second.size());
+}
+
 TEST(Assembler, LongStreamCompactsInternally) {
   MessageAssembler assembler;
   stats::Rng rng(4);

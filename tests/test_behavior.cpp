@@ -260,12 +260,86 @@ TEST(TraceSimulation, SilentPeersAreReapedByIdleProbe) {
         case trace::EndReason::kIdleProbe: ++idle_probe; break;
         case trace::EndReason::kBye: ++bye; break;
         case trace::EndReason::kTeardown: ++teardown; break;
+        case trace::EndReason::kError: break;  // needs fault injection
       }
     }
   }
   EXPECT_GT(idle_probe, 0u);
   EXPECT_GT(bye, 0u);
   EXPECT_GT(teardown, 0u);
+}
+
+// A hand-rolled peer that completes the handshake, sends one query, and
+// then dies silently — no BYE, no close.  Only the idle probe can tell.
+class SilentTestPeer : public sim::Node {
+ public:
+  explicit SilentTestPeer(sim::Network& network) : network_(network) {}
+
+  void start(sim::NodeId target) {
+    id_ = network_.add_node(*this);
+    network_.set_address(id_, 0x0A000001u);
+    network_.connect(id_, target);
+  }
+
+  void on_connection_open(sim::ConnId conn, sim::NodeId /*peer*/) override {
+    network_.send_handshake(
+        conn, id_, gnutella::Handshake::connect_request("SilentTest", false));
+  }
+  void on_handshake(sim::ConnId conn,
+                    const gnutella::Handshake& handshake) override {
+    if (handshake.is_connect_request || handshake.status_code != 200) return;
+    network_.send_handshake(
+        conn, id_, gnutella::Handshake::ok_response("SilentTest", false));
+    stats::Rng rng(9);
+    network_.send(conn, id_, gnutella::make_query(rng, "silent peer"));
+    query_sent_at_ = network_.simulator().now();
+    // ... and then nothing, ever again.
+  }
+  void on_message(sim::ConnId, const gnutella::Message&) override {}
+  void on_connection_closed(sim::ConnId) override {}
+
+  double query_sent_at() const { return query_sent_at_; }
+
+ private:
+  sim::Network& network_;
+  sim::NodeId id_ = 0;
+  double query_sent_at_ = -1.0;
+};
+
+TEST(MeasurementNode, SilentDeathDetectedWithinIdleProbeWindow) {
+  // Paper Section 3.2: a silently departed peer is noticed only when it
+  // stays idle for idle_threshold seconds and then fails to answer a probe
+  // within probe_timeout — so the recorded end overestimates the real one
+  // by ~30 s with the paper's 15 s + 15 s rule.
+  sim::Simulator simulator;
+  sim::Network network(simulator);
+  trace::Trace trace;
+  behavior::MeasurementNode::Config config;  // idle 15 s, probe 15 s
+  behavior::MeasurementNode node(network, trace, config, 42);
+  const sim::NodeId node_id = node.attach();
+
+  SilentTestPeer peer(network);
+  peer.start(node_id);
+  simulator.run_until(300.0);
+
+  ASSERT_GE(peer.query_sent_at(), 0.0);
+  const double latency = sim::Network::Config().latency_seconds;
+  // The node's clock of "last activity" is the query's arrival.
+  const double last_activity = peer.query_sent_at() + latency;
+
+  const trace::SessionEnd* end = nullptr;
+  for (const auto& event : trace.events()) {
+    if (const auto* e = std::get_if<trace::SessionEnd>(&event)) end = e;
+  }
+  ASSERT_NE(end, nullptr) << "silent peer was never reaped";
+  EXPECT_EQ(end->reason, trace::EndReason::kIdleProbe);
+  EXPECT_EQ(node.probe_closed_sessions(), 1u);
+
+  // Detected at last_activity + idle_threshold + probe_timeout (~30 s
+  // overestimate), never sooner than the idle window allows.
+  const double overestimate = end->time - last_activity;
+  EXPECT_GE(overestimate, config.idle_threshold + config.probe_timeout - 0.01);
+  EXPECT_LE(overestimate, config.idle_threshold + config.probe_timeout + 1.0);
 }
 
 TEST(TraceSimulation, UltrapeerShareNearPaper) {

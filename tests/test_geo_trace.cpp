@@ -2,6 +2,7 @@
 // binary/CSV serialization).
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "geo/geoip.hpp"
@@ -153,6 +154,72 @@ TEST(TraceIo, RejectsTruncatedBody) {
   data.resize(data.size() - 3);
   std::stringstream cut(data);
   EXPECT_THROW(trace::read_binary(cut), std::runtime_error);
+}
+
+TEST(TraceIo, TruncationAtEveryByteFailsCleanlyOrShortens) {
+  // Round-trip with truncation: cutting the stream at EVERY byte position
+  // must either parse as a valid shorter trace (cut exactly at a record
+  // boundary) or throw a TraceIoError whose offset points inside the file
+  // — never crash, never return garbage.
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  trace::write_binary(original, buffer);
+  const std::string data = buffer.str();
+  std::size_t clean_cuts = 0;
+  std::size_t failed_cuts = 0;
+  for (std::size_t cut = 0; cut < data.size(); ++cut) {
+    std::stringstream in(data.substr(0, cut));
+    try {
+      const auto loaded = trace::read_binary(in);
+      ++clean_cuts;
+      EXPECT_LT(loaded.size(), original.size()) << "cut at " << cut;
+    } catch (const trace::TraceIoError& e) {
+      ++failed_cuts;
+      EXPECT_LE(e.byte_offset(), cut) << "cut at " << cut;
+      EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+    }
+  }
+  // Both outcomes occur: record boundaries read as shorter traces, cuts
+  // inside a record are diagnosed.
+  EXPECT_EQ(clean_cuts, original.size());  // one boundary per record
+  EXPECT_GT(failed_cuts, 0u);
+}
+
+TEST(TraceIo, UnknownRecordKindNamesTheOffset) {
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  trace::write_binary(original, buffer);
+  std::string data = buffer.str();
+  data[8] = '\x7f';  // first record-kind byte (after 8-byte header)
+  std::stringstream in(data);
+  try {
+    trace::read_binary(in);
+    FAIL() << "corrupt record kind was accepted";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_EQ(e.byte_offset(), 8u);
+    EXPECT_NE(std::string(e.what()).find("unknown record kind"),
+              std::string::npos);
+  }
+}
+
+TEST(TraceIo, LoadBinaryPrefixesPathOnError) {
+  const std::string path = ::testing::TempDir() + "/p2pgen_trace_cut.bin";
+  const auto original = sample_trace();
+  std::stringstream buffer;
+  trace::write_binary(original, buffer);
+  std::string data = buffer.str();
+  data.resize(data.size() - 3);  // mid-record truncation
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  }
+  try {
+    trace::load_binary(path);
+    FAIL() << "truncated file was accepted";
+  } catch (const trace::TraceIoError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos);
+    EXPECT_GT(e.byte_offset(), 0u);
+  }
 }
 
 TEST(TraceIo, CsvHasHeaderAndOneRowPerEvent) {
