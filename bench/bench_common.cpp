@@ -6,22 +6,20 @@
 #include <iomanip>
 #include <sstream>
 
+#include "analysis/parallel.hpp"
+#include "behavior/sharded_simulation.hpp"
 #include "trace/trace_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace p2pgen::bench {
-namespace {
-
-std::string cache_path(const BenchScale& scale) {
-  std::ostringstream os;
-  os << "p2pgen_bench_trace_" << scale.days << "d_" << scale.arrival_rate
-     << "r_w1_" << scale.seed << ".bin";
-  return os.str();
-}
-
-}  // namespace
 
 BenchScale bench_scale() {
   BenchScale scale;
+  scale.threads = util::ThreadPool::recommended_threads();
+  if (const char* shards = std::getenv("P2PGEN_SHARDS")) {
+    const long n = std::atol(shards);
+    if (n > 0) scale.shards = static_cast<unsigned>(std::min(n, 4096L));
+  }
   if (const char* full = std::getenv("P2PGEN_FULL"); full && full[0] == '1') {
     scale.days = 40.0;
     scale.full = true;
@@ -34,41 +32,80 @@ BenchScale bench_scale() {
   return scale;
 }
 
+behavior::TraceSimulationConfig bench_simulation_config(
+    const BenchScale& scale) {
+  behavior::TraceSimulationConfig config;
+  config.duration_days = scale.days;
+  config.warmup_days = 1.0;  // let the slot population reach equilibrium
+  config.arrival_rate = scale.arrival_rate;
+  config.seed = scale.seed;
+  return config;
+}
+
+std::string bench_shard_cache_path(const BenchScale& scale, unsigned shard) {
+  const behavior::TraceSimulationConfig config = bench_simulation_config(scale);
+  std::ostringstream os;
+  os << "p2pgen_bench_shard_" << scale.days << "d_" << scale.arrival_rate
+     << "r_w" << config.warmup_days << "_" << scale.seed << "_f" << std::hex
+     << sim::fault_config_digest(config.faults) << std::dec << "_s" << shard
+     << "of" << scale.shards << ".bin";
+  return os.str();
+}
+
 const trace::Trace& bench_trace() {
   static const trace::Trace trace = [] {
     const BenchScale scale = bench_scale();
-    const std::string path = cache_path(scale);
+    analysis::set_analysis_threads(scale.threads);
+    const behavior::TraceSimulationConfig config =
+        bench_simulation_config(scale);
     const bool no_cache = std::getenv("P2PGEN_NO_CACHE") != nullptr;
-    if (!no_cache) {
-      try {
-        trace::Trace cached = trace::load_binary(path);
-        std::cerr << "[bench] loaded cached trace (" << cached.size()
-                  << " events) from " << path << "\n";
-        return cached;
-      } catch (const std::exception&) {
-        // fall through to simulation
+
+    std::vector<trace::Trace> shards(scale.shards);
+    std::vector<unsigned> missing;
+    for (unsigned k = 0; k < scale.shards; ++k) {
+      const std::string path = bench_shard_cache_path(scale, k);
+      if (!no_cache) {
+        try {
+          shards[k] = trace::load_binary(path);
+          std::cerr << "[bench] loaded cached shard " << k << " ("
+                    << shards[k].size() << " events) from " << path << "\n";
+          continue;
+        } catch (const std::exception&) {
+          // fall through to simulation
+        }
+      }
+      missing.push_back(k);
+    }
+
+    if (!missing.empty()) {
+      std::cerr << "[bench] simulating " << missing.size() << " shard(s) of "
+                << scale.days << " day(s) each on " << scale.threads
+                << " thread(s) (master seed " << scale.seed << ")...\n";
+      const core::WorkloadModel model = core::WorkloadModel::paper_default();
+      util::ThreadPool pool(std::min<std::size_t>(scale.threads,
+                                                  missing.size()));
+      pool.run_indexed(missing.size(), [&](std::size_t i) {
+        const unsigned k = missing[i];
+        shards[k] = behavior::simulate_shard(model, config, k);
+        if (!no_cache) {
+          try {
+            trace::save_binary(shards[k], bench_shard_cache_path(scale, k));
+          } catch (const std::exception& e) {
+            std::cerr << "[bench] shard cache write failed: " << e.what()
+                      << "\n";
+          }
+        }
+      });
+      for (const unsigned k : missing) {
+        std::cerr << "[bench] simulated shard " << k << " ("
+                  << shards[k].size() << " events)\n";
       }
     }
-    std::cerr << "[bench] simulating " << scale.days
-              << " day(s) of measurement (seed " << scale.seed << ")...\n";
-    trace::Trace trace;
-    behavior::TraceSimulationConfig config;
-    config.duration_days = scale.days;
-    config.warmup_days = 1.0;  // let the slot population reach equilibrium
-    config.arrival_rate = scale.arrival_rate;
-    config.seed = scale.seed;
-    behavior::TraceSimulation sim(core::WorkloadModel::paper_default(), config,
-                                  trace);
-    sim.run();
-    std::cerr << "[bench] simulated " << trace.size() << " trace events\n";
-    if (!no_cache) {
-      try {
-        trace::save_binary(trace, path);
-      } catch (const std::exception& e) {
-        std::cerr << "[bench] cache write failed: " << e.what() << "\n";
-      }
-    }
-    return trace;
+
+    trace::Trace merged = trace::merge_traces(std::move(shards));
+    std::cerr << "[bench] standard trace: " << merged.size() << " events, "
+              << scale.shards << " shard(s)\n";
+    return merged;
   }();
   return trace;
 }
@@ -96,6 +133,9 @@ void print_header(const std::string& experiment, const std::string& what) {
             << experiment << " — " << what << "\n"
             << "(Klemm et al., IMC'04 reproduction; simulated scale: "
             << scale.days << " days"
+            << (scale.shards > 1
+                    ? " x " + std::to_string(scale.shards) + " shards"
+                    : std::string())
             << (scale.full ? " [paper scale]" : "") << ")\n"
             << "==============================================================\n";
 }
@@ -104,14 +144,13 @@ void print_ccdf_family(const std::string& x_label,
                        const std::vector<std::string>& labels,
                        const std::vector<const std::vector<double>*>& samples,
                        double lo_floor, std::size_t points) {
-  // Shared grid spanning all samples.
+  // Shared grid spanning all samples; ECDF construction (the sort) fans
+  // across the analysis pool.
   double lo = lo_floor;
   double hi = lo_floor * 10.0;
-  std::vector<stats::Ecdf> ecdfs;
-  ecdfs.reserve(samples.size());
+  const std::vector<stats::Ecdf> ecdfs = analysis::build_ecdfs(samples);
   for (const auto* sample : samples) {
-    ecdfs.emplace_back(*sample);
-    if (!sample->empty()) {
+    if (sample != nullptr && !sample->empty()) {
       hi = std::max(hi, *std::max_element(sample->begin(), sample->end()));
     }
   }

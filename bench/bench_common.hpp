@@ -2,11 +2,19 @@
 //
 // Every bench regenerates one table or figure of the paper from the same
 // simulated measurement trace (DESIGN.md §3).  The trace is produced once
-// per configuration and cached on disk, so running all benches costs one
-// simulation.  Scale knobs:
-//   P2PGEN_DAYS=<n>   — simulated days (default 2)
-//   P2PGEN_FULL=1     — paper scale: 40 days (overrides P2PGEN_DAYS)
-//   P2PGEN_NO_CACHE=1 — always re-simulate
+// per configuration — as P2PGEN_SHARDS independently-seeded replica
+// shards (DESIGN.md §7), each cached on disk under a key that names every
+// input that shapes it (days, rate, seed, shard index, shard count, and
+// the fault-config digest), so traces from different configurations are
+// never silently reused.  Missing shards are simulated concurrently on a
+// work-stealing pool; the merged trace is byte-identical for any thread
+// count.  Scale knobs:
+//   P2PGEN_DAYS=<n>    — simulated days per shard (default 2)
+//   P2PGEN_FULL=1      — paper scale: 40 days (overrides P2PGEN_DAYS)
+//   P2PGEN_SHARDS=<n>  — replica shards merged into the trace (default 1)
+//   P2PGEN_THREADS=<n> — threads for simulation AND the analysis passes
+//                        (default: hardware concurrency)
+//   P2PGEN_NO_CACHE=1  — always re-simulate
 #pragma once
 
 #include <iostream>
@@ -24,14 +32,26 @@ namespace p2pgen::bench {
 
 /// The bench scale configuration resolved from the environment.
 struct BenchScale {
-  double days = 2.0;
+  double days = 2.0;  // per shard
   double arrival_rate = 1.2;
   std::uint64_t seed = 20040315;
   bool full = false;
+  unsigned shards = 1;
+  unsigned threads = 1;
 };
 
 /// Reads the scale from the environment (see file comment).
 BenchScale bench_scale();
+
+/// The simulation config the standard bench trace is built from (per
+/// shard; the seed is the master seed the shard seeds are split from).
+behavior::TraceSimulationConfig bench_simulation_config(
+    const BenchScale& scale);
+
+/// On-disk cache file of one shard of the standard trace.  The key names
+/// days, arrival rate, warmup, master seed, fault-config digest, shard
+/// index AND shard count, so differently-configured traces never alias.
+std::string bench_shard_cache_path(const BenchScale& scale, unsigned shard);
 
 /// Simulates (or loads from cache) the standard measurement trace.
 const trace::Trace& bench_trace();

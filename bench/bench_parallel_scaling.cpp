@@ -1,0 +1,122 @@
+// bench_parallel_scaling — wall-clock speedup of the deterministic
+// parallel engine (DESIGN.md §7).
+//
+// Runs the same sharded simulation (P2PGEN_SHARDS replicas of
+// P2PGEN_DAYS days each; defaults 4 x 2) at 1, 2, 4 and 8 threads,
+// checks that every merged trace is byte-identical (the determinism
+// contract), and then times the parallel analysis passes (filters,
+// session measures, Appendix fits) serial vs. parallel on the merged
+// trace.  Emits a single JSON object on stdout — the artifact the CI
+// bench-smoke job uploads — while the human-readable progress goes to
+// stderr.
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "analysis/parallel.hpp"
+#include "behavior/sharded_simulation.hpp"
+#include "bench_common.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace p2pgen;
+
+  bench::BenchScale scale = bench::bench_scale();
+  if (std::getenv("P2PGEN_SHARDS") == nullptr) scale.shards = 4;
+  const behavior::TraceSimulationConfig config =
+      bench::bench_simulation_config(scale);
+  const core::WorkloadModel model = core::WorkloadModel::paper_default();
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  std::cerr << "[scaling] " << scale.shards << " shard(s) x " << scale.days
+            << " day(s), thread counts 1/2/4/8\n";
+
+  struct SimRun {
+    unsigned threads;
+    double seconds;
+    std::uint64_t digest;
+    std::size_t events;
+  };
+  std::vector<SimRun> sim_runs;
+  trace::Trace merged;  // kept from the last run for the analysis section
+  for (const unsigned threads : thread_counts) {
+    const auto start = std::chrono::steady_clock::now();
+    trace::Trace run_trace =
+        behavior::simulate_trace_sharded(model, config, scale.shards, threads);
+    const double elapsed = seconds_since(start);
+    sim_runs.push_back(
+        {threads, elapsed, trace::binary_digest(run_trace), run_trace.size()});
+    std::cerr << "[scaling] simulate threads=" << threads << "  "
+              << std::fixed << std::setprecision(2) << elapsed << " s  ("
+              << run_trace.size() << " events)\n";
+    merged = std::move(run_trace);
+  }
+  bool identical = true;
+  for (const auto& run : sim_runs) {
+    identical = identical && run.digest == sim_runs.front().digest;
+  }
+  struct AnalysisRun {
+    unsigned threads;
+    double seconds;
+  };
+  std::vector<AnalysisRun> analysis_runs;
+  for (const unsigned threads : thread_counts) {
+    analysis::set_analysis_threads(threads);
+    auto dataset =
+        analysis::build_dataset(merged, geo::GeoIpDatabase::synthetic());
+    const auto start = std::chrono::steady_clock::now();
+    analysis::apply_filters(dataset);
+    const auto measures = analysis::session_measures(dataset);
+    const auto fits = analysis::fit_appendix_tables(measures);
+    const double elapsed = seconds_since(start);
+    analysis_runs.push_back({threads, elapsed});
+    std::cerr << "[scaling] analysis threads=" << threads << "  "
+              << std::fixed << std::setprecision(3) << elapsed << " s\n";
+  }
+  analysis::set_analysis_threads(1);
+
+  std::ostringstream json;
+  json << std::fixed << std::setprecision(4);
+  json << "{\n"
+       << "  \"bench\": \"parallel_scaling\",\n"
+       << "  \"shards\": " << scale.shards << ",\n"
+       << "  \"days_per_shard\": " << scale.days << ",\n"
+       << "  \"events\": " << sim_runs.front().events << ",\n"
+       << "  \"byte_identical\": " << (identical ? "true" : "false") << ",\n"
+       << "  \"simulation\": [\n";
+  for (std::size_t i = 0; i < sim_runs.size(); ++i) {
+    const auto& run = sim_runs[i];
+    json << "    {\"threads\": " << run.threads << ", \"seconds\": "
+         << run.seconds << ", \"speedup\": "
+         << (run.seconds > 0.0 ? sim_runs.front().seconds / run.seconds : 0.0)
+         << ", \"digest\": \"" << std::hex << run.digest << std::dec << "\"}"
+         << (i + 1 < sim_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"analysis\": [\n";
+  for (std::size_t i = 0; i < analysis_runs.size(); ++i) {
+    const auto& run = analysis_runs[i];
+    json << "    {\"threads\": " << run.threads << ", \"seconds\": "
+         << run.seconds << ", \"speedup\": "
+         << (run.seconds > 0.0 ? analysis_runs.front().seconds / run.seconds
+                               : 0.0)
+         << "}" << (i + 1 < analysis_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << json.str();
+
+  return identical ? 0 : 1;
+}

@@ -9,21 +9,31 @@
 // 4. Re-fit the Appendix models and print ground-truth vs recovered
 //    parameters — the closed-loop validation.
 //
-//   $ ./measurement_pipeline [days] [arrival_rate] [faults]
+//   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards] [threads]
 //
 // Pass a third argument "faults" (or "1") to run the same measurement on
 // a hostile overlay: message loss, byte corruption, duplication, jitter,
 // abrupt peer crashes and half-open links — and print the robustness
 // report showing how the hardened node coped.
+//
+// Pass shards > 1 to run that many independently-seeded replica
+// measurements (each `days` long) merged into one trace — DESIGN.md §7 —
+// on up to `threads` threads (default: hardware concurrency).  The
+// merged trace is byte-identical for any thread count, and the analysis
+// passes below also fan across the same thread budget.
 #include <cstdlib>
 #include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "analysis/filters.hpp"
 #include "analysis/model_fit.hpp"
+#include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
-#include "behavior/trace_simulation.hpp"
+#include "behavior/sharded_simulation.hpp"
 
 int main(int argc, char** argv) {
   using namespace p2pgen;
@@ -32,6 +42,17 @@ int main(int argc, char** argv) {
   config.duration_days = argc > 1 ? std::atof(argv[1]) : 1.0;
   config.arrival_rate = argc > 2 ? std::atof(argv[2]) : 1.0;
   config.seed = 20040315;
+
+  const unsigned shards =
+      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned threads =
+      argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : hw;
+  if (shards == 0) {
+    std::cerr << "measurement_pipeline: shards must be >= 1\n";
+    return 1;
+  }
+  analysis::set_analysis_threads(threads);
 
   const bool faults_on =
       argc > 3 && (std::strcmp(argv[3], "faults") == 0 ||
@@ -50,11 +71,29 @@ int main(int argc, char** argv) {
 
   std::cout << "== 1. simulating " << config.duration_days
             << " day(s) of measurement"
+            << (shards > 1 ? " x " + std::to_string(shards) + " shards on " +
+                                 std::to_string(threads) + " thread(s)"
+                           : std::string())
             << (faults_on ? " on a hostile overlay" : "") << " ==\n";
   trace::Trace trace;
-  behavior::TraceSimulation simulation(core::WorkloadModel::paper_default(),
-                                       config, trace);
-  simulation.run();
+  std::vector<behavior::ShardStats> shard_stats;
+  // The single-vantage-point path keeps the full per-node robustness
+  // counters, which a merged multi-shard trace no longer has one node for.
+  std::unique_ptr<behavior::TraceSimulation> simulation;
+  if (shards > 1) {
+    trace = behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
+                                             config, shards, threads,
+                                             &shard_stats);
+    for (unsigned k = 0; k < shards; ++k) {
+      std::cout << "  shard " << k << ": seed " << shard_stats[k].seed << ", "
+                << shard_stats[k].events << " events, "
+                << shard_stats[k].peers_spawned << " peers\n";
+    }
+  } else {
+    simulation = std::make_unique<behavior::TraceSimulation>(
+        core::WorkloadModel::paper_default(), config, trace);
+    simulation->run();
+  }
 
   const auto stats = trace.stats();
   std::cout << "  trace events:        " << trace.size() << "\n"
@@ -69,20 +108,42 @@ int main(int argc, char** argv) {
                        1, stats.direct_connections))
             << "\n";
 
-  if (faults_on) {
+  if (faults_on && simulation) {
     analysis::RobustnessReport robustness;
-    robustness.injected = simulation.fault_counters();
-    robustness.transport_delivered = simulation.network().messages_delivered();
-    robustness.transport_dropped = simulation.network().messages_dropped();
-    robustness.decode_errors = simulation.node().decode_errors();
+    robustness.injected = simulation->fault_counters();
+    robustness.transport_delivered = simulation->network().messages_delivered();
+    robustness.transport_dropped = simulation->network().messages_dropped();
+    robustness.decode_errors = simulation->node().decode_errors();
     robustness.clean_bytes_before_error =
-        simulation.node().clean_bytes_before_error();
-    robustness.forward_retries = simulation.node().forward_retries();
+        simulation->node().clean_bytes_before_error();
+    robustness.forward_retries = simulation->node().forward_retries();
     robustness.forward_retries_exhausted =
-        simulation.node().forward_retries_exhausted();
+        simulation->node().forward_retries_exhausted();
     robustness.add_trace(trace);
     std::cout << "\n";
     analysis::print_robustness_report(std::cout, robustness);
+  } else if (faults_on) {
+    sim::FaultCounters total;
+    for (const auto& s : shard_stats) {
+      total.messages_lost += s.faults.messages_lost;
+      total.messages_corrupted += s.faults.messages_corrupted;
+      total.messages_duplicated += s.faults.messages_duplicated;
+      total.messages_delayed += s.faults.messages_delayed;
+      total.node_crashes += s.faults.node_crashes;
+      total.half_open_links += s.faults.half_open_links;
+      total.sends_into_dead_link += s.faults.sends_into_dead_link;
+    }
+    std::cout << "\n== injected faults (summed over " << shards
+              << " shards) ==\n"
+              << "  lost/corrupted/duplicated: " << total.messages_lost << " / "
+              << total.messages_corrupted << " / "
+              << total.messages_duplicated << "\n"
+              << "  delayed:                   " << total.messages_delayed
+              << "\n"
+              << "  crashes / half-open:       " << total.node_crashes << " / "
+              << total.half_open_links << "\n"
+              << "  sends into dead links:     " << total.sends_into_dead_link
+              << "\n";
   }
 
   std::cout << "\n== 2. session reconstruction + filter rules ==\n";

@@ -3,87 +3,127 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "analysis/parallel.hpp"
+
 namespace p2pgen::analysis {
+namespace {
 
-FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options) {
-  FilterReport report;
+/// Sessions per parallel work unit.  A pure constant: chunk boundaries
+/// must depend only on the dataset, never on the thread count, so the
+/// chunk-ordered reduction below is identical for every pool size.
+constexpr std::size_t kSessionChunk = 512;
 
-  for (auto& session : dataset.sessions) {
-    if (!session.has_end) continue;  // truncated: never counted
-    session.removed = false;
-    ++report.initial_sessions;
-    report.initial_queries += session.queries.size();
+/// Applies rules 1-5 to one session and accumulates the Table-2 counters
+/// into `report`.  Sessions are independent under every rule (rule 2's
+/// repeat set is per-session), which is what makes this pass
+/// embarrassingly parallel.
+void filter_session(ObservedSession& session, const FilterOptions& options,
+                    FilterReport& report) {
+  if (!session.has_end) return;  // truncated: never counted
+  session.removed = false;
+  ++report.initial_sessions;
+  report.initial_queries += session.queries.size();
 
-    // Rule 3 first marks the session (the paper applies 1, 2, 3 in
-    // sequence to the *query* counts; session-level removal is
-    // independent of the query-level rules).
-    const bool short_session =
-        options.rule3_short_sessions &&
-        session.duration() < options.min_session_seconds;
+  // Rule 3 first marks the session (the paper applies 1, 2, 3 in
+  // sequence to the *query* counts; session-level removal is
+  // independent of the query-level rules).
+  const bool short_session = options.rule3_short_sessions &&
+                             session.duration() < options.min_session_seconds;
 
-    std::unordered_set<std::string> seen;
-    std::size_t surviving = 0;
-    for (auto& query : session.queries) {
-      query.removed_by_rule = 0;
-      query.excluded_from_interarrival = false;
+  std::unordered_set<std::string> seen;
+  std::size_t surviving = 0;
+  for (auto& query : session.queries) {
+    query.removed_by_rule = 0;
+    query.excluded_from_interarrival = false;
 
-      // Rule 1: SHA1 source-search re-queries (empty keyword set).
-      if (options.rule1_sha1 && query.sha1 && query.canonical.empty()) {
-        query.removed_by_rule = 1;
-        ++report.rule1_removed;
-        continue;
-      }
-      // Rule 2: identical keyword set already issued in this session.
-      if (options.rule2_repeats && !seen.insert(query.canonical).second) {
-        query.removed_by_rule = 2;
-        ++report.rule2_removed;
-        continue;
-      }
-      // Rule 3: the whole session goes.
-      if (short_session) {
-        query.removed_by_rule = 3;
-        ++report.rule3_removed_queries;
-        continue;
-      }
-      ++surviving;
-    }
-
-    if (short_session) {
-      session.removed = true;
-      ++report.rule3_removed_sessions;
+    // Rule 1: SHA1 source-search re-queries (empty keyword set).
+    if (options.rule1_sha1 && query.sha1 && query.canonical.empty()) {
+      query.removed_by_rule = 1;
+      ++report.rule1_removed;
       continue;
     }
-    ++report.final_sessions;
-    report.final_queries += surviving;
-
-    // Rules 4/5: mark exclusions from the interarrival measure among the
-    // surviving queries.
-    const ObservedQuery* prev = nullptr;
-    double prev_gap = -1.0;
-    for (auto& query : session.queries) {
-      if (!query.kept()) continue;
-      if (prev == nullptr) {
-        // First query: no interarrival observation either way.
-        prev = &query;
-        prev_gap = -1.0;
-        ++report.interarrival_queries;
-        continue;
-      }
-      const double gap = query.time - prev->time;
-      if (options.rule4_subsecond && gap < options.min_interarrival_seconds) {
-        query.excluded_from_interarrival = true;
-        ++report.rule4_excluded;
-      } else if (options.rule5_identical_gaps && prev_gap >= 0.0 &&
-                 std::abs(gap - prev_gap) <= options.identical_gap_epsilon) {
-        query.excluded_from_interarrival = true;
-        ++report.rule5_excluded;
-      } else {
-        ++report.interarrival_queries;
-      }
-      prev = &query;
-      prev_gap = gap;
+    // Rule 2: identical keyword set already issued in this session.
+    if (options.rule2_repeats && !seen.insert(query.canonical).second) {
+      query.removed_by_rule = 2;
+      ++report.rule2_removed;
+      continue;
     }
+    // Rule 3: the whole session goes.
+    if (short_session) {
+      query.removed_by_rule = 3;
+      ++report.rule3_removed_queries;
+      continue;
+    }
+    ++surviving;
   }
+
+  if (short_session) {
+    session.removed = true;
+    ++report.rule3_removed_sessions;
+    return;
+  }
+  ++report.final_sessions;
+  report.final_queries += surviving;
+
+  // Rules 4/5: mark exclusions from the interarrival measure among the
+  // surviving queries.
+  const ObservedQuery* prev = nullptr;
+  double prev_gap = -1.0;
+  for (auto& query : session.queries) {
+    if (!query.kept()) continue;
+    if (prev == nullptr) {
+      // First query: no interarrival observation either way.
+      prev = &query;
+      prev_gap = -1.0;
+      ++report.interarrival_queries;
+      continue;
+    }
+    const double gap = query.time - prev->time;
+    if (options.rule4_subsecond && gap < options.min_interarrival_seconds) {
+      query.excluded_from_interarrival = true;
+      ++report.rule4_excluded;
+    } else if (options.rule5_identical_gaps && prev_gap >= 0.0 &&
+               std::abs(gap - prev_gap) <= options.identical_gap_epsilon) {
+      query.excluded_from_interarrival = true;
+      ++report.rule5_excluded;
+    } else {
+      ++report.interarrival_queries;
+    }
+    prev = &query;
+    prev_gap = gap;
+  }
+}
+
+void add_report(FilterReport& total, const FilterReport& part) {
+  total.initial_queries += part.initial_queries;
+  total.initial_sessions += part.initial_sessions;
+  total.rule1_removed += part.rule1_removed;
+  total.rule2_removed += part.rule2_removed;
+  total.rule3_removed_queries += part.rule3_removed_queries;
+  total.rule3_removed_sessions += part.rule3_removed_sessions;
+  total.final_queries += part.final_queries;
+  total.final_sessions += part.final_sessions;
+  total.rule4_excluded += part.rule4_excluded;
+  total.rule5_excluded += part.rule5_excluded;
+  total.interarrival_queries += part.interarrival_queries;
+}
+
+}  // namespace
+
+FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options) {
+  const std::size_t n = dataset.sessions.size();
+  std::vector<FilterReport> partial(
+      util::ThreadPool::chunk_count(n, kSessionChunk));
+  analysis_pool().for_chunks(
+      n, kSessionChunk,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          filter_session(dataset.sessions[i], options, partial[chunk]);
+        }
+      });
+
+  FilterReport report;
+  for (const auto& part : partial) add_report(report, part);
   return report;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "analysis/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pgen::analysis {
@@ -148,10 +149,18 @@ PassiveFraction passive_fraction(const TraceDataset& dataset) {
   return result;
 }
 
-SessionMeasures session_measures(const TraceDataset& dataset) {
-  SessionMeasures m;
-  for (const auto& session : dataset.sessions) {
-    if (session.removed || !session.region) continue;
+namespace {
+
+/// Sessions per parallel work unit for session_measures().  Fixed so the
+/// partial-measure boundaries — and with them the final sample order —
+/// are independent of the thread count.
+constexpr std::size_t kMeasureChunk = 512;
+
+/// Adds one session's samples to `m` — the serial inner loop of
+/// session_measures(), unchanged.
+void accumulate_session(SessionMeasures& m, const ObservedSession& session) {
+  {
+    if (session.removed || !session.region) return;
     const std::size_t r = idx(*session.region);
 
     if (!session.active()) {
@@ -163,7 +172,7 @@ SessionMeasures session_measures(const TraceDataset& dataset) {
       const auto dp = static_cast<std::size_t>(period_of(*session.region,
                                                          session.start));
       m.passive_duration_by_day_period[r][dp].push_back(d);
-      continue;
+      return;
     }
 
     const std::size_t n = session.counted_queries();
@@ -196,7 +205,7 @@ SessionMeasures session_measures(const TraceDataset& dataset) {
         last = &query;
       }
     }
-    if (first == nullptr) continue;  // defensive: active implies counted > 0
+    if (first == nullptr) return;  // defensive: active implies counted > 0
 
     const double first_gap = first->time - session.start;
     const auto fqc = static_cast<std::size_t>(core::first_query_class(n));
@@ -224,6 +233,85 @@ SessionMeasures session_measures(const TraceDataset& dataset) {
       m.after_last_by_period_class[r][dp][lqc].push_back(last_gap);
     }
   }
+}
+
+void append_samples(std::vector<double>& dst, std::vector<double>& src) {
+  if (dst.empty()) {
+    dst = std::move(src);
+  } else {
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+}
+
+/// Moves every sample vector of `src` onto the end of the corresponding
+/// vector of `dst`.  Called in chunk-index order, which makes the merged
+/// sample order identical to a serial pass over the sessions.
+void append_measures(SessionMeasures& dst, SessionMeasures& src) {
+  for (std::size_t r = 0; r < kRegions; ++r) {
+    append_samples(dst.passive_duration_by_region[r],
+                   src.passive_duration_by_region[r]);
+    append_samples(dst.queries_by_region[r], src.queries_by_region[r]);
+    append_samples(dst.first_query_by_region[r], src.first_query_by_region[r]);
+    append_samples(dst.interarrival_by_region[r],
+                   src.interarrival_by_region[r]);
+    append_samples(dst.after_last_by_region[r], src.after_last_by_region[r]);
+    for (std::size_t k = 0; k < kKeyPeriodCount; ++k) {
+      append_samples(dst.passive_duration_by_key_period[r][k],
+                     src.passive_duration_by_key_period[r][k]);
+      append_samples(dst.queries_by_key_period[r][k],
+                     src.queries_by_key_period[r][k]);
+      append_samples(dst.first_query_by_key_period[r][k],
+                     src.first_query_by_key_period[r][k]);
+      append_samples(dst.interarrival_by_key_period[r][k],
+                     src.interarrival_by_key_period[r][k]);
+      append_samples(dst.after_last_by_key_period[r][k],
+                     src.after_last_by_key_period[r][k]);
+    }
+    for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+      append_samples(dst.first_query_by_class[r][c],
+                     src.first_query_by_class[r][c]);
+    }
+    for (std::size_t c = 0; c < core::kInterarrivalClassCount; ++c) {
+      append_samples(dst.interarrival_by_class[r][c],
+                     src.interarrival_by_class[r][c]);
+    }
+    for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+      append_samples(dst.after_last_by_class[r][c],
+                     src.after_last_by_class[r][c]);
+    }
+    for (std::size_t p = 0; p < core::kDayPeriodCount; ++p) {
+      append_samples(dst.passive_duration_by_day_period[r][p],
+                     src.passive_duration_by_day_period[r][p]);
+      append_samples(dst.interarrival_by_day_period[r][p],
+                     src.interarrival_by_day_period[r][p]);
+      for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+        append_samples(dst.first_query_by_period_class[r][p][c],
+                       src.first_query_by_period_class[r][p][c]);
+      }
+      for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+        append_samples(dst.after_last_by_period_class[r][p][c],
+                       src.after_last_by_period_class[r][p][c]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SessionMeasures session_measures(const TraceDataset& dataset) {
+  const std::size_t n = dataset.sessions.size();
+  std::vector<SessionMeasures> partial(
+      util::ThreadPool::chunk_count(n, kMeasureChunk));
+  analysis_pool().for_chunks(
+      n, kMeasureChunk,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          accumulate_session(partial[chunk], dataset.sessions[i]);
+        }
+      });
+
+  SessionMeasures m;
+  for (auto& part : partial) append_measures(m, part);
   return m;
 }
 

@@ -1,0 +1,39 @@
+#include "analysis/parallel.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <span>
+
+namespace p2pgen::analysis {
+namespace {
+
+unsigned g_threads = 1;
+std::unique_ptr<util::ThreadPool> g_pool;
+
+}  // namespace
+
+void set_analysis_threads(unsigned n) {
+  n = std::max(1u, n);
+  if (n == g_threads && g_pool) return;
+  g_pool.reset();  // join the old workers before resizing
+  g_threads = n;
+}
+
+unsigned analysis_threads() { return g_threads; }
+
+util::ThreadPool& analysis_pool() {
+  if (!g_pool) g_pool = std::make_unique<util::ThreadPool>(g_threads);
+  return *g_pool;
+}
+
+std::vector<stats::Ecdf> build_ecdfs(
+    const std::vector<const std::vector<double>*>& samples) {
+  std::vector<stats::Ecdf> out(samples.size(),
+                               stats::Ecdf(std::span<const double>{}));
+  analysis_pool().run_indexed(samples.size(), [&](std::size_t i) {
+    if (samples[i] != nullptr) out[i] = stats::Ecdf(*samples[i]);
+  });
+  return out;
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,40 @@
+// p2pgen — parallel execution of the analysis passes.
+//
+// The analysis layer keeps its serial APIs (apply_filters,
+// session_measures, fit_appendix_tables, ...); this header only controls
+// how many threads those passes may use internally.  The contract is
+// strict: thread count NEVER changes results.  Every parallel pass
+// partitions its work with chunk boundaries that are a pure function of
+// the input size (util::ThreadPool::for_chunks) or writes into
+// preallocated per-task slots, and reduces partial results in chunk-index
+// order — so a run with 8 threads is bit-identical to a run with 1,
+// which the determinism suite (tests/test_parallel_analysis.cpp)
+// enforces down to the doubles of the Appendix fit parameters.
+#pragma once
+
+#include <vector>
+
+#include "stats/ecdf.hpp"
+#include "util/thread_pool.hpp"
+
+namespace p2pgen::analysis {
+
+/// Sets how many threads analysis passes may use.  1 (the default) is
+/// fully serial: no pool threads exist and every pass runs inline.
+/// Call once at startup — the setting is process-global and not
+/// synchronized against concurrently running analysis passes.
+void set_analysis_threads(unsigned n);
+
+/// Currently configured analysis thread count.
+unsigned analysis_threads();
+
+/// The shared pool the analysis passes run on (size analysis_threads();
+/// created lazily, recreated when the setting changes).
+util::ThreadPool& analysis_pool();
+
+/// Builds one Ecdf per sample set, fanned across the analysis pool.
+/// Output order matches input order.  Null entries produce empty Ecdfs.
+std::vector<stats::Ecdf> build_ecdfs(
+    const std::vector<const std::vector<double>*>& samples);
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,64 @@
+#include "behavior/sharded_simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace p2pgen::behavior {
+namespace {
+
+/// Tag offsetting shard stream ids away from the small ids other layers
+/// split off the same master seed.
+constexpr std::uint64_t kShardStreamTag = 0x5348415244ULL;  // "SHARD"
+
+}  // namespace
+
+std::uint64_t shard_seed(std::uint64_t master_seed,
+                         unsigned shard_index) noexcept {
+  return stats::derive_stream_seed(master_seed, kShardStreamTag + shard_index);
+}
+
+trace::Trace simulate_shard(const core::WorkloadModel& model,
+                            const TraceSimulationConfig& base,
+                            unsigned shard_index, ShardStats* stats) {
+  TraceSimulationConfig config = base;
+  config.seed = shard_seed(base.seed, shard_index);
+
+  trace::Trace trace;
+  TraceSimulation simulation(model, config, trace);
+  simulation.run();
+
+  if (stats != nullptr) {
+    stats->seed = config.seed;
+    stats->peers_spawned = simulation.peers_spawned();
+    stats->events = trace.size();
+    stats->faults = simulation.fault_counters();
+  }
+  return trace;
+}
+
+trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
+                                    const TraceSimulationConfig& base,
+                                    unsigned n_shards, unsigned n_threads,
+                                    std::vector<ShardStats>* stats) {
+  if (n_shards == 0) {
+    throw std::invalid_argument("simulate_trace_sharded: n_shards must be > 0");
+  }
+  std::vector<trace::Trace> shards(n_shards);
+  std::vector<ShardStats> shard_stats(n_shards);
+
+  // Shards are fully independent (disjoint RNG streams, own simulator,
+  // own trace buffer), so the pool may run them in any order; the merge
+  // below is what pins the output ordering.
+  util::ThreadPool pool(std::min(n_threads, n_shards));
+  pool.run_indexed(n_shards, [&](std::size_t k) {
+    shards[k] = simulate_shard(model, base, static_cast<unsigned>(k),
+                               &shard_stats[k]);
+  });
+
+  if (stats != nullptr) *stats = std::move(shard_stats);
+  return trace::merge_traces(std::move(shards));
+}
+
+}  // namespace p2pgen::behavior

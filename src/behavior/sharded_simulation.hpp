@@ -1,0 +1,60 @@
+// p2pgen — deterministic sharded trace simulation.
+//
+// The substitute for running the paper's 40-day measurement on one core:
+// N independently-seeded replica simulations ("shards") observe the same
+// measurement window from N vantage points — the multi-vantage-point
+// shape of the eDonkey honeypot measurements (Allali, Latapy & Magnien,
+// arXiv:0904.3215) — and their traces are merged into one measurement
+// log by a stable, shard-index-ordered reduction (trace::merge_traces).
+//
+// Determinism contract: the merged trace is a pure function of
+// (model, config, n_shards).  Shard k's RNG stream is split from the
+// master seed via stats::derive_stream_seed, so streams are disjoint and
+// each shard is independent of every other; shards therefore run
+// concurrently without synchronization, and the merged output is
+// byte-identical for ANY thread count, including n_threads = 1.
+//
+// Replicas also answer the finite-measurement-bias problem (Benamara &
+// Magnien, arXiv:1104.3694): tail estimates of heavy-tailed session
+// measures need many long observation windows, not one short one —
+// affordable only when the replicas run in parallel.
+#pragma once
+
+#include <vector>
+
+#include "behavior/trace_simulation.hpp"
+
+namespace p2pgen::behavior {
+
+/// Post-run statistics of one shard.
+struct ShardStats {
+  std::uint64_t seed = 0;           ///< the shard's derived master seed
+  std::uint64_t peers_spawned = 0;  ///< peers the shard's overlay produced
+  std::uint64_t events = 0;         ///< trace events the shard emitted
+  sim::FaultCounters faults{};      ///< the shard's fault-layer counters
+};
+
+/// Seed of shard `shard_index` under `master_seed`.  Every shard —
+/// including shard 0 — gets a derived seed, so the set of shard streams
+/// is uniform and pairwise disjoint from each other and from the serial
+/// TraceSimulation stream of the master seed itself.
+std::uint64_t shard_seed(std::uint64_t master_seed,
+                         unsigned shard_index) noexcept;
+
+/// Runs one replica shard: `base` with its seed replaced by
+/// shard_seed(base.seed, shard_index).  Deterministic in
+/// (model, base, shard_index); usable on any thread.
+trace::Trace simulate_shard(const core::WorkloadModel& model,
+                            const TraceSimulationConfig& base,
+                            unsigned shard_index, ShardStats* stats = nullptr);
+
+/// Runs `n_shards` replica shards on up to `n_threads` threads and merges
+/// their traces (see file comment for the determinism contract).  Each
+/// shard simulates the full base.duration_days window.  When `stats` is
+/// non-null it receives one entry per shard, in shard order.
+trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
+                                    const TraceSimulationConfig& base,
+                                    unsigned n_shards, unsigned n_threads,
+                                    std::vector<ShardStats>* stats = nullptr);
+
+}  // namespace p2pgen::behavior

@@ -52,6 +52,13 @@ struct FaultConfig {
   }
 };
 
+/// Order-sensitive FNV-1a hash over the exact bit patterns of every
+/// FaultConfig field.  Used in cache keys (bench_common) so traces
+/// simulated under different fault configurations are never mistaken for
+/// one another: any change to any field — including adding new fields to
+/// the hash — changes the digest.
+std::uint64_t fault_config_digest(const FaultConfig& config) noexcept;
+
 /// What the fault layer did during a run.
 struct FaultCounters {
   std::uint64_t messages_lost = 0;        ///< dropped by injected loss

@@ -11,6 +11,12 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 }  // namespace
 
+std::uint64_t derive_stream_seed(std::uint64_t master,
+                                 std::uint64_t stream_id) noexcept {
+  SplitMix64 mixer(master ^ (0xA0761D6478BD642FULL * (stream_id + 1)));
+  return mixer.next();
+}
+
 Rng::Rng(std::uint64_t seed) noexcept : seed_(seed) {
   SplitMix64 mixer(seed);
   for (auto& word : state_) word = mixer.next();
@@ -89,8 +95,7 @@ double Rng::exponential(double rate) noexcept {
 }
 
 Rng Rng::split(std::uint64_t stream_id) const noexcept {
-  SplitMix64 mixer(seed_ ^ (0xA0761D6478BD642FULL * (stream_id + 1)));
-  return Rng(mixer.next());
+  return Rng(derive_stream_seed(seed_, stream_id));
 }
 
 }  // namespace p2pgen::stats

@@ -30,6 +30,14 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Derives an independent child seed from a master seed; deterministic in
+/// (master, stream_id).  Distinct stream ids give seeds whose SplitMix64 /
+/// xoshiro256++ streams are uncorrelated, so parallel shards can each own
+/// a disjoint stream split from one master seed.  Rng::split() and the
+/// sharded simulation layer both derive through this single function.
+std::uint64_t derive_stream_seed(std::uint64_t master,
+                                 std::uint64_t stream_id) noexcept;
+
 /// xoshiro256++ pseudo-random generator with convenience samplers for the
 /// primitive variates the library needs.  Satisfies the requirements of a
 /// C++ UniformRandomBitGenerator, so it can also drive <random>

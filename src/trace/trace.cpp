@@ -1,6 +1,7 @@
 #include "trace/trace.hpp"
 
 #include <algorithm>
+#include <queue>
 
 namespace p2pgen::trace {
 
@@ -52,6 +53,49 @@ TraceStats Trace::stats() const {
     }
   }
   return s;
+}
+
+Trace merge_traces(std::vector<Trace> shards) {
+  std::vector<std::vector<TraceEvent>> streams;
+  streams.reserve(shards.size());
+  std::size_t total = 0;
+  for (auto& shard : shards) {
+    streams.push_back(shard.release());
+    total += streams.back().size();
+  }
+
+  // K-way merge over the (already time-sorted) shard streams.  The heap
+  // orders heads by (time, shard index); within a shard the positional
+  // order is preserved, so the reduction is stable and deterministic.
+  struct Head {
+    double time;
+    std::size_t shard;
+  };
+  auto later = [](const Head& a, const Head& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.shard > b.shard;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heads(later);
+  std::vector<std::size_t> pos(streams.size(), 0);
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    if (!streams[k].empty()) heads.push({event_time(streams[k][0]), k});
+  }
+
+  Trace merged;
+  merged.reserve(total);
+  while (!heads.empty()) {
+    const std::size_t k = heads.top().shard;
+    heads.pop();
+    TraceEvent event = std::move(streams[k][pos[k]]);
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(k) * kShardSessionStride;
+    std::visit([base](auto& e) { e.session_id += base; }, event);
+    merged.append(std::move(event));
+    if (++pos[k] < streams[k].size()) {
+      heads.push({event_time(streams[k][pos[k]]), k});
+    }
+  }
+  return merged;
 }
 
 }  // namespace p2pgen::trace

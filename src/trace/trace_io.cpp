@@ -5,6 +5,7 @@
 #include <memory>
 #include <ostream>
 #include <stdexcept>
+#include <streambuf>
 
 namespace p2pgen::trace {
 namespace {
@@ -214,6 +215,42 @@ Trace load_binary(const std::string& path) {
   } catch (const TraceIoError& e) {
     throw TraceIoError(path + ": " + e.what(), e.byte_offset());
   }
+}
+
+namespace {
+
+/// Streambuf that hashes every byte written to it and stores nothing.
+class DigestStreambuf : public std::streambuf {
+ public:
+  std::uint64_t digest() const noexcept { return hash_; }
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) mix(static_cast<unsigned char>(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* data, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) {
+      mix(static_cast<unsigned char>(data[i]));
+    }
+    return n;
+  }
+
+ private:
+  void mix(unsigned char byte) noexcept {
+    hash_ ^= byte;
+    hash_ *= 0x100000001b3ULL;  // FNV-1a 64-bit prime
+  }
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace
+
+std::uint64_t binary_digest(const Trace& trace) {
+  DigestStreambuf buf;
+  std::ostream out(&buf);
+  write_binary(trace, out);
+  return buf.digest();
 }
 
 void write_csv(const Trace& trace, std::ostream& out) {

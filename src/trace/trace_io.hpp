@@ -49,6 +49,13 @@ Trace load_binary(const std::string& path);
 /// CSV export (one row per event, header included).
 void write_csv(const Trace& trace, std::ostream& out);
 
+/// FNV-1a hash of the trace's binary serialization, computed streamingly
+/// (the serialized bytes are never materialized).  Two traces have equal
+/// digests iff write_binary() would produce identical byte streams — the
+/// cheap byte-identity check used by the determinism tests and the
+/// parallel-scaling bench.
+std::uint64_t binary_digest(const Trace& trace);
+
 /// A TraceSink that streams events straight to a binary file.
 class BinaryTraceWriter : public TraceSink {
  public:

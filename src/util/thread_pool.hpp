@@ -1,0 +1,90 @@
+// p2pgen — deterministic work-stealing thread pool.
+//
+// The parallel execution substrate for sharded simulation and the
+// parallel analysis passes.  Design constraints, in order:
+//
+//   1. *Determinism of results.*  The pool schedules work in any order,
+//      so callers must never fold results in completion order.  The two
+//      entry points make that easy: run_indexed() gives every task a
+//      stable index so outputs go into preallocated slots, and
+//      for_chunks() partitions a range into chunks whose boundaries
+//      depend only on the range and the requested grain — never on the
+//      thread count — so chunk-ordered reductions are byte-identical for
+//      any pool size, including 1.
+//   2. *Degenerate pool is free.*  ThreadPool(1) spawns no threads at
+//      all: the calling thread executes every task inline, in index
+//      order.  Serial and parallel runs share one code path.
+//   3. *Exception safety.*  A throwing task does not take down a worker;
+//      the exception of the lowest-indexed failing task is rethrown on
+//      the calling thread after the batch completes (again: which
+//      exception wins is deterministic).
+//
+// Scheduling: each worker owns a deque protected by a small mutex.
+// Tasks of a batch are dealt round-robin across workers; a worker pops
+// from the front of its own deque and, when empty, steals from the back
+// of a victim's.  The calling thread participates as a worker for the
+// duration of a batch, so a pool of N uses N threads total, not N+1.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace p2pgen::util {
+
+class ThreadPool {
+ public:
+  /// A pool that runs batches on `threads` threads total (the caller
+  /// counts as one).  `threads` is clamped to [1, 256].
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of threads a batch runs on (including the caller).
+  unsigned size() const noexcept { return threads_; }
+
+  /// Runs `count` tasks, task(i) for i in [0, count), and waits for all
+  /// of them.  Tasks may run in any order and concurrently; write
+  /// results into slot i of a preallocated buffer.
+  void run_indexed(std::size_t count,
+                   const std::function<void(std::size_t)>& task);
+
+  /// Partitions [0, n) into chunks of at most `grain` elements and runs
+  /// body(chunk_index, begin, end) for each.  Chunk boundaries are a
+  /// pure function of (n, grain): chunk c covers
+  /// [c * grain, min(n, (c+1) * grain)).  Reductions merged in
+  /// chunk-index order are therefore identical for every thread count.
+  void for_chunks(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t chunk_index,
+                                           std::size_t begin,
+                                           std::size_t end)>& body);
+
+  /// Number of chunks for_chunks(n, grain, ...) will produce.
+  static std::size_t chunk_count(std::size_t n, std::size_t grain) noexcept {
+    return grain == 0 ? 0 : (n + grain - 1) / grain;
+  }
+
+  /// Thread count requested by the environment: P2PGEN_THREADS if set
+  /// and positive, otherwise std::thread::hardware_concurrency()
+  /// (minimum 1).
+  static unsigned recommended_threads();
+
+ private:
+  struct Worker;
+  struct Batch;
+
+  void worker_loop(std::size_t worker_index);
+  /// Pops own work or steals; returns false when the batch is drained.
+  bool run_one(std::size_t worker_index, Batch& batch);
+
+  unsigned threads_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;  // threads_ - 1 entries
+  struct Shared;
+  std::unique_ptr<Shared> shared_;
+};
+
+}  // namespace p2pgen::util

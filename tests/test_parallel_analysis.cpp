@@ -1,0 +1,232 @@
+// Serial-vs-parallel equivalence for the analysis pipeline: with the
+// analysis pool at 1 thread and at 8 threads, filtering marks, session
+// measures, ECDFs and Appendix fit parameters must be bit-identical —
+// the analysis half of the determinism contract (DESIGN.md §7).
+#include "analysis/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "analysis/filters.hpp"
+#include "analysis/measures.hpp"
+#include "analysis/model_fit.hpp"
+#include "behavior/sharded_simulation.hpp"
+
+namespace p2pgen {
+namespace {
+
+// Exact double comparison via the bit pattern: "the parallel path computed
+// the same floating-point operations in the same order", stronger than
+// EXPECT_DOUBLE_EQ and immune to -0.0/NaN subtleties.
+#define EXPECT_BITS_EQ(a, b)                                    \
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(double(a)),            \
+            std::bit_cast<std::uint64_t>(double(b)))
+
+// One shared dataset for the whole suite: 2 shards x ~43 minutes gives a
+// few hundred sessions — enough for several fit cells to use real data
+// while keeping the suite fast.
+const analysis::TraceDataset& shared_dataset() {
+  static const analysis::TraceDataset dataset = [] {
+    behavior::TraceSimulationConfig config;
+    config.duration_days = 0.03;
+    config.arrival_rate = 1.5;
+    config.seed = 20040315;
+    const trace::Trace trace = behavior::simulate_trace_sharded(
+        core::WorkloadModel::paper_default(), config, 2, 2);
+    auto d = analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
+    return d;
+  }();
+  return dataset;
+}
+
+class ParallelAnalysisTest : public ::testing::Test {
+ protected:
+  void TearDown() override { analysis::set_analysis_threads(1); }
+};
+
+TEST_F(ParallelAnalysisTest, FiltersMarkSessionsIdentically) {
+  auto serial = shared_dataset();
+  auto parallel = shared_dataset();
+
+  analysis::set_analysis_threads(1);
+  const auto serial_report = analysis::apply_filters(serial);
+  analysis::set_analysis_threads(8);
+  const auto parallel_report = analysis::apply_filters(parallel);
+
+  EXPECT_EQ(serial_report.initial_queries, parallel_report.initial_queries);
+  EXPECT_EQ(serial_report.initial_sessions, parallel_report.initial_sessions);
+  EXPECT_EQ(serial_report.rule1_removed, parallel_report.rule1_removed);
+  EXPECT_EQ(serial_report.rule2_removed, parallel_report.rule2_removed);
+  EXPECT_EQ(serial_report.rule3_removed_queries,
+            parallel_report.rule3_removed_queries);
+  EXPECT_EQ(serial_report.rule3_removed_sessions,
+            parallel_report.rule3_removed_sessions);
+  EXPECT_EQ(serial_report.final_queries, parallel_report.final_queries);
+  EXPECT_EQ(serial_report.final_sessions, parallel_report.final_sessions);
+  EXPECT_EQ(serial_report.rule4_excluded, parallel_report.rule4_excluded);
+  EXPECT_EQ(serial_report.rule5_excluded, parallel_report.rule5_excluded);
+  EXPECT_EQ(serial_report.interarrival_queries,
+            parallel_report.interarrival_queries);
+
+  ASSERT_EQ(serial.sessions.size(), parallel.sessions.size());
+  ASSERT_GT(serial_report.initial_sessions, 0u);
+  for (std::size_t i = 0; i < serial.sessions.size(); ++i) {
+    const auto& s = serial.sessions[i];
+    const auto& p = parallel.sessions[i];
+    ASSERT_EQ(s.removed, p.removed) << "session " << i;
+    ASSERT_EQ(s.queries.size(), p.queries.size()) << "session " << i;
+    for (std::size_t q = 0; q < s.queries.size(); ++q) {
+      ASSERT_EQ(s.queries[q].removed_by_rule, p.queries[q].removed_by_rule)
+          << "session " << i << " query " << q;
+      ASSERT_EQ(s.queries[q].excluded_from_interarrival,
+                p.queries[q].excluded_from_interarrival)
+          << "session " << i << " query " << q;
+    }
+  }
+}
+
+TEST_F(ParallelAnalysisTest, SessionMeasuresAreExactlyEqual) {
+  auto dataset = shared_dataset();
+  analysis::apply_filters(dataset);
+
+  analysis::set_analysis_threads(1);
+  const auto serial = analysis::session_measures(dataset);
+  analysis::set_analysis_threads(8);
+  const auto parallel = analysis::session_measures(dataset);
+
+  // The chunk-ordered append must reproduce the serial sample order
+  // exactly (vector<double> operator== is element-wise exact equality).
+  std::size_t serial_samples = 0;
+  for (std::size_t r = 0; r < analysis::kRegions; ++r) {
+    EXPECT_EQ(serial.passive_duration_by_region[r],
+              parallel.passive_duration_by_region[r]);
+    EXPECT_EQ(serial.queries_by_region[r], parallel.queries_by_region[r]);
+    EXPECT_EQ(serial.first_query_by_region[r],
+              parallel.first_query_by_region[r]);
+    EXPECT_EQ(serial.interarrival_by_region[r],
+              parallel.interarrival_by_region[r]);
+    EXPECT_EQ(serial.after_last_by_region[r],
+              parallel.after_last_by_region[r]);
+    serial_samples += serial.passive_duration_by_region[r].size() +
+                      serial.queries_by_region[r].size();
+    for (std::size_t k = 0; k < analysis::kKeyPeriodCount; ++k) {
+      EXPECT_EQ(serial.passive_duration_by_key_period[r][k],
+                parallel.passive_duration_by_key_period[r][k]);
+      EXPECT_EQ(serial.queries_by_key_period[r][k],
+                parallel.queries_by_key_period[r][k]);
+      EXPECT_EQ(serial.first_query_by_key_period[r][k],
+                parallel.first_query_by_key_period[r][k]);
+      EXPECT_EQ(serial.interarrival_by_key_period[r][k],
+                parallel.interarrival_by_key_period[r][k]);
+      EXPECT_EQ(serial.after_last_by_key_period[r][k],
+                parallel.after_last_by_key_period[r][k]);
+    }
+    for (std::size_t p = 0; p < core::kDayPeriodCount; ++p) {
+      EXPECT_EQ(serial.passive_duration_by_day_period[r][p],
+                parallel.passive_duration_by_day_period[r][p]);
+      EXPECT_EQ(serial.interarrival_by_day_period[r][p],
+                parallel.interarrival_by_day_period[r][p]);
+      for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+        EXPECT_EQ(serial.first_query_by_period_class[r][p][c],
+                  parallel.first_query_by_period_class[r][p][c]);
+      }
+      for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+        EXPECT_EQ(serial.after_last_by_period_class[r][p][c],
+                  parallel.after_last_by_period_class[r][p][c]);
+      }
+    }
+    for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+      EXPECT_EQ(serial.first_query_by_class[r][c],
+                parallel.first_query_by_class[r][c]);
+    }
+    for (std::size_t c = 0; c < core::kInterarrivalClassCount; ++c) {
+      EXPECT_EQ(serial.interarrival_by_class[r][c],
+                parallel.interarrival_by_class[r][c]);
+    }
+    for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+      EXPECT_EQ(serial.after_last_by_class[r][c],
+                parallel.after_last_by_class[r][c]);
+    }
+  }
+  EXPECT_GT(serial_samples, 0u) << "dataset produced no samples at all";
+}
+
+TEST_F(ParallelAnalysisTest, AppendixFitsAreBitIdentical) {
+  auto dataset = shared_dataset();
+  analysis::apply_filters(dataset);
+  const auto measures = analysis::session_measures(dataset);
+
+  analysis::set_analysis_threads(1);
+  const auto serial = analysis::fit_appendix_tables(measures);
+  analysis::set_analysis_threads(8);
+  const auto parallel = analysis::fit_appendix_tables(measures);
+
+  for (std::size_t r = 0; r < analysis::kRegions; ++r) {
+    EXPECT_BITS_EQ(serial.queries[r].mu, parallel.queries[r].mu);
+    EXPECT_BITS_EQ(serial.queries[r].sigma, parallel.queries[r].sigma);
+    for (std::size_t p = 0; p < core::kDayPeriodCount; ++p) {
+      const auto& sa = serial.passive[r][p];
+      const auto& pa = parallel.passive[r][p];
+      EXPECT_BITS_EQ(sa.body_weight, pa.body_weight);
+      EXPECT_BITS_EQ(sa.body.mu, pa.body.mu);
+      EXPECT_BITS_EQ(sa.body.sigma, pa.body.sigma);
+      EXPECT_BITS_EQ(sa.tail.mu, pa.tail.mu);
+      EXPECT_BITS_EQ(sa.tail.sigma, pa.tail.sigma);
+
+      const auto& si = serial.interarrival[r][p];
+      const auto& pi = parallel.interarrival[r][p];
+      EXPECT_BITS_EQ(si.body_weight, pi.body_weight);
+      EXPECT_BITS_EQ(si.body.mu, pi.body.mu);
+      EXPECT_BITS_EQ(si.body.sigma, pi.body.sigma);
+      EXPECT_BITS_EQ(si.tail_alpha, pi.tail_alpha);
+
+      for (std::size_t c = 0; c < core::kFirstQueryClassCount; ++c) {
+        const auto& sf = serial.first_query[r][p][c];
+        const auto& pf = parallel.first_query[r][p][c];
+        EXPECT_BITS_EQ(sf.body_weight, pf.body_weight);
+        EXPECT_BITS_EQ(sf.body.alpha, pf.body.alpha);
+        EXPECT_BITS_EQ(sf.body.lambda, pf.body.lambda);
+        EXPECT_BITS_EQ(sf.tail.mu, pf.tail.mu);
+        EXPECT_BITS_EQ(sf.tail.sigma, pf.tail.sigma);
+      }
+      for (std::size_t c = 0; c < core::kLastQueryClassCount; ++c) {
+        EXPECT_BITS_EQ(serial.after_last[r][p][c].mu,
+                       parallel.after_last[r][p][c].mu);
+        EXPECT_BITS_EQ(serial.after_last[r][p][c].sigma,
+                       parallel.after_last[r][p][c].sigma);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelAnalysisTest, BuildEcdfsMatchesSerialConstruction) {
+  const std::vector<double> a{3.0, 1.0, 2.0, 2.0};
+  const std::vector<double> b{10.0, 5.0};
+  const std::vector<double> empty;
+  const std::vector<const std::vector<double>*> samples{&a, &b, nullptr,
+                                                        &empty};
+
+  analysis::set_analysis_threads(8);
+  const auto ecdfs = analysis::build_ecdfs(samples);
+
+  ASSERT_EQ(ecdfs.size(), samples.size());
+  const stats::Ecdf ref_a{std::span<const double>(a)};
+  const stats::Ecdf ref_b{std::span<const double>(b)};
+  EXPECT_EQ(ecdfs[0].size(), ref_a.size());
+  EXPECT_BITS_EQ(ecdfs[0].ccdf(1.5), ref_a.ccdf(1.5));
+  EXPECT_BITS_EQ(ecdfs[1].ccdf(7.0), ref_b.ccdf(7.0));
+  EXPECT_TRUE(ecdfs[2].empty());  // nullptr slot -> empty ECDF
+  EXPECT_TRUE(ecdfs[3].empty());
+}
+
+TEST_F(ParallelAnalysisTest, ThreadCountKnobClampsAndReports) {
+  analysis::set_analysis_threads(8);
+  EXPECT_EQ(analysis::analysis_threads(), 8u);
+  analysis::set_analysis_threads(0);  // clamped to 1
+  EXPECT_EQ(analysis::analysis_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace p2pgen
