@@ -3,17 +3,44 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "analysis/parallel.hpp"
 #include "behavior/sharded_simulation.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace_io.hpp"
 #include "util/thread_pool.hpp"
 
 namespace p2pgen::bench {
+namespace {
+
+// P2PGEN_METRICS=<path>: write the global metrics snapshot as JSON when
+// the bench exits, so CI can archive pipeline health next to the tables.
+void write_metrics_at_exit() {
+  const char* path = std::getenv("P2PGEN_METRICS");
+  if (path == nullptr) return;
+  analysis::publish_analysis_pool_metrics();
+  std::ofstream out(path);
+  obs::Registry::global().snapshot().write_json(out);
+  out << "\n";
+  if (!out) std::cerr << "[bench] failed writing metrics to " << path << "\n";
+}
+
+}  // namespace
 
 BenchScale bench_scale() {
+  // Every bench goes through bench_scale(), so this is the one choke
+  // point to arm the exit hook (once per process).
+  static const bool metrics_hook_armed = [] {
+    if (std::getenv("P2PGEN_METRICS") != nullptr) {
+      std::atexit(write_metrics_at_exit);
+    }
+    return true;
+  }();
+  (void)metrics_hook_armed;
+
   BenchScale scale;
   scale.threads = util::ThreadPool::recommended_threads();
   if (const char* shards = std::getenv("P2PGEN_SHARDS")) {
@@ -100,6 +127,7 @@ const trace::Trace& bench_trace() {
         std::cerr << "[bench] simulated shard " << k << " ("
                   << shards[k].size() << " events)\n";
       }
+      util::publish_pool_stats("pool.bench_sim", pool.stats());
     }
 
     trace::Trace merged = trace::merge_traces(std::move(shards));

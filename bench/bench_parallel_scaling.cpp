@@ -20,6 +20,7 @@
 #include "analysis/parallel.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
 #include "trace/trace_io.hpp"
 
 namespace {
@@ -72,6 +73,7 @@ int main() {
   struct AnalysisRun {
     unsigned threads;
     double seconds;
+    double fit_probe;  // Table A.2 region-0 mu: must match across runs
   };
   std::vector<AnalysisRun> analysis_runs;
   for (const unsigned threads : thread_counts) {
@@ -83,9 +85,16 @@ int main() {
     const auto measures = analysis::session_measures(dataset);
     const auto fits = analysis::fit_appendix_tables(measures);
     const double elapsed = seconds_since(start);
-    analysis_runs.push_back({threads, elapsed});
+    analysis_runs.push_back({threads, elapsed, fits.queries[0].mu});
     std::cerr << "[scaling] analysis threads=" << threads << "  "
               << std::fixed << std::setprecision(3) << elapsed << " s\n";
+    // Drain the pool counters now: the next set_analysis_threads() call
+    // destroys this pool (and with it any unread stats).
+    analysis::publish_analysis_pool_metrics();
+  }
+  for (const auto& run : analysis_runs) {
+    identical =
+        identical && run.fit_probe == analysis_runs.front().fit_probe;
   }
   analysis::set_analysis_threads(1);
 
@@ -115,7 +124,9 @@ int main() {
                                : 0.0)
          << "}" << (i + 1 < analysis_runs.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"metrics\": ";
+  obs::Registry::global().snapshot().write_json(json);
+  json << "\n}\n";
   std::cout << json.str();
 
   return identical ? 0 : 1;

@@ -9,7 +9,13 @@
 // 4. Re-fit the Appendix models and print ground-truth vs recovered
 //    parameters — the closed-loop validation.
 //
-//   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards] [threads]
+//   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards]
+//       [threads] [--metrics=<path>] [--trace-json=<path>]
+//
+// --metrics=<path> writes the unified PipelineReport as JSON (plus the
+// Prometheus text exposition to <path>.prom); --trace-json=<path> enables
+// span tracing and writes a chrome://tracing / Perfetto-loadable trace
+// of the pipeline's phases, plus a per-phase summary table on stdout.
 //
 // Pass a third argument "faults" (or "1") to run the same measurement on
 // a hostile overlay: message loss, byte corruption, duplication, jitter,
@@ -23,9 +29,11 @@
 // passes below also fan across the same thread budget.
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -34,20 +42,37 @@
 #include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
 #include "behavior/sharded_simulation.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 int main(int argc, char** argv) {
   using namespace p2pgen;
 
+  std::string metrics_path;
+  std::string trace_json_path;
+  std::vector<const char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      metrics_path = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
+      trace_json_path = argv[i] + 13;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  // Span tracing buffers grow while enabled, so it is opt-in.
+  if (!trace_json_path.empty()) obs::TraceLog::global().set_enabled(true);
+
   behavior::TraceSimulationConfig config;
-  config.duration_days = argc > 1 ? std::atof(argv[1]) : 1.0;
-  config.arrival_rate = argc > 2 ? std::atof(argv[2]) : 1.0;
+  config.duration_days = args.size() > 0 ? std::atof(args[0]) : 1.0;
+  config.arrival_rate = args.size() > 1 ? std::atof(args[1]) : 1.0;
   config.seed = 20040315;
 
   const unsigned shards =
-      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1;
+      args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3])) : 1;
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned threads =
-      argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : hw;
+      args.size() > 4 ? static_cast<unsigned>(std::atoi(args[4])) : hw;
   if (shards == 0) {
     std::cerr << "measurement_pipeline: shards must be >= 1\n";
     return 1;
@@ -55,8 +80,8 @@ int main(int argc, char** argv) {
   analysis::set_analysis_threads(threads);
 
   const bool faults_on =
-      argc > 3 && (std::strcmp(argv[3], "faults") == 0 ||
-                   std::strcmp(argv[3], "1") == 0);
+      args.size() > 2 && (std::strcmp(args[2], "faults") == 0 ||
+                          std::strcmp(args[2], "1") == 0);
   if (faults_on) {
     config.faults.loss_prob = 0.03;
     config.faults.corrupt_prob = 0.01;
@@ -93,6 +118,9 @@ int main(int argc, char** argv) {
     simulation = std::make_unique<behavior::TraceSimulation>(
         core::WorkloadModel::paper_default(), config, trace);
     simulation->run();
+    // The sharded path publishes per-shard; the single-vantage-point
+    // path owns its one simulation and publishes it here.
+    simulation->publish_metrics();
   }
 
   const auto stats = trace.stats();
@@ -108,8 +136,10 @@ int main(int argc, char** argv) {
                        1, stats.direct_connections))
             << "\n";
 
-  if (faults_on && simulation) {
-    analysis::RobustnessReport robustness;
+  // The pipeline report wants the robustness rows whether or not faults
+  // were injected (on a clean overlay they are simply zero).
+  analysis::RobustnessReport robustness;
+  if (simulation) {
     robustness.injected = simulation->fault_counters();
     robustness.transport_delivered = simulation->network().messages_delivered();
     robustness.transport_dropped = simulation->network().messages_dropped();
@@ -119,31 +149,39 @@ int main(int argc, char** argv) {
     robustness.forward_retries = simulation->node().forward_retries();
     robustness.forward_retries_exhausted =
         simulation->node().forward_retries_exhausted();
-    robustness.add_trace(trace);
-    std::cout << "\n";
-    analysis::print_robustness_report(std::cout, robustness);
-  } else if (faults_on) {
-    sim::FaultCounters total;
+  } else {
     for (const auto& s : shard_stats) {
-      total.messages_lost += s.faults.messages_lost;
-      total.messages_corrupted += s.faults.messages_corrupted;
-      total.messages_duplicated += s.faults.messages_duplicated;
-      total.messages_delayed += s.faults.messages_delayed;
-      total.node_crashes += s.faults.node_crashes;
-      total.half_open_links += s.faults.half_open_links;
-      total.sends_into_dead_link += s.faults.sends_into_dead_link;
+      robustness.injected.messages_lost += s.faults.messages_lost;
+      robustness.injected.messages_corrupted += s.faults.messages_corrupted;
+      robustness.injected.messages_duplicated += s.faults.messages_duplicated;
+      robustness.injected.messages_delayed += s.faults.messages_delayed;
+      robustness.injected.node_crashes += s.faults.node_crashes;
+      robustness.injected.half_open_links += s.faults.half_open_links;
+      robustness.injected.sends_into_dead_link += s.faults.sends_into_dead_link;
     }
-    std::cout << "\n== injected faults (summed over " << shards
-              << " shards) ==\n"
-              << "  lost/corrupted/duplicated: " << total.messages_lost << " / "
-              << total.messages_corrupted << " / "
-              << total.messages_duplicated << "\n"
-              << "  delayed:                   " << total.messages_delayed
-              << "\n"
-              << "  crashes / half-open:       " << total.node_crashes << " / "
-              << total.half_open_links << "\n"
-              << "  sends into dead links:     " << total.sends_into_dead_link
-              << "\n";
+    // ShardStats only carries fault counters; the transport and node
+    // totals of the merged run come from the metrics registry, where
+    // every shard's simulation published them.
+    const auto snapshot = obs::Registry::global().snapshot();
+    robustness.transport_delivered =
+        snapshot.counter_value("transport.messages_delivered");
+    robustness.transport_dropped =
+        snapshot.counter_value("transport.messages_dropped");
+    robustness.decode_errors = snapshot.counter_value("node.decode_errors");
+    robustness.clean_bytes_before_error =
+        snapshot.counter_value("node.clean_bytes_before_error");
+    robustness.forward_retries = snapshot.counter_value("node.forward_retries");
+    robustness.forward_retries_exhausted =
+        snapshot.counter_value("node.forward_retries_exhausted");
+  }
+  robustness.add_trace(trace);
+  if (faults_on) {
+    if (shards > 1) {
+      std::cout << "\n(robustness rows summed over " << shards << " shards)\n";
+    } else {
+      std::cout << "\n";
+    }
+    analysis::print_robustness_report(std::cout, robustness);
   }
 
   std::cout << "\n== 2. session reconstruction + filter rules ==\n";
@@ -200,5 +238,38 @@ int main(int argc, char** argv) {
             << "  refit drift: " << refit.popularity.daily_drift
             << " (ground truth 0.65)\n"
             << "  model validates: yes\n";
+
+  analysis::publish_analysis_pool_metrics();
+  if (!metrics_path.empty() || !trace_json_path.empty()) {
+    std::cout << "\n== 6. pipeline health report ==\n";
+  }
+  if (!metrics_path.empty()) {
+    const auto pipeline = analysis::PipelineReport::capture(robustness, report);
+    std::ofstream json_out(metrics_path);
+    pipeline.write_json(json_out);
+    json_out << "\n";
+    std::ofstream prom_out(metrics_path + ".prom");
+    pipeline.write_prometheus(prom_out);
+    if (!json_out || !prom_out) {
+      std::cerr << "measurement_pipeline: failed writing " << metrics_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "  metrics: " << metrics_path << " (+ " << metrics_path
+              << ".prom)\n";
+  }
+  if (!trace_json_path.empty()) {
+    auto& log = obs::TraceLog::global();
+    std::ofstream trace_out(trace_json_path);
+    log.write_chrome_json(trace_out);
+    if (!trace_out) {
+      std::cerr << "measurement_pipeline: failed writing " << trace_json_path
+                << "\n";
+      return 1;
+    }
+    std::cout << "  trace:   " << trace_json_path << " (" << log.size()
+              << " spans, load in chrome://tracing or ui.perfetto.dev)\n";
+    log.write_summary(std::cout);
+  }
   return 0;
 }

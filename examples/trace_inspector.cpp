@@ -8,6 +8,7 @@
 //   trace_inspector figures <trace.bin> <dir>          export figure CSVs + gnuplot
 //   trace_inspector csv <trace.bin>                    dump as CSV to stdout
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 
@@ -45,6 +46,20 @@ int cmd_simulate(const std::string& path, double days, std::uint64_t seed) {
   writer.close();
   std::cerr << "wrote " << writer.events_written() << " events to " << path
             << "\n";
+  // Session-teardown histogram straight from the node's per-reason
+  // counters — no second pass over the trace file needed.
+  const auto& ends = sim.node().session_ends();
+  const std::uint64_t total =
+      std::max<std::uint64_t>(1, ends[0] + ends[1] + ends[2] + ends[3]);
+  static constexpr const char* kReasonNames[] = {"bye", "idle-probe",
+                                                 "teardown", "error"};
+  std::cerr << "session teardown histogram:\n";
+  for (std::size_t r = 0; r < 4; ++r) {
+    std::cerr << "  " << kReasonNames[r] << ": " << ends[r] << " ("
+              << 100.0 * static_cast<double>(ends[r]) /
+                     static_cast<double>(total)
+              << "%)\n";
+  }
   return 0;
 }
 

@@ -4,6 +4,8 @@
 #include <unordered_set>
 
 #include "analysis/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace p2pgen::analysis {
 namespace {
@@ -13,60 +15,95 @@ namespace {
 /// chunk-ordered reduction below is identical for every pool size.
 constexpr std::size_t kSessionChunk = 512;
 
-/// Applies rules 1-5 to one session and accumulates the Table-2 counters
-/// into `report`.  Sessions are independent under every rule (rule 2's
-/// repeat set is per-session), which is what makes this pass
-/// embarrassingly parallel.
-void filter_session(ObservedSession& session, const FilterOptions& options,
-                    FilterReport& report) {
+// The rules run as five sequential parallel passes — one ObsSpan per
+// paper rule — rather than one fused per-session loop.  Sessions are
+// independent under every rule (rule 2's repeat set is per-session), and
+// each pass only reads marks left by earlier passes, so the marks and the
+// Table-2 counters are identical to the fused form's.
+
+/// Pass 1: reset marks, count the initial Table-2 row, and remove SHA1
+/// source-search re-queries (empty keyword set).
+void pass_rule1(ObservedSession& session, const FilterOptions& options,
+                FilterReport& report) {
   if (!session.has_end) return;  // truncated: never counted
   session.removed = false;
   ++report.initial_sessions;
   report.initial_queries += session.queries.size();
-
-  // Rule 3 first marks the session (the paper applies 1, 2, 3 in
-  // sequence to the *query* counts; session-level removal is
-  // independent of the query-level rules).
-  const bool short_session = options.rule3_short_sessions &&
-                             session.duration() < options.min_session_seconds;
-
-  std::unordered_set<std::string> seen;
-  std::size_t surviving = 0;
   for (auto& query : session.queries) {
     query.removed_by_rule = 0;
     query.excluded_from_interarrival = false;
-
-    // Rule 1: SHA1 source-search re-queries (empty keyword set).
     if (options.rule1_sha1 && query.sha1 && query.canonical.empty()) {
       query.removed_by_rule = 1;
       ++report.rule1_removed;
-      continue;
     }
-    // Rule 2: identical keyword set already issued in this session.
-    if (options.rule2_repeats && !seen.insert(query.canonical).second) {
+  }
+}
+
+/// Pass 2: remove identical keyword sets re-issued within one session.
+/// Only rule-1 survivors enter the repeat set, exactly as in the fused
+/// loop (a rule-1 removal never shadowed a later genuine query).
+void pass_rule2(ObservedSession& session, const FilterOptions& options,
+                FilterReport& report) {
+  if (!session.has_end || !options.rule2_repeats) return;
+  std::unordered_set<std::string> seen;
+  for (auto& query : session.queries) {
+    if (query.removed_by_rule != 0) continue;
+    if (!seen.insert(query.canonical).second) {
       query.removed_by_rule = 2;
       ++report.rule2_removed;
-      continue;
     }
-    // Rule 3: the whole session goes.
-    if (short_session) {
+  }
+}
+
+/// Pass 3: drop whole short sessions, and count the final Table-2 row
+/// for the survivors.
+void pass_rule3(ObservedSession& session, const FilterOptions& options,
+                FilterReport& report) {
+  if (!session.has_end) return;
+  const bool short_session = options.rule3_short_sessions &&
+                             session.duration() < options.min_session_seconds;
+  if (short_session) {
+    for (auto& query : session.queries) {
+      if (query.removed_by_rule != 0) continue;
       query.removed_by_rule = 3;
       ++report.rule3_removed_queries;
-      continue;
     }
-    ++surviving;
-  }
-
-  if (short_session) {
     session.removed = true;
     ++report.rule3_removed_sessions;
     return;
   }
   ++report.final_sessions;
+  std::size_t surviving = 0;
+  for (const auto& query : session.queries) surviving += query.kept() ? 1 : 0;
   report.final_queries += surviving;
+}
 
-  // Rules 4/5: mark exclusions from the interarrival measure among the
-  // surviving queries.
+/// Pass 4: exclude sub-second interarrivals from the interarrival
+/// measure.  Marks only; the usable-query count is settled in pass 5,
+/// which knows rule 5's verdict too.
+void pass_rule4(ObservedSession& session, const FilterOptions& options,
+                FilterReport& report) {
+  if (!session.has_end || session.removed || !options.rule4_subsecond) return;
+  const ObservedQuery* prev = nullptr;
+  for (auto& query : session.queries) {
+    if (!query.kept()) continue;
+    if (prev != nullptr &&
+        query.time - prev->time < options.min_interarrival_seconds) {
+      query.excluded_from_interarrival = true;
+      ++report.rule4_excluded;
+    }
+    prev = &query;
+  }
+}
+
+/// Pass 5: exclude fixed-interval replays (gap equal to the previous
+/// gap) and count the queries usable for the interarrival measure.  The
+/// previous-gap window advances over every kept query — rule-4 exclusions
+/// included — matching the fused loop, where exclusion never restarted
+/// the gap chain.
+void pass_rule5(ObservedSession& session, const FilterOptions& options,
+                FilterReport& report) {
+  if (!session.has_end || session.removed) return;
   const ObservedQuery* prev = nullptr;
   double prev_gap = -1.0;
   for (auto& query : session.queries) {
@@ -74,14 +111,12 @@ void filter_session(ObservedSession& session, const FilterOptions& options,
     if (prev == nullptr) {
       // First query: no interarrival observation either way.
       prev = &query;
-      prev_gap = -1.0;
       ++report.interarrival_queries;
       continue;
     }
     const double gap = query.time - prev->time;
-    if (options.rule4_subsecond && gap < options.min_interarrival_seconds) {
-      query.excluded_from_interarrival = true;
-      ++report.rule4_excluded;
+    if (query.excluded_from_interarrival) {
+      // Rule 4 got there first; rule 5 is never double-counted.
     } else if (options.rule5_identical_gaps && prev_gap >= 0.0 &&
                std::abs(gap - prev_gap) <= options.identical_gap_epsilon) {
       query.excluded_from_interarrival = true;
@@ -108,22 +143,55 @@ void add_report(FilterReport& total, const FilterReport& part) {
   total.interarrival_queries += part.interarrival_queries;
 }
 
+void publish_filter_metrics(const FilterReport& report) {
+  auto& registry = obs::Registry::global();
+  if (!registry.enabled()) return;
+  registry.counter("filter.initial_queries").add(report.initial_queries);
+  registry.counter("filter.initial_sessions").add(report.initial_sessions);
+  registry.counter("filter.rule1_removed").add(report.rule1_removed);
+  registry.counter("filter.rule2_removed").add(report.rule2_removed);
+  registry.counter("filter.rule3_removed_queries")
+      .add(report.rule3_removed_queries);
+  registry.counter("filter.rule3_removed_sessions")
+      .add(report.rule3_removed_sessions);
+  registry.counter("filter.final_queries").add(report.final_queries);
+  registry.counter("filter.final_sessions").add(report.final_sessions);
+  registry.counter("filter.rule4_excluded").add(report.rule4_excluded);
+  registry.counter("filter.rule5_excluded").add(report.rule5_excluded);
+  registry.counter("filter.interarrival_queries")
+      .add(report.interarrival_queries);
+}
+
 }  // namespace
 
 FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options) {
+  obs::ObsSpan filters_span("analysis.filters");
   const std::size_t n = dataset.sessions.size();
   std::vector<FilterReport> partial(
       util::ThreadPool::chunk_count(n, kSessionChunk));
-  analysis_pool().for_chunks(
-      n, kSessionChunk,
-      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          filter_session(dataset.sessions[i], options, partial[chunk]);
-        }
-      });
+
+  const auto run_pass = [&](const char* span_name,
+                            void (*pass)(ObservedSession&,
+                                         const FilterOptions&,
+                                         FilterReport&)) {
+    obs::ObsSpan span(span_name);
+    analysis_pool().for_chunks(
+        n, kSessionChunk,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            pass(dataset.sessions[i], options, partial[chunk]);
+          }
+        });
+  };
+  run_pass("filter.rule1_sha1_requeries", pass_rule1);
+  run_pass("filter.rule2_session_repeats", pass_rule2);
+  run_pass("filter.rule3_short_sessions", pass_rule3);
+  run_pass("filter.rule4_subsecond", pass_rule4);
+  run_pass("filter.rule5_identical_gaps", pass_rule5);
 
   FilterReport report;
   for (const auto& part : partial) add_report(report, part);
+  publish_filter_metrics(report);
   return report;
 }
 

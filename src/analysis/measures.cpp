@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/parallel.hpp"
+#include "obs/span.hpp"
 #include "sim/simulator.hpp"
 
 namespace p2pgen::analysis {
@@ -299,6 +300,7 @@ void append_measures(SessionMeasures& dst, SessionMeasures& src) {
 }  // namespace
 
 SessionMeasures session_measures(const TraceDataset& dataset) {
+  obs::ObsSpan span("analysis.session_measures");
   const std::size_t n = dataset.sessions.size();
   std::vector<SessionMeasures> partial(
       util::ThreadPool::chunk_count(n, kMeasureChunk));

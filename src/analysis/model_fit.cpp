@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "analysis/parallel.hpp"
+#include "obs/span.hpp"
 
 namespace p2pgen::analysis {
 namespace {
@@ -28,6 +29,7 @@ bool splittable(const std::vector<double>& sample, double split,
 AppendixFits fit_appendix_tables(const SessionMeasures& measures,
                                  const FitSplits& splits,
                                  std::size_t min_samples) {
+  obs::ObsSpan span("analysis.appendix_fits");
   AppendixFits fits;
 
   // Every (region, period) cell — and each region's Table A.2 fit — is

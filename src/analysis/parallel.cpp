@@ -4,6 +4,8 @@
 #include <memory>
 #include <span>
 
+#include "obs/span.hpp"
+
 namespace p2pgen::analysis {
 namespace {
 
@@ -28,12 +30,18 @@ util::ThreadPool& analysis_pool() {
 
 std::vector<stats::Ecdf> build_ecdfs(
     const std::vector<const std::vector<double>*>& samples) {
+  obs::ObsSpan span("analysis.ecdf_build");
   std::vector<stats::Ecdf> out(samples.size(),
                                stats::Ecdf(std::span<const double>{}));
   analysis_pool().run_indexed(samples.size(), [&](std::size_t i) {
     if (samples[i] != nullptr) out[i] = stats::Ecdf(*samples[i]);
   });
   return out;
+}
+
+void publish_analysis_pool_metrics() {
+  if (!g_pool) return;  // no pool: nothing ran, nothing to drain
+  util::publish_pool_stats("pool.analysis", g_pool->stats());
 }
 
 }  // namespace p2pgen::analysis

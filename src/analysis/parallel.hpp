@@ -37,4 +37,10 @@ util::ThreadPool& analysis_pool();
 std::vector<stats::Ecdf> build_ecdfs(
     const std::vector<const std::vector<double>*>& samples);
 
+/// Drains the analysis pool's scheduler counters into the global obs
+/// registry under "pool.analysis.*" (util::publish_pool_stats).  Call
+/// between analysis phases — the counters are only quiescent while no
+/// pass is running.
+void publish_analysis_pool_metrics();
+
 }  // namespace p2pgen::analysis

@@ -266,4 +266,58 @@ void print_robustness_report(std::ostream& out,
   row("session ends: decode error:", report.error_ends);
 }
 
+PipelineReport PipelineReport::capture(const RobustnessReport& robustness,
+                                       const FilterReport& filters) {
+  PipelineReport report;
+  report.robustness = robustness;
+  report.filters = filters;
+  report.metrics = obs::Registry::global().snapshot();
+  return report;
+}
+
+void PipelineReport::write_json(std::ostream& out) const {
+  const auto field = [&out](const char* name, std::uint64_t value,
+                            bool last = false) {
+    out << "    \"" << name << "\": " << value << (last ? "\n" : ",\n");
+  };
+  out << "{\n  \"robustness\": {\n";
+  field("injected_messages_lost", robustness.injected.messages_lost);
+  field("injected_messages_corrupted", robustness.injected.messages_corrupted);
+  field("injected_messages_duplicated",
+        robustness.injected.messages_duplicated);
+  field("injected_messages_delayed", robustness.injected.messages_delayed);
+  field("injected_node_crashes", robustness.injected.node_crashes);
+  field("injected_half_open_links", robustness.injected.half_open_links);
+  field("sends_into_dead_link", robustness.injected.sends_into_dead_link);
+  field("transport_delivered", robustness.transport_delivered);
+  field("transport_dropped", robustness.transport_dropped);
+  field("decode_errors", robustness.decode_errors);
+  field("clean_bytes_before_error", robustness.clean_bytes_before_error);
+  field("forward_retries", robustness.forward_retries);
+  field("forward_retries_exhausted", robustness.forward_retries_exhausted);
+  field("bye_ends", robustness.bye_ends);
+  field("teardown_ends", robustness.teardown_ends);
+  field("probe_ends", robustness.probe_ends);
+  field("error_ends", robustness.error_ends, true);
+  out << "  },\n  \"filters\": {\n";
+  field("initial_queries", filters.initial_queries);
+  field("initial_sessions", filters.initial_sessions);
+  field("rule1_removed", filters.rule1_removed);
+  field("rule2_removed", filters.rule2_removed);
+  field("rule3_removed_queries", filters.rule3_removed_queries);
+  field("rule3_removed_sessions", filters.rule3_removed_sessions);
+  field("final_queries", filters.final_queries);
+  field("final_sessions", filters.final_sessions);
+  field("rule4_excluded", filters.rule4_excluded);
+  field("rule5_excluded", filters.rule5_excluded);
+  field("interarrival_queries", filters.interarrival_queries, true);
+  out << "  },\n  \"metrics\": ";
+  metrics.write_json(out);
+  out << "\n}\n";
+}
+
+void PipelineReport::write_prometheus(std::ostream& out) const {
+  metrics.write_prometheus(out);
+}
+
 }  // namespace p2pgen::analysis

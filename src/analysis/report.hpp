@@ -11,6 +11,8 @@
 #include <string>
 
 #include "analysis/dataset.hpp"
+#include "analysis/filters.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fault.hpp"
 
 namespace p2pgen::analysis {
@@ -72,5 +74,30 @@ struct RobustnessReport {
 
 /// Pretty-prints the report as aligned "label: value" rows.
 void print_robustness_report(std::ostream& out, const RobustnessReport& report);
+
+/// Unified pipeline health report (DESIGN.md §8): the robustness rows,
+/// the Table-2 filter rows, and a snapshot of every obs metric, in one
+/// exportable object.  Strictly observational — capture() reads state,
+/// it never alters simulation or analysis results.
+struct PipelineReport {
+  RobustnessReport robustness;
+  FilterReport filters;
+  obs::MetricsSnapshot metrics;
+
+  /// Bundles the given reports with a snapshot of the global registry.
+  static PipelineReport capture(const RobustnessReport& robustness,
+                                const FilterReport& filters);
+
+  /// One JSON object:
+  ///   {"robustness":{...},"filters":{...},"metrics":{...}}
+  /// with every report row as a numeric field.
+  void write_json(std::ostream& out) const;
+
+  /// Prometheus text exposition of the metrics snapshot.  The robustness
+  /// and filter rows are already present as "fault_*", "node_*",
+  /// "transport_*" and "filter_*" samples, published by the layers that
+  /// produced them.
+  void write_prometheus(std::ostream& out) const;
+};
 
 }  // namespace p2pgen::analysis

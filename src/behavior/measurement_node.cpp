@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <variant>
 
 namespace p2pgen::behavior {
+
+namespace {
+
+/// Builds the TraceEvent handed to the sink with an explicit
+/// in_place_type.  GCC 12's -Wmaybe-uninitialized walks every
+/// alternative's copy constructor when the variant is built through its
+/// converting constructor at -O2 and flags members of the never-taken
+/// alternatives; pinning the alternative keeps the analysis on the one
+/// real path (and lets P2PGEN_WERROR stay on).
+template <typename Event>
+trace::TraceEvent as_trace_event(Event&& event) {
+  return trace::TraceEvent(std::in_place_type<std::decay_t<Event>>,
+                           std::forward<Event>(event));
+}
+
+}  // namespace
 
 MeasurementNode::MeasurementNode(sim::Network& network, trace::TraceSink& sink,
                                  Config config, std::uint64_t seed)
@@ -73,7 +92,7 @@ void MeasurementNode::establish(sim::ConnId conn, PendingConn pending) {
   start.ip = network_.address_of(pending.peer);
   start.ultrapeer = pending.ultrapeer;
   start.user_agent = std::move(pending.user_agent);
-  sink_.on_event(start);
+  sink_.on_event(as_trace_event(std::move(start)));
 
   const auto [it, inserted] = sessions_.emplace(conn, std::move(session));
   (void)inserted;
@@ -110,7 +129,8 @@ void MeasurementNode::record_message(std::uint64_t session_id,
     default:
       break;
   }
-  sink_.on_event(std::move(event));
+  ++messages_recorded_;
+  sink_.on_event(as_trace_event(std::move(event)));
 }
 
 void MeasurementNode::on_message(sim::ConnId conn,
@@ -156,7 +176,8 @@ void MeasurementNode::drop_connection_on_error(sim::ConnId conn) {
   end.time = network_.simulator().now();
   end.session_id = session.session_id;
   end.reason = trace::EndReason::kError;
-  sink_.on_event(end);
+  ++session_ends_[static_cast<std::size_t>(end.reason)];
+  sink_.on_event(as_trace_event(std::move(end)));
   sessions_.erase(it);
   network_.close(conn);
 }
@@ -302,7 +323,8 @@ void MeasurementNode::watchdog_fire(sim::ConnId conn) {
       end.time = now;
       end.session_id = session.session_id;
       end.reason = trace::EndReason::kIdleProbe;
-      sink_.on_event(end);
+      ++session_ends_[static_cast<std::size_t>(end.reason)];
+      sink_.on_event(as_trace_event(std::move(end)));
       ++probe_closed_sessions_;
       sessions_.erase(it);
       network_.close(conn);
@@ -339,7 +361,8 @@ void MeasurementNode::on_connection_closed(sim::ConnId conn) {
   end.session_id = session.session_id;
   end.reason = session.bye_seen ? trace::EndReason::kBye
                                 : trace::EndReason::kTeardown;
-  sink_.on_event(end);
+  ++session_ends_[static_cast<std::size_t>(end.reason)];
+  sink_.on_event(as_trace_event(std::move(end)));
   sessions_.erase(it);
 }
 

@@ -17,6 +17,7 @@
 // bounded exponential backoff.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -101,6 +102,18 @@ class MeasurementNode final : public sim::Node {
     return forward_retries_exhausted_;
   }
 
+  /// Descriptors recorded to the sink (every received message, duplicates
+  /// included — mirrors what the trace itself contains).
+  std::uint64_t messages_recorded() const noexcept {
+    return messages_recorded_;
+  }
+
+  /// SessionEnd events emitted, indexed by trace::EndReason's value —
+  /// the session-teardown histogram (kBye, kIdleProbe, kTeardown, kError).
+  const std::array<std::uint64_t, 4>& session_ends() const noexcept {
+    return session_ends_;
+  }
+
   // sim::Node interface.
   void on_connection_open(sim::ConnId conn, sim::NodeId peer) override;
   void on_connection_closed(sim::ConnId conn) override;
@@ -166,6 +179,8 @@ class MeasurementNode final : public sim::Node {
   std::uint64_t probe_closed_sessions_ = 0;
   std::uint64_t forward_retries_ = 0;
   std::uint64_t forward_retries_exhausted_ = 0;
+  std::uint64_t messages_recorded_ = 0;
+  std::array<std::uint64_t, 4> session_ends_{};
 };
 
 }  // namespace p2pgen::behavior

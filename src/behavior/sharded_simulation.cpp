@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace p2pgen::behavior {
@@ -22,12 +24,14 @@ std::uint64_t shard_seed(std::uint64_t master_seed,
 trace::Trace simulate_shard(const core::WorkloadModel& model,
                             const TraceSimulationConfig& base,
                             unsigned shard_index, ShardStats* stats) {
+  obs::ObsSpan span("sim.shard");
   TraceSimulationConfig config = base;
   config.seed = shard_seed(base.seed, shard_index);
 
   trace::Trace trace;
   TraceSimulation simulation(model, config, trace);
   simulation.run();
+  simulation.publish_metrics();
 
   if (stats != nullptr) {
     stats->seed = config.seed;
@@ -56,9 +60,17 @@ trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
     shards[k] = simulate_shard(model, base, static_cast<unsigned>(k),
                                &shard_stats[k]);
   });
+  util::publish_pool_stats("pool.sim", pool.stats());
+  obs::Registry::global().counter("sim.shards_run").add(n_shards);
 
   if (stats != nullptr) *stats = std::move(shard_stats);
-  return trace::merge_traces(std::move(shards));
+  trace::Trace merged;
+  {
+    obs::ObsSpan span("trace.merge");
+    merged = trace::merge_traces(std::move(shards));
+  }
+  obs::Registry::global().counter("sim.merged_events").add(merged.size());
+  return merged;
 }
 
 }  // namespace p2pgen::behavior

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace p2pgen::behavior {
 
 TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
@@ -95,6 +97,39 @@ void TraceSimulation::spawn_peer(const ClientPopulation& clients) {
   peer->start(node_id_, ip);
   peers_.emplace(peer->id(), std::move(peer));
   ++peers_spawned_;
+}
+
+void TraceSimulation::publish_metrics() const {
+  auto& registry = obs::Registry::global();
+  if (!registry.enabled()) return;
+  registry.counter("sim.peers_spawned").add(peers_spawned_);
+  registry.counter("node.messages_recorded").add(node_.messages_recorded());
+  registry.counter("node.rejected_connections")
+      .add(node_.rejected_connections());
+  registry.counter("node.duplicate_messages").add(node_.duplicate_messages());
+  registry.counter("node.forwarded_messages").add(node_.forwarded_messages());
+  registry.counter("node.qrp_suppressed").add(node_.qrp_suppressed());
+  registry.counter("node.decode_errors").add(node_.decode_errors());
+  registry.counter("node.clean_bytes_before_error")
+      .add(node_.clean_bytes_before_error());
+  registry.counter("node.probe_closed_sessions")
+      .add(node_.probe_closed_sessions());
+  registry.counter("node.forward_retries").add(node_.forward_retries());
+  registry.counter("node.forward_retries_exhausted")
+      .add(node_.forward_retries_exhausted());
+  const auto& ends = node_.session_ends();
+  registry.counter("node.session_end.bye")
+      .add(ends[static_cast<std::size_t>(trace::EndReason::kBye)]);
+  registry.counter("node.session_end.idle_probe")
+      .add(ends[static_cast<std::size_t>(trace::EndReason::kIdleProbe)]);
+  registry.counter("node.session_end.teardown")
+      .add(ends[static_cast<std::size_t>(trace::EndReason::kTeardown)]);
+  registry.counter("node.session_end.error")
+      .add(ends[static_cast<std::size_t>(trace::EndReason::kError)]);
+  registry.counter("transport.messages_delivered")
+      .add(net_.messages_delivered());
+  registry.counter("transport.messages_dropped").add(net_.messages_dropped());
+  sim::publish_fault_metrics(fault_injector_.counters());
 }
 
 void TraceSimulation::run() { run_with_clients(ClientPopulation::default_population()); }

@@ -92,6 +92,12 @@ class TraceSimulation {
     return fault_injector_.counters();
   }
 
+  /// Adds this run's node, transport and fault counters to the global obs
+  /// registry ("node.*", "transport.*", "fault.*", "sim.peers_spawned").
+  /// Call once after run(); the totals are pure functions of the run, so
+  /// summing them over shards is deterministic for any thread count.
+  void publish_metrics() const;
+
  private:
   void schedule_next_arrival(const ClientPopulation& clients);
   void spawn_peer(const ClientPopulation& clients);

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/metrics.hpp"
+
 namespace p2pgen::gnutella {
 namespace {
 
@@ -291,6 +293,7 @@ std::optional<Message> MessageAssembler::next() {
 }
 
 void MessageAssembler::reset() {
+  obs::Registry::global().counter("gnutella.assembler_resets").inc();
   buffer_.clear();
   buffer_.shrink_to_fit();
   consumed_ = 0;

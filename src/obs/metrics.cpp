@@ -1,0 +1,329 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+namespace p2pgen::obs {
+
+struct Histogram::Meta {
+  std::string name;
+  std::vector<double> bounds;
+  std::uint32_t first_cell = 0;  ///< bounds.size()+1 buckets, then sum
+};
+
+namespace {
+
+/// Process-unique registry ids let the single-entry TLS cache tell a
+/// live registry from a destroyed one that happened to reuse the same
+/// address: ids are never reused, so a stale cache entry can only miss.
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+struct TlsCache {
+  std::uint64_t registry_id = 0;
+  std::atomic<std::uint64_t>* cells = nullptr;
+};
+thread_local TlsCache t_cache;
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c; break;
+    }
+  }
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map '.' (and anything else) to '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---- MetricsSnapshot ----------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter_value(
+    std::string_view name) const noexcept {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(std::string_view name) const noexcept {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+void MetricsSnapshot::write_json(std::ostream& out) const {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, counters[i].name);
+    out << "\": " << counters[i].value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, gauges[i].name);
+    out << "\": " << gauges[i].value;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"";
+    write_json_escaped(out, h.name);
+    out << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.bounds[b];
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": " << h.sum << "}";
+  }
+  out << "\n  }\n}\n";
+}
+
+void MetricsSnapshot::write_prometheus(std::ostream& out) const {
+  for (const auto& c : counters) {
+    const std::string name = prometheus_name(c.name);
+    out << "# TYPE " << name << " counter\n"
+        << name << " " << c.value << "\n";
+  }
+  for (const auto& g : gauges) {
+    const std::string name = prometheus_name(g.name);
+    out << "# TYPE " << name << " gauge\n"
+        << name << " " << g.value << "\n";
+  }
+  for (const auto& h : histograms) {
+    const std::string name = prometheus_name(h.name);
+    out << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      cumulative += h.buckets[b];
+      out << name << "_bucket{le=\"";
+      if (b < h.bounds.size()) {
+        out << h.bounds[b];
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << name << "_sum " << h.sum << "\n"
+        << name << "_count " << h.count << "\n";
+  }
+}
+
+// ---- handles ------------------------------------------------------------
+
+void Counter::add(std::uint64_t n) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->cells_for_this_thread()[cell_].fetch_add(
+      n, std::memory_order_relaxed);
+}
+
+void Gauge::set(std::int64_t v) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->gauge_values_[index_]->store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t v) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  registry_->gauge_values_[index_]->fetch_add(v, std::memory_order_relaxed);
+}
+
+void Gauge::record_max(std::int64_t v) const noexcept {
+  if (registry_ == nullptr || !registry_->enabled()) return;
+  auto& cell = *registry_->gauge_values_[index_];
+  std::int64_t current = cell.load(std::memory_order_relaxed);
+  while (v > current &&
+         !cell.compare_exchange_weak(current, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(double value) const noexcept {
+  if (registry_ == nullptr || meta_ == nullptr || !registry_->enabled()) {
+    return;
+  }
+  // Meta fields are immutable after registration and each meta sits at a
+  // stable heap address, so this read needs no lock.
+  const auto it =
+      std::lower_bound(meta_->bounds.begin(), meta_->bounds.end(), value);
+  const auto bucket = static_cast<std::uint32_t>(it - meta_->bounds.begin());
+  auto* cells = registry_->cells_for_this_thread();
+  cells[meta_->first_cell + bucket].fetch_add(1, std::memory_order_relaxed);
+  const double clamped = std::max(0.0, value);
+  cells[meta_->first_cell + meta_->bounds.size() + 1].fetch_add(
+      static_cast<std::uint64_t>(std::llround(clamped)),
+      std::memory_order_relaxed);
+}
+
+// ---- Registry -----------------------------------------------------------
+
+Registry::Registry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* const instance = new Registry;  // intentionally leaked
+  return *instance;
+}
+
+std::uint32_t Registry::allocate_cells(std::uint32_t n) {
+  if (next_cell_ + n > kMaxCells) {
+    throw std::length_error("obs::Registry: metric cell space exhausted");
+  }
+  const std::uint32_t first = next_cell_;
+  next_cell_ += n;
+  return first;
+}
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, cell] : counters_) {
+    if (existing == name) return Counter(this, cell);
+  }
+  const std::uint32_t cell = allocate_cells(1);
+  counters_.emplace_back(std::string(name), cell);
+  return Counter(this, cell);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, index] : gauges_) {
+    if (existing == name) return Gauge(this, index);
+  }
+  const auto index = static_cast<std::uint32_t>(gauge_values_.size());
+  gauges_.emplace_back(std::string(name), index);
+  gauge_values_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+  return Gauge(this, index);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& meta : histograms_) {
+    if (meta->name == name) return Histogram(this, meta.get());
+  }
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument("obs::Registry: histogram bounds not sorted");
+  }
+  auto meta = std::make_unique<Histogram::Meta>();
+  meta->name = std::string(name);
+  meta->first_cell =
+      allocate_cells(static_cast<std::uint32_t>(bounds.size()) + 2);
+  meta->bounds = std::move(bounds);
+  histograms_.push_back(std::move(meta));
+  return Histogram(this, histograms_.back().get());
+}
+
+std::atomic<std::uint64_t>* Registry::cells_for_this_thread() const {
+  if (t_cache.registry_id == id_) return t_cache.cells;
+  return acquire_shard()->cells.get();
+}
+
+Registry::Shard* Registry::acquire_shard() const {
+  const std::thread::id self = std::this_thread::get_id();
+  {
+    // A thread alternating between registries thrashes the single-entry
+    // TLS cache; its shard in each registry must be found again, not
+    // re-allocated.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& shard : shards_) {
+      if (shard->owner == self) {
+        t_cache.registry_id = id_;
+        t_cache.cells = shard->cells.get();
+        return shard.get();
+      }
+    }
+  }
+  auto shard = std::make_unique<Shard>();
+  shard->owner = self;
+  shard->cells = std::make_unique<std::atomic<std::uint64_t>[]>(kMaxCells);
+  for (std::size_t i = 0; i < kMaxCells; ++i) {
+    shard->cells[i].store(0, std::memory_order_relaxed);
+  }
+  Shard* raw = shard.get();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::move(shard));
+  }
+  t_cache.registry_id = id_;
+  t_cache.cells = raw->cells.get();
+  return raw;
+}
+
+std::uint64_t Registry::sum_cell(std::uint32_t cell) const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->cells[cell].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, cell] : counters_) {
+    snap.counters.push_back({name, sum_cell(cell)});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, index] : gauges_) {
+    snap.gauges.push_back(
+        {name, gauge_values_[index]->load(std::memory_order_relaxed)});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& meta : histograms_) {
+    MetricsSnapshot::HistogramValue h;
+    h.name = meta->name;
+    h.bounds = meta->bounds;
+    h.buckets.resize(meta->bounds.size() + 1);
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      h.buckets[b] = sum_cell(meta->first_cell + static_cast<std::uint32_t>(b));
+      h.count += h.buckets[b];
+    }
+    h.sum = sum_cell(meta->first_cell +
+                     static_cast<std::uint32_t>(meta->bounds.size()) + 1);
+    snap.histograms.push_back(std::move(h));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& shard : shards_) {
+    for (std::size_t i = 0; i < kMaxCells; ++i) {
+      shard->cells[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (const auto& gauge : gauge_values_) {
+    gauge->store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace p2pgen::obs

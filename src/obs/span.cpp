@@ -1,0 +1,131 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <ostream>
+
+namespace p2pgen::obs {
+namespace {
+
+std::chrono::steady_clock::time_point process_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Small dense per-thread ids for the chrome://tracing "tid" field.
+std::uint32_t this_thread_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c; break;
+    }
+  }
+}
+
+}  // namespace
+
+TraceLog& TraceLog::global() {
+  static TraceLog* const instance = new TraceLog;  // intentionally leaked
+  return *instance;
+}
+
+std::uint64_t TraceLog::now_us() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - process_epoch())
+          .count());
+}
+
+void TraceLog::record(std::string name, std::uint64_t start_us,
+                      std::uint64_t duration_us) {
+  Span span;
+  span.name = std::move(name);
+  span.tid = this_thread_tid();
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceLog::Span> TraceLog::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+void TraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+}
+
+void TraceLog::write_chrome_json(std::ostream& out) const {
+  const std::vector<Span> spans = this->spans();
+  out << "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    out << (i == 0 ? "" : ",") << "\n  {\"name\":\"";
+    write_json_escaped(out, s.name);
+    out << "\",\"cat\":\"p2pgen\",\"ph\":\"X\",\"ts\":" << s.start_us
+        << ",\"dur\":" << s.duration_us << ",\"pid\":1,\"tid\":" << s.tid
+        << "}";
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceLog::write_summary(std::ostream& out) const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_us = 0;
+    std::uint64_t max_us = 0;
+  };
+  std::map<std::string, Agg> by_name;  // ordered: stable, readable output
+  for (const Span& s : spans()) {
+    Agg& agg = by_name[s.name];
+    ++agg.count;
+    agg.total_us += s.duration_us;
+    agg.max_us = std::max(agg.max_us, s.duration_us);
+  }
+  out << "phase summary (" << by_name.size() << " span name(s)):\n"
+      << "  " << std::left << std::setw(36) << "span" << std::right
+      << std::setw(8) << "count" << std::setw(12) << "total ms"
+      << std::setw(12) << "mean ms" << std::setw(12) << "max ms" << "\n";
+  const auto ms = [](std::uint64_t us) {
+    return static_cast<double>(us) / 1000.0;
+  };
+  for (const auto& [name, agg] : by_name) {
+    out << "  " << std::left << std::setw(36) << name << std::right
+        << std::setw(8) << agg.count << std::setw(12) << std::fixed
+        << std::setprecision(3) << ms(agg.total_us) << std::setw(12)
+        << ms(agg.total_us) / static_cast<double>(agg.count) << std::setw(12)
+        << ms(agg.max_us) << "\n";
+  }
+}
+
+ObsSpan::ObsSpan(std::string_view name, TraceLog& log) {
+  if (!log.enabled()) return;
+  log_ = &log;
+  name_ = std::string(name);
+  start_us_ = TraceLog::now_us();
+}
+
+ObsSpan::~ObsSpan() {
+  if (log_ == nullptr) return;
+  log_->record(std::move(name_), start_us_, TraceLog::now_us() - start_us_);
+}
+
+}  // namespace p2pgen::obs

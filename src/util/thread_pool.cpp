@@ -6,7 +6,11 @@
 #include <cstdlib>
 #include <exception>
 #include <mutex>
+#include <string>
 #include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace p2pgen::util {
 
@@ -59,6 +63,10 @@ struct ThreadPool::Shared {
 
 ThreadPool::ThreadPool(unsigned threads)
     : threads_(std::clamp(threads, 1u, 256u)), shared_(new Shared) {
+  executed_ = std::make_unique<std::atomic<std::uint64_t>[]>(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    executed_[i].store(0, std::memory_order_relaxed);
+  }
   workers_.reserve(threads_ - 1);
   for (unsigned i = 0; i + 1 < threads_; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -112,6 +120,7 @@ bool ThreadPool::run_one(std::size_t thread_index, Batch& batch) {
       index = victim.queue.back();
       victim.queue.pop_back();
       found = true;
+      steals_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (!found) return false;
@@ -121,6 +130,7 @@ bool ThreadPool::run_one(std::size_t thread_index, Batch& batch) {
   } catch (...) {
     batch.record_error(index);
   }
+  executed_[thread_index].fetch_add(1, std::memory_order_relaxed);
   if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     std::lock_guard<std::mutex> lock(batch.done_mutex);
     batch.done_cv.notify_all();
@@ -146,8 +156,11 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
       // so the increment can never target a dead batch.
       batch->active.fetch_add(1, std::memory_order_relaxed);
     }
-    // Workers occupy queue slots 1..threads_-1; slot 0 is the caller.
-    while (run_one(worker_index + 1, *batch)) {
+    {
+      // Workers occupy queue slots 1..threads_-1; slot 0 is the caller.
+      obs::ObsSpan span("pool.worker_drain");
+      while (run_one(worker_index + 1, *batch)) {
+      }
     }
     {
       // Notify while still holding the mutex: the moment it is released
@@ -176,6 +189,11 @@ void ThreadPool::run_indexed(std::size_t count,
         if (!error) error = std::current_exception();
       }
     }
+    executed_[0].fetch_add(count, std::memory_order_relaxed);
+    std::size_t depth = max_queue_depth_.load(std::memory_order_relaxed);
+    while (count > depth && !max_queue_depth_.compare_exchange_weak(
+                                depth, count, std::memory_order_relaxed)) {
+    }
     if (error) std::rethrow_exception(error);
     return;
   }
@@ -193,6 +211,15 @@ void ThreadPool::run_indexed(std::size_t count,
     batch.queues[i % lanes]->queue.push_back(i);
   }
   batch.remaining.store(count, std::memory_order_relaxed);
+  {
+    // Queues only ever shrink after setup, so the deepest any lane gets
+    // is its initial deal: ceil(count / lanes).
+    const std::size_t deal = (count + lanes - 1) / lanes;
+    std::size_t depth = max_queue_depth_.load(std::memory_order_relaxed);
+    while (deal > depth && !max_queue_depth_.compare_exchange_weak(
+                               depth, deal, std::memory_order_relaxed)) {
+    }
+  }
 
   {
     std::lock_guard<std::mutex> lock(shared_->mutex);
@@ -201,7 +228,10 @@ void ThreadPool::run_indexed(std::size_t count,
   }
   shared_->cv.notify_all();
 
-  while (run_one(0, batch)) {
+  {
+    obs::ObsSpan span("pool.caller_drain");
+    while (run_one(0, batch)) {
+    }
   }
   // All queues are drained, so late-waking workers have nothing to do:
   // close the batch to new joiners first, then wait until both every task
@@ -219,6 +249,33 @@ void ThreadPool::run_indexed(std::size_t count,
     });
   }
   if (batch.error) std::rethrow_exception(batch.error);
+}
+
+ThreadPool::Stats ThreadPool::stats() {
+  Stats out;
+  out.executed.resize(threads_);
+  for (unsigned i = 0; i < threads_; ++i) {
+    out.executed[i] = executed_[i].exchange(0, std::memory_order_relaxed);
+  }
+  out.steals = steals_.exchange(0, std::memory_order_relaxed);
+  out.max_queue_depth = max_queue_depth_.exchange(0, std::memory_order_relaxed);
+  return out;
+}
+
+void publish_pool_stats(std::string_view prefix,
+                        const ThreadPool::Stats& stats) {
+  auto& registry = obs::Registry::global();
+  const std::string base(prefix);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < stats.executed.size(); ++i) {
+    total += stats.executed[i];
+    registry.counter(base + ".executed.w" + std::to_string(i))
+        .add(stats.executed[i]);
+  }
+  registry.counter(base + ".tasks_executed").add(total);
+  registry.counter(base + ".steals").add(stats.steals);
+  registry.gauge(base + ".max_queue_depth")
+      .record_max(static_cast<std::int64_t>(stats.max_queue_depth));
 }
 
 void ThreadPool::for_chunks(

@@ -26,10 +26,13 @@
 // duration of a batch, so a pool of N uses N threads total, not N+1.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 namespace p2pgen::util {
@@ -73,6 +76,25 @@ class ThreadPool {
   /// (minimum 1).
   static unsigned recommended_threads();
 
+  /// Scheduler counters since the last stats() call.  Unlike every other
+  /// number this engine produces, these describe the *actual schedule*
+  /// and are therefore not deterministic across runs or thread counts —
+  /// they are observability data, never analysis input.
+  struct Stats {
+    /// Tasks executed per thread slot (slot 0 is the caller).  The sum
+    /// IS deterministic: it equals the total task count submitted.
+    std::vector<std::uint64_t> executed;
+    /// Tasks a thread popped from another thread's queue.
+    std::uint64_t steals = 0;
+    /// Deepest any per-thread queue has been at batch setup.
+    std::size_t max_queue_depth = 0;
+  };
+
+  /// Returns the counters accumulated since the previous call and resets
+  /// them (reset-on-read), so periodic reporters see per-interval deltas.
+  /// Thread-safe, but values are only quiescent between batches.
+  Stats stats();
+
  private:
   struct Worker;
   struct Batch;
@@ -85,6 +107,17 @@ class ThreadPool {
   std::vector<std::unique_ptr<Worker>> workers_;  // threads_ - 1 entries
   struct Shared;
   std::unique_ptr<Shared> shared_;
+
+  // Scheduler counters (see Stats).  Per-slot executed counts are padded
+  // out by striding would be overkill here: batches are coarse.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> executed_;
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::size_t> max_queue_depth_{0};
 };
+
+/// Adds a pool's Stats deltas to the global obs registry under
+/// `<prefix>.steals`, `<prefix>.tasks_executed`, `<prefix>.executed.w<k>`
+/// and the high-water gauge `<prefix>.max_queue_depth`.
+void publish_pool_stats(std::string_view prefix, const ThreadPool::Stats& stats);
 
 }  // namespace p2pgen::util

@@ -89,7 +89,7 @@ TEST_P(DistributionProperty, PdfNonNegative) {
 
 INSTANTIATE_TEST_SUITE_P(AllFamilies, DistributionProperty,
                          ::testing::ValuesIn(make_cases()),
-                         [](const auto& info) { return info.param.label; });
+                         [](const auto& suite_info) { return suite_info.param.label; });
 
 TEST(LogNormal, AnalyticMean) {
   LogNormal d(1.0, 0.5);

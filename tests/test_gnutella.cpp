@@ -186,7 +186,6 @@ TEST(Codec, RejectsTrailingGarbage) {
 TEST(Codec, FuzzBitFlipsNeverCrash) {
   // Flipping any single byte must either decode to something or throw
   // DecodeError — never crash or hang.
-  auto rng = test_rng(15);
   const auto corpus = codec_corpus();
   for (const auto& msg : corpus) {
     const auto wire = encode(msg);

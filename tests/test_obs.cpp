@@ -1,0 +1,333 @@
+// Tests for the observability layer (DESIGN.md §8): metrics registry
+// semantics (sharded counters, dedupe, disabled/unbound no-ops, exact
+// multi-threaded sums), span tracing, and — the load-bearing contract —
+// that instrumentation never perturbs results: the sharded simulation
+// stays byte-identical at 1/2/8 threads with metrics on, and every
+// deterministic (non-"pool.") counter total is identical for any thread
+// count.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/filters.hpp"
+#include "analysis/parallel.hpp"
+#include "behavior/sharded_simulation.hpp"
+#include "obs/span.hpp"
+#include "trace/trace_io.hpp"
+
+namespace p2pgen {
+namespace {
+
+TEST(MetricsRegistry, CountersGaugesHistogramsRoundTrip) {
+  obs::Registry registry;
+  auto c = registry.counter("events.total");
+  c.add(5);
+  c.inc();
+  auto g = registry.gauge("depth");
+  g.set(7);
+  g.add(-2);
+  auto h = registry.histogram("latency", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(5000.0);
+
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("events.total"), 6u);
+  EXPECT_EQ(snapshot.gauge_value("depth"), 5);
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const auto& hist = snapshot.histograms[0];
+  EXPECT_EQ(hist.name, "latency");
+  ASSERT_EQ(hist.buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(hist.buckets[0], 1u);
+  EXPECT_EQ(hist.buckets[1], 1u);
+  EXPECT_EQ(hist.buckets[2], 1u);
+  EXPECT_EQ(hist.buckets[3], 1u);
+  EXPECT_EQ(hist.count, 4u);
+}
+
+TEST(MetricsRegistry, RegistrationIsIdempotentByName) {
+  obs::Registry registry;
+  auto a = registry.counter("shared");
+  auto b = registry.counter("shared");
+  a.add(2);
+  b.add(3);
+  const auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counter_value("shared"), 5u);
+}
+
+TEST(MetricsRegistry, GaugeRecordMaxIsMonotone) {
+  obs::Registry registry;
+  auto g = registry.gauge("high_water");
+  g.record_max(10);
+  g.record_max(3);
+  g.record_max(12);
+  g.record_max(11);
+  EXPECT_EQ(registry.snapshot().gauge_value("high_water"), 12);
+}
+
+TEST(MetricsRegistry, UnboundHandlesAreNoOps) {
+  obs::Counter c;
+  obs::Gauge g;
+  obs::Histogram h;
+  c.add(1);
+  c.inc();
+  g.set(1);
+  g.add(1);
+  g.record_max(1);
+  h.observe(1.0);  // must not crash; nothing to assert beyond survival
+}
+
+TEST(MetricsRegistry, DisabledRegistryRecordsNothing) {
+  obs::Registry registry;
+  auto c = registry.counter("gated");
+  registry.set_enabled(false);
+  c.add(100);
+  EXPECT_EQ(registry.snapshot().counter_value("gated"), 0u);
+  registry.set_enabled(true);
+  c.add(4);
+  EXPECT_EQ(registry.snapshot().counter_value("gated"), 4u);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsNames) {
+  obs::Registry registry;
+  auto c = registry.counter("kept");
+  c.add(9);
+  registry.gauge("g").set(3);
+  registry.reset();
+  auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counter_value("kept"), 0u);
+  EXPECT_EQ(snapshot.gauge_value("g"), 0);
+  c.add(2);  // the old handle is still bound after reset
+  EXPECT_EQ(registry.snapshot().counter_value("kept"), 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentIncrementsSumExactly) {
+  obs::Registry registry;
+  auto c = registry.counter("contended");
+  constexpr unsigned kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.snapshot().counter_value("contended"),
+            kThreads * kPerThread);
+}
+
+TEST(MetricsRegistry, JsonAndPrometheusExportsAreWellFormed) {
+  obs::Registry registry;
+  registry.counter("a.b.count").add(3);
+  registry.gauge("a.depth").set(-4);
+  registry.histogram("a.lat", {1.0}).observe(0.5);
+
+  std::ostringstream json;
+  registry.snapshot().write_json(json);
+  const std::string j = json.str();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.find_last_not_of('\n'), j.size() - 2);
+  EXPECT_EQ(j[j.size() - 2], '}');
+  EXPECT_NE(j.find("\"a.b.count\": 3"), std::string::npos);
+  EXPECT_NE(j.find("\"a.depth\": -4"), std::string::npos);
+
+  std::ostringstream prom;
+  registry.snapshot().write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("a_b_count 3"), std::string::npos);
+  EXPECT_NE(p.find("# TYPE a_b_count counter"), std::string::npos);
+  EXPECT_NE(p.find("a_depth -4"), std::string::npos);
+}
+
+TEST(TraceLog, DisabledLogRecordsNothingThroughSpans) {
+  obs::TraceLog log;
+  ASSERT_FALSE(log.enabled());
+  { obs::ObsSpan span("phase", log); }
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(TraceLog, SpansRecordAndExport) {
+  obs::TraceLog log;
+  log.set_enabled(true);
+  { obs::ObsSpan span("alpha", log); }
+  { obs::ObsSpan span("alpha", log); }
+  { obs::ObsSpan span("beta", log); }
+  ASSERT_EQ(log.size(), 3u);
+
+  std::ostringstream chrome;
+  log.write_chrome_json(chrome);
+  const std::string c = chrome.str();
+  EXPECT_NE(c.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(c.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(c.find("\"ph\":\"X\""), std::string::npos);
+
+  std::ostringstream summary;
+  log.write_summary(summary);
+  EXPECT_NE(summary.str().find("alpha"), std::string::npos);
+  EXPECT_NE(summary.str().find("beta"), std::string::npos);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The observability contract against the real pipeline.
+
+behavior::TraceSimulationConfig tiny_fault_config() {
+  behavior::TraceSimulationConfig config;
+  config.duration_days = 0.02;
+  config.arrival_rate = 1.0;
+  config.seed = 20040315;
+  config.faults.loss_prob = 0.03;
+  config.faults.corrupt_prob = 0.01;
+  config.faults.duplicate_prob = 0.02;
+  config.faults.crash_rate = 1.0 / 3600.0;
+  config.faults.half_open_prob = 0.05;
+  config.faults.half_open_after_mean = 300.0;
+  return config;
+}
+
+std::string serialize(const trace::Trace& trace) {
+  std::ostringstream os;
+  trace::write_binary(trace, os);
+  return os.str();
+}
+
+/// All counters except the intentionally schedule-dependent "pool." ones.
+std::map<std::string, std::uint64_t> deterministic_counters(
+    const obs::MetricsSnapshot& snapshot) {
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& c : snapshot.counters) {
+    if (c.name.rfind("pool.", 0) == 0) continue;
+    out[c.name] = c.value;
+  }
+  return out;
+}
+
+TEST(ObsContract, InstrumentedShardedRunsAreByteIdenticalAcrossThreads) {
+  auto& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+
+  std::vector<std::string> bytes;
+  std::vector<std::map<std::string, std::uint64_t>> counters;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    registry.reset();
+    const trace::Trace trace =
+        behavior::simulate_trace_sharded(model, config, 3, threads);
+    bytes.push_back(serialize(trace));
+    counters.push_back(deterministic_counters(registry.snapshot()));
+  }
+  ASSERT_FALSE(bytes[0].empty());
+  EXPECT_EQ(bytes[0], bytes[1]);
+  EXPECT_EQ(bytes[0], bytes[2]);
+  // Same work => same deterministic counter totals, name for name.
+  EXPECT_FALSE(counters[0].empty());
+  EXPECT_EQ(counters[0], counters[1]);
+  EXPECT_EQ(counters[0], counters[2]);
+}
+
+TEST(ObsContract, FaultCountersMatchShardStats) {
+  auto& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  registry.reset();
+  std::vector<behavior::ShardStats> stats;
+  behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
+                                   tiny_fault_config(), 2, 2, &stats);
+  sim::FaultCounters total;
+  for (const auto& s : stats) {
+    total.messages_lost += s.faults.messages_lost;
+    total.messages_corrupted += s.faults.messages_corrupted;
+    total.messages_duplicated += s.faults.messages_duplicated;
+    total.messages_delayed += s.faults.messages_delayed;
+    total.node_crashes += s.faults.node_crashes;
+    total.half_open_links += s.faults.half_open_links;
+    total.sends_into_dead_link += s.faults.sends_into_dead_link;
+  }
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("fault.messages_lost"),
+            total.messages_lost);
+  EXPECT_EQ(snapshot.counter_value("fault.messages_corrupted"),
+            total.messages_corrupted);
+  EXPECT_EQ(snapshot.counter_value("fault.messages_duplicated"),
+            total.messages_duplicated);
+  EXPECT_EQ(snapshot.counter_value("fault.node_crashes"), total.node_crashes);
+  EXPECT_EQ(snapshot.counter_value("fault.half_open_links"),
+            total.half_open_links);
+  EXPECT_EQ(snapshot.counter_value("fault.sends_into_dead_link"),
+            total.sends_into_dead_link);
+  EXPECT_GT(total.messages_lost, 0u);  // the faults actually fired
+}
+
+TEST(ObsContract, FilterCountersMatchReportForAnyThreadCount) {
+  auto& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  registry.reset();
+  const trace::Trace trace = behavior::simulate_trace_sharded(
+      core::WorkloadModel::paper_default(), tiny_fault_config(), 2, 2);
+
+  std::vector<std::map<std::string, std::uint64_t>> counters;
+  analysis::FilterReport first_report;
+  for (const unsigned threads : {1u, 8u}) {
+    analysis::set_analysis_threads(threads);
+    registry.reset();
+    auto dataset =
+        analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
+    const auto report = analysis::apply_filters(dataset);
+    if (threads == 1) first_report = report;
+    const auto snapshot = registry.snapshot();
+    EXPECT_EQ(snapshot.counter_value("filter.initial_queries"),
+              report.initial_queries);
+    EXPECT_EQ(snapshot.counter_value("filter.rule1_removed"),
+              report.rule1_removed);
+    EXPECT_EQ(snapshot.counter_value("filter.rule2_removed"),
+              report.rule2_removed);
+    EXPECT_EQ(snapshot.counter_value("filter.rule3_removed_queries"),
+              report.rule3_removed_queries);
+    EXPECT_EQ(snapshot.counter_value("filter.final_queries"),
+              report.final_queries);
+    EXPECT_EQ(snapshot.counter_value("filter.rule4_excluded"),
+              report.rule4_excluded);
+    EXPECT_EQ(snapshot.counter_value("filter.rule5_excluded"),
+              report.rule5_excluded);
+    EXPECT_EQ(snapshot.counter_value("filter.interarrival_queries"),
+              report.interarrival_queries);
+    counters.push_back(deterministic_counters(snapshot));
+  }
+  analysis::set_analysis_threads(1);
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], counters[1]);
+  EXPECT_GT(first_report.initial_queries, 0u);
+}
+
+TEST(ObsContract, DisablingTheGlobalRegistryDoesNotChangeResults) {
+  auto& registry = obs::Registry::global();
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+
+  registry.set_enabled(true);
+  registry.reset();
+  const std::string with_metrics =
+      serialize(behavior::simulate_trace_sharded(model, config, 2, 2));
+
+  registry.set_enabled(false);
+  const std::string without_metrics =
+      serialize(behavior::simulate_trace_sharded(model, config, 2, 2));
+  registry.set_enabled(true);
+
+  EXPECT_EQ(with_metrics, without_metrics);
+}
+
+}  // namespace
+}  // namespace p2pgen

@@ -131,7 +131,9 @@ TEST(ZipfLike, PmfDecreasesAndNormalizes) {
   double total = 0.0;
   for (std::size_t r = 1; r <= 100; ++r) {
     total += z.pmf(r);
-    if (r > 1) EXPECT_LE(z.pmf(r), z.pmf(r - 1));
+    if (r > 1) {
+      EXPECT_LE(z.pmf(r), z.pmf(r - 1));
+    }
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
   EXPECT_NEAR(z.cdf(100), 1.0, 1e-12);

@@ -120,6 +120,64 @@ TEST(ThreadPool, RecommendedThreadsHonorsEnvironment) {
   EXPECT_GE(util::ThreadPool::recommended_threads(), 1u);
 }
 
+TEST(ThreadPoolStats, ExecutedCountsSumToTaskCountAndResetOnRead) {
+  for (const unsigned threads : {1u, 4u}) {
+    util::ThreadPool pool(threads);
+    pool.run_indexed(500, [](std::size_t) {});
+    auto stats = pool.stats();
+    ASSERT_EQ(stats.executed.size(), threads);
+    std::uint64_t total = 0;
+    for (const auto n : stats.executed) total += n;
+    EXPECT_EQ(total, 500u) << "threads=" << threads;
+    EXPECT_GE(stats.max_queue_depth, 1u);
+    // stats() drains: a second read with no work in between is all zero.
+    const auto drained = pool.stats();
+    for (const auto n : drained.executed) EXPECT_EQ(n, 0u);
+    EXPECT_EQ(drained.steals, 0u);
+    EXPECT_EQ(drained.max_queue_depth, 0u);
+  }
+}
+
+TEST(ThreadPoolStats, InlinePathReportsDealDepthAndNoSteals) {
+  util::ThreadPool pool(1);
+  pool.run_indexed(123, [](std::size_t) {});
+  const auto stats = pool.stats();
+  ASSERT_EQ(stats.executed.size(), 1u);
+  EXPECT_EQ(stats.executed[0], 123u);
+  EXPECT_EQ(stats.steals, 0u);
+  // Inline runs count the whole batch as one "deal".
+  EXPECT_EQ(stats.max_queue_depth, 123u);
+}
+
+TEST(ThreadPoolStats, ParallelDealDepthIsCeilCountOverLanes) {
+  util::ThreadPool pool(4);
+  pool.run_indexed(10, [](std::size_t) {});  // 10 tasks over 4 lanes
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.max_queue_depth, 3u);  // ceil(10 / 4)
+}
+
+TEST(ThreadPoolStats, ImbalancedWorkRecordsSteals) {
+  // Park the caller inside lane 0's first task until every other task is
+  // done: the rest of lane 0's queue can then only drain via steals, so
+  // at least one steal is guaranteed (no timing assumptions).
+  util::ThreadPool pool(4);
+  constexpr std::size_t kCount = 64;
+  std::atomic<std::uint64_t> done{0};
+  pool.run_indexed(kCount, [&](std::size_t i) {
+    if (i == 0) {
+      while (done.load(std::memory_order_acquire) + 1 < kCount) {
+        std::this_thread::yield();
+      }
+    }
+    done.fetch_add(1, std::memory_order_release);
+  });
+  const auto stats = pool.stats();
+  std::uint64_t total = 0;
+  for (const auto n : stats.executed) total += n;
+  EXPECT_EQ(total, kCount);
+  EXPECT_GT(stats.steals, 0u);
+}
+
 TEST(ThreadPool, ZeroTasksIsANoop) {
   util::ThreadPool pool(4);
   pool.run_indexed(0, [](std::size_t) { FAIL(); });
