@@ -28,6 +28,29 @@ void write_metrics_at_exit() {
   if (!out) std::cerr << "[bench] failed writing metrics to " << path << "\n";
 }
 
+// The shard cache lives in the working directory across bench runs, so a
+// truncated write (killed bench, full disk) or a stale file must not
+// silently skew every table.  Each cached shard carries a sidecar with
+// its trace::binary_digest; a shard only counts as cached when the
+// re-computed digest of the loaded trace matches the sidecar.
+std::string digest_sidecar_path(const std::string& path) {
+  return path + ".digest";
+}
+
+void write_digest_sidecar(const trace::Trace& trace, const std::string& path) {
+  std::ofstream out(digest_sidecar_path(path));
+  out << std::hex << trace::binary_digest(trace) << "\n";
+}
+
+bool digest_sidecar_matches(const trace::Trace& trace,
+                            const std::string& path) {
+  std::ifstream in(digest_sidecar_path(path));
+  if (!in) return false;
+  std::uint64_t expected = 0;
+  in >> std::hex >> expected;
+  return in && trace::binary_digest(trace) == expected;
+}
+
 }  // namespace
 
 BenchScale bench_scale() {
@@ -93,10 +116,16 @@ const trace::Trace& bench_trace() {
       const std::string path = bench_shard_cache_path(scale, k);
       if (!no_cache) {
         try {
-          shards[k] = trace::load_binary(path);
-          std::cerr << "[bench] loaded cached shard " << k << " ("
-                    << shards[k].size() << " events) from " << path << "\n";
-          continue;
+          trace::Trace cached = trace::load_binary(path);
+          if (digest_sidecar_matches(cached, path)) {
+            shards[k] = std::move(cached);
+            std::cerr << "[bench] loaded cached shard " << k << " ("
+                      << shards[k].size() << " events) from " << path << "\n";
+            continue;
+          }
+          std::cerr << "[bench] cached shard " << k
+                    << " failed digest validation, regenerating: " << path
+                    << "\n";
         } catch (const std::exception&) {
           // fall through to simulation
         }
@@ -116,7 +145,9 @@ const trace::Trace& bench_trace() {
         shards[k] = behavior::simulate_shard(model, config, k);
         if (!no_cache) {
           try {
-            trace::save_binary(shards[k], bench_shard_cache_path(scale, k));
+            const std::string path = bench_shard_cache_path(scale, k);
+            trace::save_binary(shards[k], path);
+            write_digest_sidecar(shards[k], path);
           } catch (const std::exception& e) {
             std::cerr << "[bench] shard cache write failed: " << e.what()
                       << "\n";

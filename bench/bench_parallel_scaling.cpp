@@ -11,6 +11,7 @@
 // stderr.
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "analysis/parallel.hpp"
+#include "behavior/checkpoint.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "bench_common.hpp"
 #include "obs/metrics.hpp"
@@ -70,6 +72,50 @@ int main() {
   for (const auto& run : sim_runs) {
     identical = identical && run.digest == sim_runs.front().digest;
   }
+  // Durability overhead: the same sharded simulation through the durable
+  // checkpoint path (DESIGN.md §9) at several fsync cadences, against
+  // the in-memory run at the same thread count.  Sync interval 0 syncs
+  // only at shard completion (cheapest); smaller intervals buy less
+  // re-simulation after a SIGKILL at the price shown here.
+  struct DurabilityRun {
+    std::uint64_t sync_interval;
+    double seconds;
+    std::uint64_t digest;
+  };
+  const unsigned durability_threads = 4;
+  double plain_seconds = 0.0;
+  {
+    const auto start = std::chrono::steady_clock::now();
+    trace::Trace plain = behavior::simulate_trace_sharded(
+        model, config, scale.shards, durability_threads);
+    plain_seconds = seconds_since(start);
+    (void)plain;
+  }
+  std::vector<DurabilityRun> durability_runs;
+  for (const std::uint64_t interval : {std::uint64_t{0}, std::uint64_t{65536},
+                                       std::uint64_t{4096}}) {
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+                         ("p2pgen_scaling_ckpt_" + std::to_string(interval));
+    fs::remove_all(dir);
+    behavior::DurabilityConfig durability;
+    durability.dir = dir.string();
+    durability.sync_interval_records = interval;
+    const auto start = std::chrono::steady_clock::now();
+    trace::Trace durable = behavior::simulate_trace_durable(
+        model, config, scale.shards, durability_threads, durability);
+    const double elapsed = seconds_since(start);
+    durability_runs.push_back({interval, elapsed, trace::binary_digest(durable)});
+    identical = identical && durability_runs.back().digest ==
+                                 sim_runs.front().digest;
+    std::cerr << "[scaling] durable sync_interval=" << interval << "  "
+              << std::fixed << std::setprecision(2) << elapsed << " s  ("
+              << std::setprecision(3)
+              << (plain_seconds > 0.0 ? elapsed / plain_seconds : 0.0)
+              << "x plain)\n";
+    fs::remove_all(dir);
+  }
+
   struct AnalysisRun {
     unsigned threads;
     double seconds;
@@ -124,7 +170,19 @@ int main() {
                                : 0.0)
          << "}" << (i + 1 < analysis_runs.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"metrics\": ";
+  json << "  ],\n  \"durability\": {\n"
+       << "    \"threads\": " << durability_threads << ",\n"
+       << "    \"plain_seconds\": " << plain_seconds << ",\n"
+       << "    \"runs\": [\n";
+  for (std::size_t i = 0; i < durability_runs.size(); ++i) {
+    const auto& run = durability_runs[i];
+    json << "      {\"sync_interval_records\": " << run.sync_interval
+         << ", \"seconds\": " << run.seconds << ", \"overhead\": "
+         << (plain_seconds > 0.0 ? run.seconds / plain_seconds : 0.0)
+         << ", \"digest\": \"" << std::hex << run.digest << std::dec << "\"}"
+         << (i + 1 < durability_runs.size() ? "," : "") << "\n";
+  }
+  json << "    ]\n  },\n  \"metrics\": ";
   obs::Registry::global().snapshot().write_json(json);
   json << "\n}\n";
   std::cout << json.str();

@@ -11,11 +11,21 @@
 //
 //   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards]
 //       [threads] [--metrics=<path>] [--trace-json=<path>]
+//       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
+//       [--resume]
 //
 // --metrics=<path> writes the unified PipelineReport as JSON (plus the
 // Prometheus text exposition to <path>.prom); --trace-json=<path> enables
 // span tracing and writes a chrome://tracing / Perfetto-loadable trace
 // of the pipeline's phases, plus a per-phase summary table on stdout.
+//
+// --checkpoint-dir=<dir> makes the simulation durable (DESIGN.md §9):
+// every shard streams its events into an fsync'd spool under <dir> and
+// completed shards are recorded in a manifest, so a killed run — SIGKILL
+// included — resumes with --resume and produces a trace byte-identical
+// to an uninterrupted one.  --checkpoint-interval sets the fsync cadence
+// in records (default 65536; smaller = less re-simulation after a kill).
+// --resume requires an existing, identity-matching checkpoint.
 //
 // Pass a third argument "faults" (or "1") to run the same measurement on
 // a hostile overlay: message loss, byte corruption, duplication, jitter,
@@ -41,24 +51,38 @@
 #include "analysis/model_fit.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
+#include "behavior/checkpoint.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "trace/trace_io.hpp"
 
 int main(int argc, char** argv) {
   using namespace p2pgen;
 
   std::string metrics_path;
   std::string trace_json_path;
+  behavior::DurabilityConfig durability;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
       metrics_path = argv[i] + 10;
     } else if (std::strncmp(argv[i], "--trace-json=", 13) == 0) {
       trace_json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--checkpoint-dir=", 17) == 0) {
+      durability.dir = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--checkpoint-interval=", 22) == 0) {
+      durability.sync_interval_records =
+          static_cast<std::uint64_t>(std::atoll(argv[i] + 22));
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      durability.resume = true;
     } else {
       args.push_back(argv[i]);
     }
+  }
+  if (durability.resume && durability.dir.empty()) {
+    std::cerr << "measurement_pipeline: --resume needs --checkpoint-dir=\n";
+    return 1;
   }
   // Span tracing buffers grow while enabled, so it is opt-in.
   if (!trace_json_path.empty()) obs::TraceLog::global().set_enabled(true);
@@ -105,7 +129,26 @@ int main(int argc, char** argv) {
   // The single-vantage-point path keeps the full per-node robustness
   // counters, which a merged multi-shard trace no longer has one node for.
   std::unique_ptr<behavior::TraceSimulation> simulation;
-  if (shards > 1) {
+  if (!durability.dir.empty()) {
+    behavior::RecoverySummary recovery;
+    try {
+      trace = behavior::simulate_trace_durable(
+          core::WorkloadModel::paper_default(), config, shards, threads,
+          durability, &recovery, &shard_stats);
+    } catch (const std::exception& e) {
+      // Identity mismatch / missing checkpoint: refuse cleanly instead
+      // of splicing incompatible runs (or dumping a raw terminate).
+      std::cerr << "measurement_pipeline: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "  checkpoint dir:      " << durability.dir << "\n"
+              << "  recovery: " << recovery.records_recovered
+              << " records recovered, " << recovery.records_truncated
+              << " truncated (" << recovery.bytes_truncated << " bytes), "
+              << recovery.events_replayed << " events replayed, "
+              << recovery.shards_completed_prior
+              << " shard(s) loaded complete\n";
+  } else if (shards > 1) {
     trace = behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
                                              config, shards, threads,
                                              &shard_stats);
@@ -124,6 +167,11 @@ int main(int argc, char** argv) {
   }
 
   const auto stats = trace.stats();
+  // The byte-identity handle: grep-able by the kill-and-resume CI job,
+  // equal across thread counts and across SIGKILL + --resume.
+  std::cout << "  trace digest:        " << std::hex << std::setfill('0')
+            << std::setw(16) << trace::binary_digest(trace) << std::dec
+            << std::setfill(' ') << "\n";
   std::cout << "  trace events:        " << trace.size() << "\n"
             << "  direct connections:  " << stats.direct_connections << "\n"
             << "  QUERY messages:      " << stats.query_messages << "\n"

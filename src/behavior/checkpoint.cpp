@@ -1,0 +1,346 @@
+#include "behavior/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <type_traits>
+
+#include "core/model_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "trace/trace_io.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace p2pgen::behavior {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "p2pgen-checkpoint v1";
+
+template <typename T>
+std::uint64_t hash_pod(std::uint64_t digest, const T& value) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return trace::fnv1a_update(digest, &value, sizeof(value));
+}
+
+std::uint64_t hash_string(std::uint64_t digest, const std::string& s) noexcept {
+  digest = hash_pod(digest, static_cast<std::uint64_t>(s.size()));
+  return trace::fnv1a_update(digest, s.data(), s.size());
+}
+
+std::string shard_dir(const std::string& base, unsigned shard_index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "shard-%04u", shard_index);
+  return (fs::path(base) / buf).string();
+}
+
+void fsync_path(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), directory ? O_RDONLY : O_WRONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+/// Durable-manifest state: the run identity plus which shards finished.
+/// Rewritten atomically (tmp + rename) after every shard completion, so
+/// a crash leaves either the old or the new manifest, never a torn one.
+struct Manifest {
+  std::uint64_t identity = 0;
+  unsigned n_shards = 0;
+  std::vector<char> done;  // done[k] != 0: shard k's spool is complete
+
+  void write(const std::string& dir) const {
+    std::ostringstream out;
+    out << kManifestHeader << "\n";
+    out << "identity " << identity << "\n";
+    out << "shards " << n_shards << "\n";
+    for (unsigned k = 0; k < n_shards; ++k) {
+      if (done[k]) out << "done " << k << "\n";
+    }
+    const std::string tmp = (fs::path(dir) / "MANIFEST.tmp").string();
+    const std::string final_path = (fs::path(dir) / kManifestName).string();
+    {
+      std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+      f << out.str();
+      if (!f) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    }
+    fsync_path(tmp, /*directory=*/false);
+    fs::rename(tmp, final_path);
+    fsync_path(dir, /*directory=*/true);
+  }
+
+  static Manifest read(const std::string& dir) {
+    const std::string path = (fs::path(dir) / kManifestName).string();
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("checkpoint: cannot read " + path);
+    Manifest m;
+    std::string header;
+    std::getline(f, header);
+    if (header != kManifestHeader) {
+      throw std::runtime_error("checkpoint: bad manifest header in " + path);
+    }
+    std::string key;
+    while (f >> key) {
+      if (key == "identity") {
+        f >> m.identity;
+      } else if (key == "shards") {
+        f >> m.n_shards;
+        m.done.assign(m.n_shards, 0);
+      } else if (key == "done") {
+        unsigned k = 0;
+        f >> k;
+        if (k < m.done.size()) m.done[k] = 1;
+      } else {
+        throw std::runtime_error("checkpoint: unknown manifest key '" + key +
+                                 "' in " + path);
+      }
+    }
+    return m;
+  }
+};
+
+/// Streams a resumed shard: the first `prefix_records` events are the
+/// ones already durable in the spool, so they are digest-verified against
+/// the recovered prefix instead of re-written; everything after is
+/// appended (and periodically fsync'd) through the writer.  Divergence
+/// between replay and spool means the run is NOT the one checkpointed —
+/// refuse rather than splice two different traces together.
+class DurableSink final : public trace::TraceSink {
+ public:
+  DurableSink(trace::Trace& trace, trace::SpoolWriter& writer,
+              unsigned shard_index)
+      : trace_(trace),
+        writer_(writer),
+        prefix_records_(writer.durable_records()),
+        prefix_digest_(writer.open_digest()),
+        shard_index_(shard_index) {}
+
+  void on_event(const trace::TraceEvent& event) override {
+    trace_.append(event);
+    if (replayed_ < prefix_records_) {
+      encode_buf_.clear();
+      trace::append_event_binary(event, encode_buf_);
+      replay_digest_ = trace::fnv1a_update(replay_digest_, encode_buf_.data(),
+                                           encode_buf_.size());
+      ++replayed_;
+      if (replayed_ == prefix_records_ && replay_digest_ != prefix_digest_) {
+        throw std::runtime_error(
+            "checkpoint: replay of shard " + std::to_string(shard_index_) +
+            " diverged from its durable spool (model/config changed?)");
+      }
+      return;
+    }
+    writer_.append(event);
+  }
+
+  std::uint64_t replayed() const noexcept { return replayed_; }
+
+ private:
+  trace::Trace& trace_;
+  trace::SpoolWriter& writer_;
+  std::uint64_t prefix_records_;
+  std::uint64_t prefix_digest_;
+  unsigned shard_index_;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t replay_digest_ = trace::kFnvOffsetBasis;
+  std::string encode_buf_;
+};
+
+void publish_recovery_metrics(const RecoverySummary& summary) {
+  auto& registry = obs::Registry::global();
+  if (!registry.enabled()) return;
+  registry.counter("recovery.spool.segments_scanned")
+      .add(summary.segments_scanned);
+  registry.counter("recovery.spool.records_recovered")
+      .add(summary.records_recovered);
+  registry.counter("recovery.spool.records_truncated")
+      .add(summary.records_truncated);
+  registry.counter("recovery.spool.bytes_truncated")
+      .add(summary.bytes_truncated);
+  registry.counter("recovery.events_replayed").add(summary.events_replayed);
+  registry.counter("recovery.checkpoints_written")
+      .add(summary.checkpoints_written);
+  registry.counter("recovery.checkpoints_loaded")
+      .add(summary.checkpoints_loaded);
+  registry.counter("recovery.shards_completed_prior")
+      .add(summary.shards_completed_prior);
+}
+
+}  // namespace
+
+std::uint64_t run_identity_digest(const core::WorkloadModel& model,
+                                  const TraceSimulationConfig& config,
+                                  unsigned n_shards) {
+  std::ostringstream model_text;
+  core::save_model(model, model_text);
+  std::uint64_t d = trace::kFnvOffsetBasis;
+  d = hash_string(d, model_text.str());
+
+  d = hash_pod(d, config.duration_days);
+  d = hash_pod(d, config.warmup_days);
+  d = hash_pod(d, config.arrival_rate);
+  d = hash_pod(d, config.diurnal_amplitude);
+  d = hash_pod(d, config.seed);
+  for (const double c : config.region_flow_correction) d = hash_pod(d, c);
+
+  const MeasurementNode::Config& node = config.node;
+  d = hash_pod(d, static_cast<std::uint64_t>(node.max_connections));
+  d = hash_pod(d, node.idle_threshold);
+  d = hash_pod(d, node.probe_timeout);
+  d = hash_string(d, node.user_agent);
+  d = hash_pod(d, node.ip);
+  d = hash_pod(d, node.shared_files);
+  d = hash_pod(d, node.forward_fanout);
+  d = hash_pod(d, node.forward_retry_max);
+  d = hash_pod(d, node.forward_retry_base);
+  d = hash_pod(d, static_cast<std::uint8_t>(node.replenish ? 1 : 0));
+  d = hash_pod(d, static_cast<std::uint64_t>(node.replenish_target));
+  d = hash_pod(d, node.replenish_backoff_base);
+  d = hash_pod(d, node.replenish_backoff_max);
+
+  d = hash_pod(d, config.background.query_rate);
+  d = hash_pod(d, config.background.ping_rate);
+  d = hash_pod(d, config.background.pong_rate);
+  d = hash_pod(d, config.background.queryhit_rate);
+
+  d = hash_pod(d, config.network.latency_seconds);
+  d = hash_pod(d, static_cast<std::uint8_t>(config.network.count_wire_bytes));
+
+  d = hash_pod(d, sim::fault_config_digest(config.faults));
+  d = hash_pod(d, n_shards);
+  return d;
+}
+
+bool checkpoint_exists(const std::string& dir) {
+  return fs::exists(fs::path(dir) / kManifestName);
+}
+
+trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
+                                    const TraceSimulationConfig& base,
+                                    unsigned n_shards, unsigned n_threads,
+                                    const DurabilityConfig& durability,
+                                    RecoverySummary* summary_out,
+                                    std::vector<ShardStats>* stats) {
+  if (n_shards == 0) {
+    throw std::invalid_argument("simulate_trace_durable: n_shards must be > 0");
+  }
+  if (durability.dir.empty()) {
+    throw std::invalid_argument("simulate_trace_durable: empty checkpoint dir");
+  }
+  obs::ObsSpan span("sim.durable");
+  fs::create_directories(durability.dir);
+
+  const std::uint64_t identity = run_identity_digest(model, base, n_shards);
+  Manifest manifest;
+  RecoverySummary summary;
+
+  if (checkpoint_exists(durability.dir)) {
+    manifest = Manifest::read(durability.dir);
+    if (manifest.identity != identity) {
+      throw std::runtime_error(
+          "checkpoint: MANIFEST identity mismatch — the checkpoint in '" +
+          durability.dir +
+          "' was written by a run with a different model, config or shard "
+          "count; refusing to resume");
+    }
+    if (manifest.n_shards != n_shards) {
+      throw std::runtime_error("checkpoint: shard count mismatch");
+    }
+  } else {
+    if (durability.resume) {
+      throw std::runtime_error("checkpoint: --resume requested but no "
+                               "checkpoint found in '" +
+                               durability.dir + "'");
+    }
+    manifest.identity = identity;
+    manifest.n_shards = n_shards;
+    manifest.done.assign(n_shards, 0);
+    manifest.write(durability.dir);
+    ++summary.checkpoints_written;
+  }
+
+  std::vector<trace::Trace> shards(n_shards);
+  std::vector<ShardStats> shard_stats(n_shards);
+  std::mutex manifest_mutex;  // guards manifest + summary
+
+  util::ThreadPool pool(std::min(n_threads, n_shards));
+  pool.run_indexed(n_shards, [&](std::size_t k) {
+    const unsigned index = static_cast<unsigned>(k);
+    const std::string spool_dir = shard_dir(durability.dir, index);
+
+    if (manifest.done[k]) {
+      // Finished before the crash: its spool holds the whole shard
+      // trace, fsync'd before the manifest marked it done.
+      trace::SpoolRecoveryReport report;
+      shards[k] = trace::read_spool(spool_dir, &report);
+      if (report.torn) {
+        throw std::runtime_error(
+            "checkpoint: completed shard " + std::to_string(index) +
+            " has a torn spool — completed data should never tear");
+      }
+      shard_stats[k].seed = shard_seed(base.seed, index);
+      shard_stats[k].events = shards[k].size();
+      std::lock_guard<std::mutex> lock(manifest_mutex);
+      summary.segments_scanned += report.segments_scanned;
+      summary.records_recovered += report.records_recovered;
+      ++summary.checkpoints_loaded;
+      ++summary.shards_completed_prior;
+      return;
+    }
+
+    trace::SpoolConfig spool_config;
+    spool_config.sync_interval_records = durability.sync_interval_records;
+    trace::SpoolWriter writer(spool_dir, spool_config);
+    {
+      std::lock_guard<std::mutex> lock(manifest_mutex);
+      summary.segments_scanned += writer.recovery().segments_scanned;
+      summary.records_recovered += writer.durable_records();
+      summary.records_truncated += writer.recovery().records_truncated;
+      summary.bytes_truncated += writer.recovery().bytes_truncated;
+      if (writer.durable_records() > 0) ++summary.checkpoints_loaded;
+    }
+
+    DurableSink sink(shards[k], writer, index);
+    simulate_shard_into(model, base, index, sink, &shard_stats[k]);
+    writer.close();  // final fsync: the shard's redo log is complete
+
+    std::lock_guard<std::mutex> lock(manifest_mutex);
+    summary.events_replayed += sink.replayed();
+    manifest.done[k] = 1;
+    manifest.write(durability.dir);
+    ++summary.checkpoints_written;
+  });
+  util::publish_pool_stats("pool.sim", pool.stats());
+  obs::Registry::global().counter("sim.shards_run").add(n_shards);
+
+  publish_recovery_metrics(summary);
+  if (summary_out != nullptr) *summary_out = summary;
+  if (stats != nullptr) *stats = std::move(shard_stats);
+
+  trace::Trace merged;
+  {
+    obs::ObsSpan span_merge("trace.merge");
+    merged = trace::merge_traces(std::move(shards));
+  }
+  obs::Registry::global().counter("sim.merged_events").add(merged.size());
+  return merged;
+}
+
+}  // namespace p2pgen::behavior

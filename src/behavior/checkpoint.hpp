@@ -1,0 +1,83 @@
+// p2pgen — deterministic checkpoint / resume for sharded simulations.
+//
+// The simulator's event queue holds arbitrary closures, so a literal
+// state snapshot is impossible.  Durability instead comes from the
+// determinism contract (sharded_simulation.hpp): every shard is a pure
+// function of (model, config, shard_index), so the durable trace spool
+// (trace/spool.hpp) acts as a redo log.  Each shard streams its events
+// into an fsync'd per-shard spool; a MANIFEST records the run identity
+// and which shards finished.  After a crash — SIGKILL included — resume
+//
+//   * loads finished shards wholly from their spools (no re-simulation),
+//   * re-simulates unfinished shards from scratch, digest-verifying the
+//     replayed prefix against the durable prefix recovered from the
+//     spool, then appending beyond it,
+//
+// and the merged trace is byte-identical to an uninterrupted run, at any
+// thread count.  A torn spool tail (the unsynced final frame) is
+// truncated by the recovery scan; at most that one record is re-written
+// by replay, never lost.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "behavior/sharded_simulation.hpp"
+#include "trace/spool.hpp"
+
+namespace p2pgen::behavior {
+
+/// Where and how often the durable run persists state.
+struct DurabilityConfig {
+  /// Checkpoint directory; holds MANIFEST plus one spool directory per
+  /// shard ("shard-NNNN/").  Created if missing.
+  std::string dir;
+
+  /// fsync the shard spool every this many appended records.  0 syncs
+  /// only at shard completion (fastest, loses the whole unfinished shard
+  /// on a crash — it is re-simulated, so nothing is wrong, just slower).
+  std::uint64_t sync_interval_records = 65536;
+
+  /// Require an existing, identity-matching MANIFEST (the --resume flag):
+  /// resuming against a different model/config/shard-count is refused
+  /// instead of silently producing a franken-trace.
+  bool resume = false;
+};
+
+/// What recovery found and did, summed over shards.
+struct RecoverySummary {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_recovered = 0;   ///< valid records found in spools
+  std::uint64_t records_truncated = 0;   ///< torn tail frames dropped
+  std::uint64_t bytes_truncated = 0;
+  std::uint64_t events_replayed = 0;     ///< prefix events re-simulated
+  std::uint64_t checkpoints_written = 0; ///< durable sync points persisted
+  std::uint64_t checkpoints_loaded = 0;  ///< shards with recovered state
+  std::uint64_t shards_completed_prior = 0;  ///< loaded wholly from spool
+};
+
+/// Identity of a durable run: FNV-1a over the serialized model, every
+/// simulation-config field that influences the trace, the fault-layer
+/// digest and the shard count.  Two runs merge-compatibly iff equal.
+std::uint64_t run_identity_digest(const core::WorkloadModel& model,
+                                  const TraceSimulationConfig& config,
+                                  unsigned n_shards);
+
+/// True when `dir` holds a MANIFEST from a previous durable run.
+bool checkpoint_exists(const std::string& dir);
+
+/// Drop-in durable variant of simulate_trace_sharded: same merged trace,
+/// byte-identical to the non-durable path, but every shard's events are
+/// spooled to disk and completed shards are recorded in the MANIFEST so
+/// a killed run resumes instead of restarting.  Publishes "recovery.*"
+/// counters to the obs registry.  Throws std::runtime_error when
+/// `durability.resume` is set but no checkpoint exists, or when the
+/// existing checkpoint's identity does not match (model/config/shards).
+trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
+                                    const TraceSimulationConfig& base,
+                                    unsigned n_shards, unsigned n_threads,
+                                    const DurabilityConfig& durability,
+                                    RecoverySummary* summary = nullptr,
+                                    std::vector<ShardStats>* stats = nullptr);
+
+}  // namespace p2pgen::behavior

@@ -176,10 +176,49 @@ void MeasurementNode::drop_connection_on_error(sim::ConnId conn) {
   end.time = network_.simulator().now();
   end.session_id = session.session_id;
   end.reason = trace::EndReason::kError;
-  ++session_ends_[static_cast<std::size_t>(end.reason)];
   sink_.on_event(as_trace_event(std::move(end)));
   sessions_.erase(it);
   network_.close(conn);
+  note_session_end(trace::EndReason::kError);
+}
+
+void MeasurementNode::note_session_end(trace::EndReason reason) {
+  ++session_ends_[static_cast<std::size_t>(reason)];
+  if (!config_.replenish || !replenish_hook_) return;
+  if (sessions_.size() >= replenish_target()) return;
+  // Every death below target is a replenish request (the per-reason
+  // histogram the recovery report shows); only one backoff timer runs
+  // at a time so a crash burst cannot schedule a reconnect storm.
+  ++replenish_by_reason_[static_cast<std::size_t>(reason)];
+  if (replenish_event_ != 0) return;
+  const double delay =
+      std::min(config_.replenish_backoff_base *
+                   static_cast<double>(1ULL << std::min(replenish_attempt_, 30)),
+               config_.replenish_backoff_max);
+  ++replenish_scheduled_;
+  replenish_event_ = network_.simulator().schedule_after(
+      delay, [this] { replenish_fire(); });
+}
+
+void MeasurementNode::replenish_fire() {
+  replenish_event_ = 0;
+  if (sessions_.size() >= replenish_target()) {
+    replenish_attempt_ = 0;  // healed: next incident starts from base
+    return;
+  }
+  ++replenish_spawns_;
+  if (replenish_hook_) replenish_hook_();
+  // The replacement peer connects after handshake + latency, so the node
+  // is still below target right now; keep healing with doubled backoff
+  // until the population recovers.
+  ++replenish_attempt_;
+  const double delay =
+      std::min(config_.replenish_backoff_base *
+                   static_cast<double>(1ULL << std::min(replenish_attempt_, 30)),
+               config_.replenish_backoff_max);
+  ++replenish_scheduled_;
+  replenish_event_ = network_.simulator().schedule_after(
+      delay, [this] { replenish_fire(); });
 }
 
 void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
@@ -323,11 +362,11 @@ void MeasurementNode::watchdog_fire(sim::ConnId conn) {
       end.time = now;
       end.session_id = session.session_id;
       end.reason = trace::EndReason::kIdleProbe;
-      ++session_ends_[static_cast<std::size_t>(end.reason)];
       sink_.on_event(as_trace_event(std::move(end)));
       ++probe_closed_sessions_;
       sessions_.erase(it);
       network_.close(conn);
+      note_session_end(trace::EndReason::kIdleProbe);
       return;
     }
     arm_watchdog(conn, session.last_activity + config_.probe_timeout);
@@ -359,11 +398,13 @@ void MeasurementNode::on_connection_closed(sim::ConnId conn) {
   trace::SessionEnd end;
   end.time = network_.simulator().now();
   end.session_id = session.session_id;
-  end.reason = session.bye_seen ? trace::EndReason::kBye
-                                : trace::EndReason::kTeardown;
-  ++session_ends_[static_cast<std::size_t>(end.reason)];
+  const trace::EndReason reason = session.bye_seen
+                                      ? trace::EndReason::kBye
+                                      : trace::EndReason::kTeardown;
+  end.reason = reason;
   sink_.on_event(as_trace_event(std::move(end)));
   sessions_.erase(it);
+  note_session_end(reason);
 }
 
 }  // namespace p2pgen::behavior

@@ -51,7 +51,28 @@ class MeasurementNode final : public sim::Node {
     int forward_retry_max = 0;
     /// First retry delay, seconds; doubles on each further attempt.
     double forward_retry_base = 2.0;
+
+    // Neighbor-churn self-healing --------------------------------------
+    //
+    // The paper's ultrapeer held ~200 neighbors for 40 days because the
+    // live overlay kept offering replacements; under injected crash
+    // faults a passive node's neighbor set just decays.  With replenish
+    // on, every session death below the target asks the simulation
+    // driver (via the replenish hook) to bring up a replacement peer,
+    // paced by capped exponential backoff.  Off by default: runs without
+    // it are byte-identical to the pre-recovery-layer behavior.
+    bool replenish = false;
+    /// Neighbor count the node heals toward; 0 means max_connections.
+    std::size_t replenish_target = 0;
+    /// First reconnect delay, seconds; doubles per consecutive attempt
+    /// while the node stays below target, capped at replenish_backoff_max.
+    double replenish_backoff_base = 1.0;
+    double replenish_backoff_max = 64.0;
   };
+
+  /// Brings up one replacement neighbor (installed by the simulation
+  /// driver, which owns peer creation).
+  using ReplenishHook = std::function<void()>;
 
   MeasurementNode(sim::Network& network, trace::TraceSink& sink, Config config,
                   std::uint64_t seed);
@@ -114,6 +135,27 @@ class MeasurementNode final : public sim::Node {
     return session_ends_;
   }
 
+  // Self-healing ---------------------------------------------------------
+
+  /// Installs the reconnect hook; replenish stays inert without one.
+  void set_replenish_hook(ReplenishHook hook) {
+    replenish_hook_ = std::move(hook);
+  }
+
+  /// Session deaths that requested replenishment (node below target),
+  /// indexed by the trace::EndReason that killed the session.
+  const std::array<std::uint64_t, 4>& replenish_by_reason() const noexcept {
+    return replenish_by_reason_;
+  }
+
+  /// Backoff timers armed by session deaths.
+  std::uint64_t replenish_scheduled() const noexcept {
+    return replenish_scheduled_;
+  }
+
+  /// Replacement neighbors actually requested through the hook.
+  std::uint64_t replenish_spawns() const noexcept { return replenish_spawns_; }
+
   // sim::Node interface.
   void on_connection_open(sim::ConnId conn, sim::NodeId peer) override;
   void on_connection_closed(sim::ConnId conn) override;
@@ -146,6 +188,12 @@ class MeasurementNode final : public sim::Node {
   };
 
   void establish(sim::ConnId conn, PendingConn pending);
+  void note_session_end(trace::EndReason reason);
+  std::size_t replenish_target() const noexcept {
+    return config_.replenish_target != 0 ? config_.replenish_target
+                                         : config_.max_connections;
+  }
+  void replenish_fire();
   void record_message(std::uint64_t session_id, const gnutella::Message& message);
   void handle_message(sim::ConnId conn, Session& session,
                       const gnutella::Message& message);
@@ -181,6 +229,13 @@ class MeasurementNode final : public sim::Node {
   std::uint64_t forward_retries_exhausted_ = 0;
   std::uint64_t messages_recorded_ = 0;
   std::array<std::uint64_t, 4> session_ends_{};
+
+  ReplenishHook replenish_hook_;
+  std::uint64_t replenish_event_ = 0;  // pending backoff timer (0: none)
+  int replenish_attempt_ = 0;          // consecutive fires below target
+  std::array<std::uint64_t, 4> replenish_by_reason_{};
+  std::uint64_t replenish_scheduled_ = 0;
+  std::uint64_t replenish_spawns_ = 0;
 };
 
 }  // namespace p2pgen::behavior

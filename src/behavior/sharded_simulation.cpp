@@ -42,6 +42,38 @@ trace::Trace simulate_shard(const core::WorkloadModel& model,
   return trace;
 }
 
+void simulate_shard_into(const core::WorkloadModel& model,
+                         const TraceSimulationConfig& base,
+                         unsigned shard_index, trace::TraceSink& sink,
+                         ShardStats* stats) {
+  obs::ObsSpan span("sim.shard");
+  TraceSimulationConfig config = base;
+  config.seed = shard_seed(base.seed, shard_index);
+
+  // Counts events on the way through so ShardStats.events matches the
+  // buffered path (a plain sink has no size()).
+  struct CountingSink final : trace::TraceSink {
+    explicit CountingSink(trace::TraceSink& wrapped) : inner(wrapped) {}
+    void on_event(const trace::TraceEvent& event) override {
+      inner.on_event(event);
+      ++events;
+    }
+    trace::TraceSink& inner;
+    std::uint64_t events = 0;
+  } counting(sink);
+
+  TraceSimulation simulation(model, config, counting);
+  simulation.run();
+  simulation.publish_metrics();
+
+  if (stats != nullptr) {
+    stats->seed = config.seed;
+    stats->peers_spawned = simulation.peers_spawned();
+    stats->events = counting.events;
+    stats->faults = simulation.fault_counters();
+  }
+}
+
 trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
                                     const TraceSimulationConfig& base,
                                     unsigned n_shards, unsigned n_threads,

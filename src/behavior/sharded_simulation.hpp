@@ -48,6 +48,15 @@ trace::Trace simulate_shard(const core::WorkloadModel& model,
                             const TraceSimulationConfig& base,
                             unsigned shard_index, ShardStats* stats = nullptr);
 
+/// Runs one replica shard streaming its events into `sink` instead of
+/// buffering a Trace — the durable-checkpoint path (trace/spool.hpp)
+/// appends each event to a per-shard redo log as it is emitted.  Event
+/// order and content are identical to simulate_shard's.
+void simulate_shard_into(const core::WorkloadModel& model,
+                         const TraceSimulationConfig& base,
+                         unsigned shard_index, trace::TraceSink& sink,
+                         ShardStats* stats = nullptr);
+
 /// Runs `n_shards` replica shards on up to `n_threads` threads and merges
 /// their traces (see file comment for the determinism contract).  Each
 /// shard simulates the full base.duration_days window.  When `stats` is

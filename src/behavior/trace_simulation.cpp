@@ -130,6 +130,18 @@ void TraceSimulation::publish_metrics() const {
       .add(net_.messages_delivered());
   registry.counter("transport.messages_dropped").add(net_.messages_dropped());
   sim::publish_fault_metrics(fault_injector_.counters());
+  const auto& repl = node_.replenish_by_reason();
+  registry.counter("recovery.replenish.bye")
+      .add(repl[static_cast<std::size_t>(trace::EndReason::kBye)]);
+  registry.counter("recovery.replenish.idle_probe")
+      .add(repl[static_cast<std::size_t>(trace::EndReason::kIdleProbe)]);
+  registry.counter("recovery.replenish.teardown")
+      .add(repl[static_cast<std::size_t>(trace::EndReason::kTeardown)]);
+  registry.counter("recovery.replenish.error")
+      .add(repl[static_cast<std::size_t>(trace::EndReason::kError)]);
+  registry.counter("recovery.replenish.scheduled")
+      .add(node_.replenish_scheduled());
+  registry.counter("recovery.replenish.spawns").add(node_.replenish_spawns());
 }
 
 void TraceSimulation::run() { run_with_clients(ClientPopulation::default_population()); }
@@ -137,6 +149,11 @@ void TraceSimulation::run() { run_with_clients(ClientPopulation::default_populat
 void TraceSimulation::run_with_clients(const ClientPopulation& clients) {
   if (ran_) throw std::logic_error("TraceSimulation: already ran");
   ran_ = true;
+  if (config_.node.replenish) {
+    // The hook captures `clients` by reference; valid because run blocks
+    // until the horizon and the hook never outlives this frame.
+    node_.set_replenish_hook([this, &clients] { spawn_peer(clients); });
+  }
   schedule_next_arrival(clients);
   // The measurement simply stops at the horizon, like the paper's trace:
   // sessions still open at that point have no SessionEnd record and the

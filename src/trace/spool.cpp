@@ -1,0 +1,345 @@
+#include "trace/spool.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <stdexcept>
+
+#include "trace/trace_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace p2pgen::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSpoolMagic[4] = {'P', '2', 'P', 'S'};
+constexpr std::uint32_t kSpoolVersion = 1;
+constexpr std::uint64_t kHeaderBytes = sizeof(kSpoolMagic) + sizeof(std::uint32_t);
+/// Frames above this payload size are corruption, not data: a trace
+/// record is a few dozen bytes plus a query string capped at 1 MiB.
+constexpr std::uint32_t kMaxPayload = 1u << 24;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::string segment_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06zu.p2ps", index);
+  return buf;
+}
+
+/// Index encoded in a segment filename ("seg-NNNNNN.p2ps").
+bool parse_segment_index(const std::string& name, std::size_t& index) {
+  if (name.rfind("seg-", 0) != 0) return false;
+  const auto dot = name.find(".p2ps");
+  if (dot == std::string::npos || dot + 5 != name.size()) return false;
+  const std::string digits = name.substr(4, dot - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  index = static_cast<std::size_t>(std::stoull(digits));
+  return true;
+}
+
+void fsync_directory(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+/// One segment's scan outcome.
+struct SegmentScan {
+  std::uint64_t records = 0;
+  std::uint64_t valid_end = 0;  ///< bytes of valid header + frames
+  std::uint64_t file_size = 0;
+  std::uint64_t first_bad_offset = 0;
+  bool torn = false;
+};
+
+/// Validates `path` frame by frame, feeding valid payloads to
+/// `on_payload` (may be null) and updating `digest`.
+SegmentScan scan_segment(const std::string& path, std::uint64_t& digest,
+                         const std::function<void(const std::uint8_t*,
+                                                  std::size_t)>& on_payload) {
+  SegmentScan out;
+  out.file_size = static_cast<std::uint64_t>(fs::file_size(path));
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("spool: cannot open " + path);
+
+  char magic[4];
+  std::uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  if (static_cast<std::size_t>(in.gcount()) == sizeof(magic)) {
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  }
+  if (static_cast<std::size_t>(in.gcount()) != sizeof(version) ||
+      std::memcmp(magic, kSpoolMagic, sizeof(magic)) != 0 ||
+      version == 0 || version > kSpoolVersion) {
+    // Torn or foreign header: nothing in this file is trustworthy.
+    out.torn = true;
+    out.first_bad_offset = 0;
+    out.valid_end = 0;
+    return out;
+  }
+
+  std::uint64_t pos = kHeaderBytes;
+  std::vector<std::uint8_t> payload;
+  while (true) {
+    std::uint32_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    const auto len_got = static_cast<std::size_t>(in.gcount());
+    if (len_got == 0) break;  // clean end on a frame boundary
+    if (len_got < sizeof(len) || len > kMaxPayload) {
+      out.torn = true;
+      break;
+    }
+    std::uint32_t crc = 0;
+    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
+    if (static_cast<std::size_t>(in.gcount()) < sizeof(crc)) {
+      out.torn = true;
+      break;
+    }
+    payload.resize(len);
+    if (len > 0) {
+      in.read(reinterpret_cast<char*>(payload.data()),
+              static_cast<std::streamsize>(len));
+    }
+    if (static_cast<std::size_t>(in.gcount()) < len) {
+      out.torn = true;
+      break;
+    }
+    if (crc32(payload.data(), payload.size()) != crc) {
+      out.torn = true;
+      break;
+    }
+    pos += sizeof(len) + sizeof(crc) + len;
+    ++out.records;
+    digest = fnv1a_update(digest, payload.data(), payload.size());
+    if (on_payload) on_payload(payload.data(), payload.size());
+  }
+  out.valid_end = pos;
+  if (out.torn) out.first_bad_offset = pos;
+  return out;
+}
+
+SpoolScan scan_spool_impl(const std::string& dir, bool truncate_tail,
+                          const std::function<void(const std::uint8_t*,
+                                                   std::size_t)>& on_payload) {
+  fs::create_directories(dir);
+
+  std::vector<std::pair<std::size_t, std::string>> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::size_t index = 0;
+    if (parse_segment_index(entry.path().filename().string(), index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+
+  SpoolScan scan;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const std::string& path = segments[i].second;
+    const SegmentScan seg = scan_segment(path, scan.payload_digest, on_payload);
+    ++scan.report.segments_scanned;
+    scan.records += seg.records;
+    scan.report.records_recovered += seg.records;
+    scan.segments.push_back(path);
+    scan.segment_records.push_back(seg.records);
+    if (!seg.torn) continue;
+
+    if (i + 1 != segments.size()) {
+      // Interior damage is not a tail: records after this segment would
+      // silently vanish from the middle of the stream.
+      throw TraceIoError("spool: interior segment damaged: " + path +
+                             " at byte offset " +
+                             std::to_string(seg.first_bad_offset),
+                         seg.first_bad_offset);
+    }
+    scan.report.torn = true;
+    scan.report.bad_segment = path;
+    scan.report.first_bad_offset = seg.first_bad_offset;
+    scan.report.bytes_truncated = seg.file_size - seg.valid_end;
+    scan.report.records_truncated = 1;  // the torn tail frame
+    if (truncate_tail) {
+      fs::resize_file(path, seg.valid_end);
+      fsync_directory(dir);
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n) noexcept {
+  const auto& table = crc_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+SpoolScan scan_spool(const std::string& dir, bool truncate_tail) {
+  return scan_spool_impl(dir, truncate_tail, nullptr);
+}
+
+Trace read_spool(const std::string& dir, SpoolRecoveryReport* report) {
+  Trace trace;
+  const SpoolScan scan = scan_spool_impl(
+      dir, /*truncate_tail=*/false,
+      [&trace](const std::uint8_t* data, std::size_t n) {
+        trace.append(decode_event_binary(data, n));
+      });
+  if (report != nullptr) *report = scan.report;
+  return trace;
+}
+
+struct SpoolWriter::Impl {
+  std::FILE* file = nullptr;
+  std::string path;
+};
+
+SpoolWriter::SpoolWriter(std::string dir, SpoolConfig config)
+    : impl_(std::make_unique<Impl>()), config_(config), dir_(std::move(dir)) {
+  const SpoolScan scan = scan_spool(dir_, /*truncate_tail=*/true);
+  recovery_ = scan.report;
+  open_records_ = scan.records;
+  open_digest_ = scan.payload_digest;
+
+  if (scan.segments.empty()) {
+    segment_index_ = 0;
+    open_segment(segment_index_, /*fresh=*/true);
+    return;
+  }
+  std::size_t last_index = scan.segments.size() - 1;
+  (void)parse_segment_index(fs::path(scan.segments.back()).filename().string(),
+                            last_index);
+  const std::uint64_t last_records = scan.segment_records.back();
+  const std::uint64_t last_size =
+      static_cast<std::uint64_t>(fs::file_size(scan.segments.back()));
+  if (last_size < kHeaderBytes) {
+    // The whole header was torn away: rebuild this segment from scratch.
+    segment_index_ = last_index;
+    open_segment(segment_index_, /*fresh=*/true);
+  } else if (last_records >= config_.segment_max_records) {
+    segment_index_ = last_index + 1;
+    open_segment(segment_index_, /*fresh=*/true);
+  } else {
+    segment_index_ = last_index;
+    current_segment_records_ = last_records;
+    open_segment(segment_index_, /*fresh=*/false);
+  }
+}
+
+SpoolWriter::~SpoolWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an unsynced tail is exactly what the
+    // recovery scan exists to clean up.
+  }
+}
+
+void SpoolWriter::open_segment(std::size_t index, bool fresh) {
+  const std::string path =
+      (fs::path(dir_) / segment_name(index)).string();
+  std::FILE* f = std::fopen(path.c_str(), fresh ? "wb" : "ab");
+  if (f == nullptr) throw std::runtime_error("spool: cannot open " + path);
+  impl_->file = f;
+  impl_->path = path;
+  if (fresh) {
+    current_segment_records_ = 0;
+    std::fwrite(kSpoolMagic, 1, sizeof(kSpoolMagic), f);
+    std::fwrite(&kSpoolVersion, 1, sizeof(kSpoolVersion), f);
+    if (std::ferror(f) != 0) {
+      throw std::runtime_error("spool: header write failed: " + path);
+    }
+    fsync_directory(dir_);
+  }
+}
+
+void SpoolWriter::roll_if_needed() {
+  if (current_segment_records_ < config_.segment_max_records) return;
+  sync();
+  std::fclose(impl_->file);
+  impl_->file = nullptr;
+  open_segment(++segment_index_, /*fresh=*/true);
+}
+
+void SpoolWriter::append(const TraceEvent& event) {
+  if (closed_) throw std::logic_error("SpoolWriter: already closed");
+  frame_buf_.clear();
+  append_event_binary(event, frame_buf_);
+  const auto len = static_cast<std::uint32_t>(frame_buf_.size());
+  const std::uint32_t crc = crc32(frame_buf_.data(), frame_buf_.size());
+  std::FILE* f = impl_->file;
+  std::fwrite(&len, 1, sizeof(len), f);
+  std::fwrite(&crc, 1, sizeof(crc), f);
+  std::fwrite(frame_buf_.data(), 1, frame_buf_.size(), f);
+  if (std::ferror(f) != 0) {
+    throw std::runtime_error("spool: write failed: " + impl_->path);
+  }
+  ++appended_;
+  ++current_segment_records_;
+  ++unsynced_;
+  if (config_.sync_interval_records > 0 &&
+      unsynced_ >= config_.sync_interval_records) {
+    sync();
+  }
+  roll_if_needed();
+}
+
+void SpoolWriter::sync() {
+  if (closed_ || impl_->file == nullptr) return;
+  if (std::fflush(impl_->file) != 0) {
+    throw std::runtime_error("spool: flush failed: " + impl_->path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(::fileno(impl_->file)) != 0) {
+    throw std::runtime_error("spool: fsync failed: " + impl_->path);
+  }
+#endif
+  unsynced_ = 0;
+}
+
+void SpoolWriter::close() {
+  if (closed_) return;
+  sync();
+  closed_ = true;
+  if (impl_->file != nullptr) {
+    std::fclose(impl_->file);
+    impl_->file = nullptr;
+  }
+}
+
+}  // namespace p2pgen::trace

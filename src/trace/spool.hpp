@@ -1,0 +1,141 @@
+// p2pgen — durable trace spool (DESIGN.md §9).
+//
+// An append-only, segmented, CRC32-framed record log: the redo log the
+// crash-recoverable pipeline streams every shard's trace events into.
+// The paper's measurement node ran unattended for 40 days; a faithful
+// long-running reproduction must survive process death mid-run, so every
+// event is framed as
+//
+//   [u32 payload length][u32 CRC32(payload)][payload]
+//
+// inside numbered segment files ("P2PS" magic), and a recovery scan on
+// open validates every frame in order.  A SIGKILL can tear at most the
+// tail of the *last* segment: the scan truncates the torn frame(s) and
+// the writer resumes appending cleanly.  Damage to an interior segment
+// is not a tail — records after it would silently go missing — so it is
+// a hard error, exactly like the strict trace reader.
+//
+// The payload of each frame is the single-record binary encoding of one
+// TraceEvent (trace_io's append_event_binary), so a spool is a durable,
+// per-record-checksummed form of the same stream save_binary writes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace p2pgen::trace {
+
+/// FNV-1a 64-bit, the digest the whole repo uses for byte-identity.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a_update(std::uint64_t hash, const void* data,
+                                  std::size_t n) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// CRC32 (IEEE 802.3, the zlib polynomial) of a buffer.
+std::uint32_t crc32(const void* data, std::size_t n) noexcept;
+
+struct SpoolConfig {
+  /// Records per segment before the writer rolls to a new file.
+  std::uint64_t segment_max_records = 1u << 20;
+  /// fsync the current segment every this many appended records.
+  /// 0: sync only on explicit sync()/close() — fastest, but a crash can
+  /// lose everything since the last sync.
+  std::uint64_t sync_interval_records = 0;
+};
+
+/// What the recovery scan found (and possibly repaired).
+struct SpoolRecoveryReport {
+  std::uint64_t segments_scanned = 0;
+  std::uint64_t records_recovered = 0;  ///< valid frames across all segments
+  std::uint64_t records_truncated = 0;  ///< damaged tail frames dropped (0 or 1)
+  std::uint64_t bytes_truncated = 0;    ///< bytes dropped from the torn tail
+  std::uint64_t first_bad_offset = 0;   ///< offset within bad_segment
+  std::string bad_segment;              ///< path of the torn segment ("" if clean)
+  bool torn = false;
+};
+
+/// Result of scanning a spool directory.
+struct SpoolScan {
+  std::uint64_t records = 0;
+  /// FNV-1a over every valid frame payload, in order — the digest the
+  /// checkpoint layer compares a deterministic replay against.
+  std::uint64_t payload_digest = kFnvOffsetBasis;
+  SpoolRecoveryReport report;
+  std::vector<std::string> segments;        ///< segment paths, in order
+  std::vector<std::uint64_t> segment_records;  ///< valid records per segment
+};
+
+/// Validates every frame of every segment under `dir` (created if
+/// missing).  With `truncate_tail`, a torn tail of the last segment is
+/// physically truncated so the spool is clean for appending.  Throws
+/// TraceIoError if an *interior* segment is damaged.
+SpoolScan scan_spool(const std::string& dir, bool truncate_tail);
+
+/// Reads the spool's valid record prefix back as a Trace.  Never throws
+/// on a torn tail (the report says what was dropped); throws TraceIoError
+/// on interior damage or an undecodable (CRC-valid but malformed) record.
+Trace read_spool(const std::string& dir, SpoolRecoveryReport* report = nullptr);
+
+/// Append handle on a spool directory.  Construction runs the recovery
+/// scan (truncating a torn tail) and positions after the last valid
+/// record; on_event/append then frame, checksum and buffer each record,
+/// and sync() (or the configured interval) makes them durable with
+/// fflush + fsync.  Also usable directly as a TraceSink.
+class SpoolWriter : public TraceSink {
+ public:
+  explicit SpoolWriter(std::string dir, SpoolConfig config = {});
+  ~SpoolWriter() override;
+
+  SpoolWriter(const SpoolWriter&) = delete;
+  SpoolWriter& operator=(const SpoolWriter&) = delete;
+
+  void on_event(const TraceEvent& event) override { append(event); }
+  void append(const TraceEvent& event);
+
+  /// Flushes buffered frames and fsyncs the current segment.
+  void sync();
+
+  /// sync() + close the segment file; further appends throw.
+  void close();
+
+  /// Valid records found on disk when the writer opened.
+  std::uint64_t durable_records() const noexcept { return open_records_; }
+  /// FNV-1a payload digest of those records (see SpoolScan).
+  std::uint64_t open_digest() const noexcept { return open_digest_; }
+  /// durable_records() + records appended through this writer.
+  std::uint64_t records() const noexcept { return open_records_ + appended_; }
+  /// The open-time recovery scan's findings.
+  const SpoolRecoveryReport& recovery() const noexcept { return recovery_; }
+
+ private:
+  void open_segment(std::size_t index, bool fresh);
+  void roll_if_needed();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  SpoolConfig config_;
+  std::string dir_;
+  SpoolRecoveryReport recovery_;
+  std::uint64_t open_records_ = 0;
+  std::uint64_t open_digest_ = kFnvOffsetBasis;
+  std::uint64_t appended_ = 0;
+  std::uint64_t current_segment_records_ = 0;
+  std::uint64_t unsynced_ = 0;
+  std::size_t segment_index_ = 0;
+  std::string frame_buf_;
+  bool closed_ = false;
+};
+
+}  // namespace p2pgen::trace

@@ -34,6 +34,23 @@ void put_string(std::ostream& out, const std::string& s) {
   put_bytes(out, s.data(), s.size());
 }
 
+/// Shared helpers for the read cursors below (stream- and memory-backed).
+/// Both expose get_bytes/get_pod/get_string/offset; read_event is a
+/// template over the cursor so one decoder serves files and spool frames.
+template <typename Source>
+std::string source_get_string(Source& in) {
+  const auto at = in.offset();
+  const auto size = in.template get_pod<std::uint32_t>();
+  if (size > 1u << 20) {
+    throw TraceIoError("trace: oversized string (" + std::to_string(size) +
+                           " bytes) at byte offset " + std::to_string(at),
+                       at);
+  }
+  std::string s(size, '\0');
+  if (size > 0) in.get_bytes(s.data(), size);
+  return s;
+}
+
 /// Read cursor: tracks the absolute byte offset so every failure can name
 /// where in the stream it happened.
 class ByteSource {
@@ -63,18 +80,7 @@ class ByteSource {
     return value;
   }
 
-  std::string get_string() {
-    const auto at = offset_;
-    const auto size = get_pod<std::uint32_t>();
-    if (size > 1u << 20) {
-      throw TraceIoError("trace: oversized string (" + std::to_string(size) +
-                             " bytes) at byte offset " + std::to_string(at),
-                         at);
-    }
-    std::string s(size, '\0');
-    if (size > 0) get_bytes(s.data(), size);
-    return s;
-  }
+  std::string get_string() { return source_get_string(*this); }
 
   /// Reads the next record-kind byte; returns false on a clean EOF (no
   /// bytes available at a record boundary).
@@ -85,8 +91,61 @@ class ByteSource {
     return true;
   }
 
+  /// Consumes the rest of the stream, returning how many bytes it held.
+  /// Used by the lenient reader to size the truncated tail.
+  std::uint64_t drain_remaining() {
+    in_.clear();
+    char buf[4096];
+    std::uint64_t n = 0;
+    while (in_.read(buf, sizeof(buf)) || in_.gcount() > 0) {
+      n += static_cast<std::uint64_t>(in_.gcount());
+      if (in_.gcount() == 0) break;
+    }
+    return n;
+  }
+
  private:
   std::istream& in_;
+  std::uint64_t offset_ = 0;
+};
+
+/// Memory-backed cursor over one spool frame payload.
+class MemSource {
+ public:
+  MemSource(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint64_t offset() const noexcept { return offset_; }
+  std::size_t remaining() const noexcept {
+    return size_ - static_cast<std::size_t>(offset_);
+  }
+
+  void get_bytes(void* out, std::size_t n) {
+    if (remaining() < n) {
+      offset_ = size_;
+      throw TraceIoError("trace: truncated record (needed " +
+                             std::to_string(n - remaining()) +
+                             " more byte(s)) at byte offset " +
+                             std::to_string(offset_),
+                         offset_);
+    }
+    std::memcpy(out, data_ + offset_, n);
+    offset_ += n;
+  }
+
+  template <typename T>
+  T get_pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T value{};
+    get_bytes(&value, sizeof(value));
+    return value;
+  }
+
+  std::string get_string() { return source_get_string(*this); }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::uint64_t offset_ = 0;
 };
 
@@ -119,37 +178,38 @@ void write_event(std::ostream& out, const TraceEvent& event) {
   }
 }
 
-TraceEvent read_event(ByteSource& in, RecordKind kind, std::uint32_t version,
+template <typename Source>
+TraceEvent read_event(Source& in, RecordKind kind, std::uint32_t version,
                       std::uint64_t record_offset) {
   switch (kind) {
     case RecordKind::kSessionStart: {
       SessionStart s;
-      s.time = in.get_pod<double>();
-      s.session_id = in.get_pod<std::uint64_t>();
-      s.ip = in.get_pod<std::uint32_t>();
-      s.ultrapeer = in.get_pod<std::uint8_t>() != 0;
+      s.time = in.template get_pod<double>();
+      s.session_id = in.template get_pod<std::uint64_t>();
+      s.ip = in.template get_pod<std::uint32_t>();
+      s.ultrapeer = in.template get_pod<std::uint8_t>() != 0;
       s.user_agent = in.get_string();
       return s;
     }
     case RecordKind::kMessage: {
       MessageEvent m;
-      m.time = in.get_pod<double>();
-      m.session_id = in.get_pod<std::uint64_t>();
-      m.type = static_cast<gnutella::MessageType>(in.get_pod<std::uint8_t>());
-      m.ttl = in.get_pod<std::uint8_t>();
-      m.hops = in.get_pod<std::uint8_t>();
-      if (version >= 2) m.guid_hash = in.get_pod<std::uint64_t>();
+      m.time = in.template get_pod<double>();
+      m.session_id = in.template get_pod<std::uint64_t>();
+      m.type = static_cast<gnutella::MessageType>(in.template get_pod<std::uint8_t>());
+      m.ttl = in.template get_pod<std::uint8_t>();
+      m.hops = in.template get_pod<std::uint8_t>();
+      if (version >= 2) m.guid_hash = in.template get_pod<std::uint64_t>();
       m.query = in.get_string();
-      m.sha1 = in.get_pod<std::uint8_t>() != 0;
-      m.source_ip = in.get_pod<std::uint32_t>();
-      m.shared_files = in.get_pod<std::uint32_t>();
+      m.sha1 = in.template get_pod<std::uint8_t>() != 0;
+      m.source_ip = in.template get_pod<std::uint32_t>();
+      m.shared_files = in.template get_pod<std::uint32_t>();
       return m;
     }
     case RecordKind::kSessionEnd: {
       SessionEnd e;
-      e.time = in.get_pod<double>();
-      e.session_id = in.get_pod<std::uint64_t>();
-      e.reason = static_cast<EndReason>(in.get_pod<std::uint8_t>());
+      e.time = in.template get_pod<double>();
+      e.session_id = in.template get_pod<std::uint64_t>();
+      e.reason = static_cast<EndReason>(in.template get_pod<std::uint8_t>());
       return e;
     }
   }
@@ -199,6 +259,83 @@ Trace read_binary(std::istream& in) {
                             version, record_offset));
   }
   return trace;
+}
+
+Trace read_trace_lenient(std::istream& in, TraceRecoveryReport* report) {
+  ByteSource source(in);
+  const std::uint32_t version = read_header(source);  // header damage: throws
+  Trace trace;
+  TraceRecoveryReport local;
+  while (true) {
+    const std::uint64_t record_offset = source.offset();
+    std::uint8_t kind_byte = 0;
+    try {
+      if (!source.get_record_kind(kind_byte)) break;  // clean EOF
+      trace.append(read_event(source, static_cast<RecordKind>(kind_byte),
+                              version, record_offset));
+    } catch (const TraceIoError& e) {
+      // Torn or corrupt record: keep the prefix, size the dropped tail.
+      local.truncated = true;
+      local.first_bad_offset = record_offset;
+      local.error = e.what();
+      const std::uint64_t total = source.offset() + source.drain_remaining();
+      local.bytes_truncated = total - record_offset;
+      break;
+    }
+  }
+  local.records_kept = trace.size();
+  if (report != nullptr) *report = local;
+  return trace;
+}
+
+Trace load_trace_lenient(const std::string& path, TraceRecoveryReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_trace_lenient(in, report);
+}
+
+namespace {
+
+/// Streambuf that appends everything written to a std::string.
+class StringAppendBuf : public std::streambuf {
+ public:
+  explicit StringAppendBuf(std::string& out) : out_(out) {}
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (ch != traits_type::eof()) out_.push_back(static_cast<char>(ch));
+    return ch;
+  }
+  std::streamsize xsputn(const char* data, std::streamsize n) override {
+    out_.append(data, static_cast<std::size_t>(n));
+    return n;
+  }
+
+ private:
+  std::string& out_;
+};
+
+}  // namespace
+
+void append_event_binary(const TraceEvent& event, std::string& out) {
+  StringAppendBuf buf(out);
+  std::ostream os(&buf);
+  write_event(os, event);
+}
+
+TraceEvent decode_event_binary(const std::uint8_t* data, std::size_t size) {
+  MemSource source(data, size);
+  std::uint8_t kind_byte = 0;
+  source.get_bytes(&kind_byte, 1);
+  TraceEvent event =
+      read_event(source, static_cast<RecordKind>(kind_byte), kVersion, 0);
+  if (source.remaining() != 0) {
+    throw TraceIoError("trace: record carries " +
+                           std::to_string(source.remaining()) +
+                           " trailing byte(s)",
+                       source.offset());
+  }
+  return event;
 }
 
 void save_binary(const Trace& trace, const std::string& path) {

@@ -42,6 +42,39 @@ void write_binary(const Trace& trace, std::ostream& out);
 /// clean EOF.
 Trace read_binary(std::istream& in);
 
+/// What a lenient read salvaged from a damaged stream.
+struct TraceRecoveryReport {
+  std::uint64_t records_kept = 0;      ///< events in the returned prefix
+  std::uint64_t bytes_truncated = 0;   ///< bytes dropped from first_bad_offset on
+  std::uint64_t first_bad_offset = 0;  ///< offset of the first damaged record
+  bool truncated = false;              ///< false: the whole stream was valid
+  std::string error;                   ///< the strict reader's message (if truncated)
+};
+
+/// Reads as much of a binary trace as is intact: the valid record prefix
+/// is returned and the torn/corrupt tail is described in `report` instead
+/// of thrown.  A damaged *header* is still a hard TraceIoError — a stream
+/// that does not even start as a trace has no salvageable prefix.  For a
+/// fully valid stream the result is identical to read_binary() and
+/// report->truncated is false.
+Trace read_trace_lenient(std::istream& in,
+                         TraceRecoveryReport* report = nullptr);
+
+/// File-path convenience for read_trace_lenient.
+Trace load_trace_lenient(const std::string& path,
+                         TraceRecoveryReport* report = nullptr);
+
+/// Appends the binary encoding of one event — exactly the record the
+/// stream format uses, without the file header — to `out`.  The
+/// building block of the durable spool (trace/spool.hpp), which frames
+/// and checksums each record individually.
+void append_event_binary(const TraceEvent& event, std::string& out);
+
+/// Decodes one record produced by append_event_binary.  Throws
+/// TraceIoError on malformed input or if the buffer holds trailing bytes
+/// beyond the one record.
+TraceEvent decode_event_binary(const std::uint8_t* data, std::size_t size);
+
 /// File-path conveniences.
 void save_binary(const Trace& trace, const std::string& path);
 Trace load_binary(const std::string& path);

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "analysis/filters.hpp"
 #include "analysis/parallel.hpp"
+#include "behavior/checkpoint.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "obs/span.hpp"
 #include "trace/trace_io.hpp"
@@ -309,6 +311,67 @@ TEST(ObsContract, FilterCountersMatchReportForAnyThreadCount) {
   ASSERT_EQ(counters.size(), 2u);
   EXPECT_EQ(counters[0], counters[1]);
   EXPECT_GT(first_report.initial_queries, 0u);
+}
+
+TEST(ObsContract, RecoveryCountersPinTheDurabilityLayer) {
+  auto& registry = obs::Registry::global();
+  registry.set_enabled(true);
+  const auto model = core::WorkloadModel::paper_default();
+  // Replenish on with a high crash rate so the self-healing counters
+  // actually move in the tiny window.
+  auto config = tiny_fault_config();
+  config.faults.crash_rate = 1.0 / 120.0;
+  config.node.replenish = true;
+  config.node.replenish_target = 20;
+  config.node.replenish_backoff_base = 0.5;
+
+  const std::string dir =
+      ::testing::TempDir() + "/p2pgen_obs_recovery_ckpt";
+  std::filesystem::remove_all(dir);
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+
+  // Fresh durable run: spools are written but nothing is recovered.
+  registry.reset();
+  behavior::RecoverySummary fresh;
+  const trace::Trace first =
+      behavior::simulate_trace_durable(model, config, 2, 2, durability, &fresh);
+  auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("recovery.spool.records_recovered"), 0u);
+  EXPECT_EQ(snapshot.counter_value("recovery.events_replayed"), 0u);
+  EXPECT_EQ(snapshot.counter_value("recovery.checkpoints_written"),
+            fresh.checkpoints_written);
+  EXPECT_EQ(snapshot.counter_value("recovery.checkpoints_loaded"), 0u);
+  // The replenish histogram is published per EndReason; crashes at this
+  // rate guarantee deaths below target, so the total must be positive
+  // and must equal the scheduled+spawned plumbing's source counts.
+  const std::uint64_t replenish_total =
+      snapshot.counter_value("recovery.replenish.bye") +
+      snapshot.counter_value("recovery.replenish.idle_probe") +
+      snapshot.counter_value("recovery.replenish.teardown") +
+      snapshot.counter_value("recovery.replenish.error");
+  EXPECT_GT(replenish_total, 0u);
+  EXPECT_GT(snapshot.counter_value("recovery.replenish.scheduled"), 0u);
+  EXPECT_GT(snapshot.counter_value("recovery.replenish.spawns"), 0u);
+
+  // Resumed run: both shards load complete from their spools, and the
+  // recovered-record counter accounts for every merged event.
+  registry.reset();
+  durability.resume = true;
+  behavior::RecoverySummary resumed;
+  const trace::Trace second = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, &resumed);
+  EXPECT_EQ(serialize(second), serialize(first));
+  snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("recovery.spool.records_recovered"),
+            first.size());
+  EXPECT_EQ(snapshot.counter_value("recovery.checkpoints_loaded"), 2u);
+  EXPECT_EQ(snapshot.counter_value("recovery.shards_completed_prior"), 2u);
+  EXPECT_EQ(snapshot.counter_value("recovery.spool.records_truncated"), 0u);
+  EXPECT_GT(snapshot.counter_value("recovery.spool.segments_scanned"), 0u);
+  EXPECT_EQ(snapshot.counter_value("recovery.spool.segments_scanned"),
+            resumed.segments_scanned);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ObsContract, DisablingTheGlobalRegistryDoesNotChangeResults) {
