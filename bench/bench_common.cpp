@@ -95,9 +95,15 @@ behavior::TraceSimulationConfig bench_simulation_config(
 std::string bench_shard_cache_path(const BenchScale& scale, unsigned shard) {
   const behavior::TraceSimulationConfig config = bench_simulation_config(scale);
   std::ostringstream os;
+  // The cache key embeds simulation_config_digest, which covers EVERY
+  // trace-shaping field — client mix, replenish and degradation knobs,
+  // scenario schedules included — not just the fault block.  A bench run
+  // under any config variation can therefore never pick up a stale shard
+  // cached under a different one (the bug class PR 2 fixed for faults and
+  // shard counts, closed for all remaining fields).
   os << "p2pgen_bench_shard_" << scale.days << "d_" << scale.arrival_rate
-     << "r_w" << config.warmup_days << "_" << scale.seed << "_f" << std::hex
-     << sim::fault_config_digest(config.faults) << std::dec << "_s" << shard
+     << "r_w" << config.warmup_days << "_" << scale.seed << "_c" << std::hex
+     << behavior::simulation_config_digest(config) << std::dec << "_s" << shard
      << "of" << scale.shards << ".bin";
   return os.str();
 }

@@ -12,7 +12,12 @@
 //   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards]
 //       [threads] [--metrics=<path>] [--trace-json=<path>]
 //       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
-//       [--resume]
+//       [--resume] [--scenario=<name-or-json-file>] [--list-scenarios]
+//
+// --scenario=<arg> applies a chaos scenario (src/scenario/) on top of the
+// base configuration: <arg> is either the name of a curated scenario
+// (--list-scenarios prints them) or the path of a scenario JSON file.
+// The scenario's config digest is printed next to the trace digest.
 //
 // --metrics=<path> writes the unified PipelineReport as JSON (plus the
 // Prometheus text exposition to <path>.prom); --trace-json=<path> enables
@@ -52,9 +57,12 @@
 #include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
 #include "behavior/checkpoint.hpp"
+#include "behavior/client_profile.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "scenario/curated.hpp"
+#include "scenario/spec.hpp"
 #include "trace/trace_io.hpp"
 
 int main(int argc, char** argv) {
@@ -62,6 +70,7 @@ int main(int argc, char** argv) {
 
   std::string metrics_path;
   std::string trace_json_path;
+  std::string scenario_arg;
   behavior::DurabilityConfig durability;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +85,21 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(argv[i] + 22));
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       durability.resume = true;
+    } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      scenario_arg = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
+      std::cout << "curated scenarios (--scenario=<name>):\n";
+      for (const auto& spec :
+           scenario::curated_scenarios(/*duration_days=*/1.0)) {
+        std::cout << "  " << std::left << std::setw(24) << spec.name
+                  << spec.description << "\n";
+      }
+      std::cout << "client mixes (scenario \"client_mix\" field):";
+      for (const auto& mix : behavior::ClientPopulation::known_mixes()) {
+        std::cout << " " << mix;
+      }
+      std::cout << "\n";
+      return 0;
     } else {
       args.push_back(argv[i]);
     }
@@ -118,12 +142,36 @@ int main(int argc, char** argv) {
     config.node.forward_retry_max = 3;
   }
 
+  // A scenario applies ON TOP of the base (and fault-preset) config:
+  // curated name first, JSON file otherwise.
+  std::string scenario_name;
+  std::uint64_t scenario_digest_value = 0;
+  if (!scenario_arg.empty()) {
+    try {
+      auto spec = scenario::find_curated(scenario_arg, config.duration_days);
+      if (!spec) spec = scenario::ScenarioSpec::from_json_file(scenario_arg);
+      config = spec->apply(config);
+      scenario_name = spec->name;
+      scenario_digest_value = behavior::simulation_config_digest(config);
+    } catch (const std::exception& e) {
+      std::cerr << "measurement_pipeline: --scenario: " << e.what() << "\n"
+                << "(--list-scenarios prints the curated names)\n";
+      return 1;
+    }
+  }
+
   std::cout << "== 1. simulating " << config.duration_days
             << " day(s) of measurement"
             << (shards > 1 ? " x " + std::to_string(shards) + " shards on " +
                                  std::to_string(threads) + " thread(s)"
                            : std::string())
             << (faults_on ? " on a hostile overlay" : "") << " ==\n";
+  if (!scenario_name.empty()) {
+    std::cout << "  scenario:            " << scenario_name << "\n"
+              << "  scenario digest:     " << std::hex << std::setfill('0')
+              << std::setw(16) << scenario_digest_value << std::dec
+              << std::setfill(' ') << "\n";
+  }
   trace::Trace trace;
   std::vector<behavior::ShardStats> shard_stats;
   // The single-vantage-point path keeps the full per-node robustness
@@ -197,6 +245,9 @@ int main(int argc, char** argv) {
     robustness.forward_retries = simulation->node().forward_retries();
     robustness.forward_retries_exhausted =
         simulation->node().forward_retries_exhausted();
+    robustness.shed_connections = simulation->node().shed_connections();
+    robustness.shed_queries = simulation->node().shed_queries();
+    robustness.outage_crashes = simulation->outage_crashes();
   } else {
     for (const auto& s : shard_stats) {
       robustness.injected.messages_lost += s.faults.messages_lost;
@@ -206,6 +257,9 @@ int main(int argc, char** argv) {
       robustness.injected.node_crashes += s.faults.node_crashes;
       robustness.injected.half_open_links += s.faults.half_open_links;
       robustness.injected.sends_into_dead_link += s.faults.sends_into_dead_link;
+      robustness.shed_connections += s.shed_connections;
+      robustness.shed_queries += s.shed_queries;
+      robustness.outage_crashes += s.outage_crashes;
     }
     // ShardStats only carries fault counters; the transport and node
     // totals of the merged run come from the metrics registry, where

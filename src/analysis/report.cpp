@@ -260,6 +260,9 @@ void print_robustness_report(std::ostream& out,
   row("clean bytes before error:", report.clean_bytes_before_error);
   row("forward retries:", report.forward_retries);
   row("forward retries exhausted:", report.forward_retries_exhausted);
+  row("shed connections (admission):", report.shed_connections);
+  row("shed queries (overload):", report.shed_queries);
+  row("regional outage crashes:", report.outage_crashes);
   row("session ends: BYE:", report.bye_ends);
   row("session ends: teardown:", report.teardown_ends);
   row("session ends: idle probe:", report.probe_ends);
@@ -295,6 +298,9 @@ void PipelineReport::write_json(std::ostream& out) const {
   field("clean_bytes_before_error", robustness.clean_bytes_before_error);
   field("forward_retries", robustness.forward_retries);
   field("forward_retries_exhausted", robustness.forward_retries_exhausted);
+  field("shed_connections", robustness.shed_connections);
+  field("shed_queries", robustness.shed_queries);
+  field("outage_crashes", robustness.outage_crashes);
   field("bye_ends", robustness.bye_ends);
   field("teardown_ends", robustness.teardown_ends);
   field("probe_ends", robustness.probe_ends);

@@ -59,6 +59,11 @@ struct RobustnessReport {
   std::uint64_t forward_retries = 0;          ///< backoff retries scheduled
   std::uint64_t forward_retries_exhausted = 0;
 
+  // Scenario-layer rows (zero outside the chaos layer).
+  std::uint64_t shed_connections = 0;  ///< admission-cap 503 refusals
+  std::uint64_t shed_queries = 0;      ///< queries dropped under overload
+  std::uint64_t outage_crashes = 0;    ///< peers killed by regional outages
+
   // Session-end-reason mix observed in the trace.
   std::uint64_t bye_ends = 0;
   std::uint64_t teardown_ends = 0;

@@ -192,38 +192,10 @@ std::uint64_t run_identity_digest(const core::WorkloadModel& model,
   core::save_model(model, model_text);
   std::uint64_t d = trace::kFnvOffsetBasis;
   d = hash_string(d, model_text.str());
-
-  d = hash_pod(d, config.duration_days);
-  d = hash_pod(d, config.warmup_days);
-  d = hash_pod(d, config.arrival_rate);
-  d = hash_pod(d, config.diurnal_amplitude);
-  d = hash_pod(d, config.seed);
-  for (const double c : config.region_flow_correction) d = hash_pod(d, c);
-
-  const MeasurementNode::Config& node = config.node;
-  d = hash_pod(d, static_cast<std::uint64_t>(node.max_connections));
-  d = hash_pod(d, node.idle_threshold);
-  d = hash_pod(d, node.probe_timeout);
-  d = hash_string(d, node.user_agent);
-  d = hash_pod(d, node.ip);
-  d = hash_pod(d, node.shared_files);
-  d = hash_pod(d, node.forward_fanout);
-  d = hash_pod(d, node.forward_retry_max);
-  d = hash_pod(d, node.forward_retry_base);
-  d = hash_pod(d, static_cast<std::uint8_t>(node.replenish ? 1 : 0));
-  d = hash_pod(d, static_cast<std::uint64_t>(node.replenish_target));
-  d = hash_pod(d, node.replenish_backoff_base);
-  d = hash_pod(d, node.replenish_backoff_max);
-
-  d = hash_pod(d, config.background.query_rate);
-  d = hash_pod(d, config.background.ping_rate);
-  d = hash_pod(d, config.background.pong_rate);
-  d = hash_pod(d, config.background.queryhit_rate);
-
-  d = hash_pod(d, config.network.latency_seconds);
-  d = hash_pod(d, static_cast<std::uint8_t>(config.network.count_wire_bytes));
-
-  d = hash_pod(d, sim::fault_config_digest(config.faults));
+  // One shared digest covers every config field that shapes the trace —
+  // scenario schedules, degradation knobs and client mix included — so
+  // the durable-run identity can never drift out of sync with the config.
+  d = hash_pod(d, simulation_config_digest(config));
   d = hash_pod(d, n_shards);
   return d;
 }

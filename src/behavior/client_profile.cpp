@@ -158,6 +158,78 @@ ClientPopulation ClientPopulation::default_population() {
   return ClientPopulation(std::move(profiles));
 }
 
+ClientPopulation ClientPopulation::named(const std::string& name) {
+  if (name == "default") return default_population();
+
+  if (name == "clean") {
+    // Only the artifact-free servent: every query in the trace is a real
+    // user query (the Table-2 ablation expressed as a population).
+    ClientProfile p;
+    p.user_agent = "mutella-0.4.3";
+    p.ultrapeer_prob = 0.40;
+    p.quick_disconnect_prob = 0.60;
+    p.bye_prob = 0.30;
+    p.teardown_prob = 0.35;
+    return ClientPopulation({std::move(p)});
+  }
+
+  if (name == "spammer") {
+    // The default servent mix with a quarter of arrivals replaced by a
+    // spambot: machine-rate SHA1 re-queries, tight automatic re-sends and
+    // large pre-connect replay storms.  Stresses duplicate suppression,
+    // the filter rules and (when enabled) query shedding.
+    auto profiles = default_population().profiles();
+    ClientProfile bot;
+    bot.user_agent = "QueryBot/0.1";
+    bot.weight = 0.33;  // ~25 % of the resulting population
+    bot.ultrapeer_prob = 0.05;
+    bot.quick_disconnect_prob = 0.30;
+    bot.bye_prob = 0.0;
+    bot.teardown_prob = 0.10;  // mostly goes silent: idle-probe load
+    bot.sha1_requery_rate = 0.20;
+    bot.auto_requery_interval = 4.0;
+    bot.auto_requery_jitter = 0.0;
+    bot.auto_requery_max = 2000;
+    bot.preconnect_replay_prob = 0.90;
+    bot.preconnect_replay_queries = 8;
+    bot.preconnect_replay_gap = 0.2;
+    bot.preconnect_replay_cycles = 4;
+    profiles.push_back(std::move(bot));
+    return ClientPopulation(std::move(profiles));
+  }
+
+  if (name == "free_rider") {
+    // Half the arrivals are leeches: they share nothing (Figure 2's
+    // zero-files spike taken to the extreme), never answer, and churn
+    // fast — overlay load with no contributed value.
+    auto profiles = default_population().profiles();
+    ClientProfile leech;
+    leech.user_agent = "LimeWire/3.8.10";  // indistinguishable by UA
+    leech.weight = 1.0;  // ~50 % of the resulting population
+    leech.ultrapeer_prob = 0.02;
+    leech.quick_disconnect_prob = 0.85;
+    leech.bye_prob = 0.02;
+    leech.teardown_prob = 0.15;
+    leech.sha1_requery_rate = 0.02;
+    leech.auto_requery_interval = 30.0;
+    leech.auto_requery_jitter = 0.2;
+    leech.auto_requery_max = 100;
+    leech.shared_files = stats::make_uniform(0.0, 0.999);  // zero files
+    profiles.push_back(std::move(leech));
+    return ClientPopulation(std::move(profiles));
+  }
+
+  throw std::invalid_argument("ClientPopulation: unknown client mix \"" +
+                              name + "\" (known: default, clean, spammer, "
+                              "free_rider)");
+}
+
+const std::vector<std::string>& ClientPopulation::known_mixes() {
+  static const std::vector<std::string> mixes = {"default", "clean", "spammer",
+                                                 "free_rider"};
+  return mixes;
+}
+
 double sample_quick_disconnect_duration(stats::Rng& rng) {
   const double u = rng.uniform();
   if (u < 0.414) return rng.uniform(1.0, 10.0);   // 29 % of all connections

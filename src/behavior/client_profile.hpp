@@ -99,6 +99,20 @@ class ClientPopulation {
   /// 4+5 ≈ 5 % of hop-1 queries).
   static ClientPopulation default_population();
 
+  /// Adversarial / ablation mixes for the scenario layer:
+  ///   "default"    — default_population();
+  ///   "clean"      — well-behaved clients only, no software artifacts
+  ///                  (the no-artifacts ablation as a population);
+  ///   "spammer"    — the default mix diluted by an aggressive spambot
+  ///                  client: machine-rate re-queries and replay storms;
+  ///   "free_rider" — the default mix dominated by zero-share leeches
+  ///                  that query but never contribute content.
+  /// Throws std::invalid_argument for an unknown name.
+  static ClientPopulation named(const std::string& name);
+
+  /// The valid `named()` mixes, for validation and --help output.
+  static const std::vector<std::string>& known_mixes();
+
  private:
   std::vector<ClientProfile> profiles_;
   std::vector<double> cumulative_;

@@ -6,6 +6,8 @@
 #include <utility>
 #include <variant>
 
+#include "util/backoff.hpp"
+
 namespace p2pgen::behavior {
 
 namespace {
@@ -50,17 +52,22 @@ void MeasurementNode::on_handshake(sim::ConnId conn,
   if (it == pending_.end()) return;
 
   if (handshake.is_connect_request) {
-    // Step 2: accept or refuse based on capacity.
+    // Step 2: accept or refuse based on capacity and admission control.
     it->second.user_agent = handshake.user_agent();
     it->second.ultrapeer = handshake.is_ultrapeer();
     if (sessions_.size() + accepted_pending_ >= config_.max_connections) {
       ++rejected_;
-      gnutella::Handshake refusal =
-          gnutella::Handshake::ok_response(config_.user_agent, true);
-      refusal.status_code = 503;
-      refusal.status_phrase = "Busy";
-      network_.send_handshake(conn, id_, refusal);
-      network_.close(conn);
+      refuse_connection(conn);
+      pending_.erase(it);
+      return;
+    }
+    // Bounded admission: a flash crowd can pile up more half-done
+    // handshakes than the node can absorb; beyond the cap new requests
+    // are shed with the same 503 a capacity refusal gets.
+    if (config_.max_pending_handshakes > 0 &&
+        accepted_pending_ >= config_.max_pending_handshakes) {
+      ++shed_connections_;
+      refuse_connection(conn);
       pending_.erase(it);
       return;
     }
@@ -77,6 +84,34 @@ void MeasurementNode::on_handshake(sim::ConnId conn,
   pending_.erase(it);
   --accepted_pending_;
   establish(conn, std::move(pending));
+}
+
+void MeasurementNode::refuse_connection(sim::ConnId conn) {
+  gnutella::Handshake refusal =
+      gnutella::Handshake::ok_response(config_.user_agent, true);
+  refusal.status_code = 503;
+  refusal.status_phrase = "Busy";
+  network_.send_handshake(conn, id_, refusal);
+  network_.close(conn);
+}
+
+bool MeasurementNode::admit_query(double now) {
+  const double burst = config_.query_shed_burst > 0.0
+                           ? config_.query_shed_burst
+                           : config_.query_shed_rate;
+  if (!shed_primed_) {
+    // The bucket starts full at the first query, so a freshly started
+    // node admits a burst before the rate limit bites.
+    shed_tokens_ = burst;
+    shed_refill_at_ = now;
+    shed_primed_ = true;
+  }
+  shed_tokens_ = std::min(
+      burst, shed_tokens_ + (now - shed_refill_at_) * config_.query_shed_rate);
+  shed_refill_at_ = now;
+  if (shed_tokens_ < 1.0) return false;
+  shed_tokens_ -= 1.0;
+  return true;
 }
 
 void MeasurementNode::establish(sim::ConnId conn, PendingConn pending) {
@@ -192,9 +227,8 @@ void MeasurementNode::note_session_end(trace::EndReason reason) {
   ++replenish_by_reason_[static_cast<std::size_t>(reason)];
   if (replenish_event_ != 0) return;
   const double delay =
-      std::min(config_.replenish_backoff_base *
-                   static_cast<double>(1ULL << std::min(replenish_attempt_, 30)),
-               config_.replenish_backoff_max);
+      util::backoff_delay(config_.replenish_backoff_base,
+                          config_.replenish_backoff_max, replenish_attempt_);
   ++replenish_scheduled_;
   replenish_event_ = network_.simulator().schedule_after(
       delay, [this] { replenish_fire(); });
@@ -213,9 +247,8 @@ void MeasurementNode::replenish_fire() {
   // until the population recovers.
   ++replenish_attempt_;
   const double delay =
-      std::min(config_.replenish_backoff_base *
-                   static_cast<double>(1ULL << std::min(replenish_attempt_, 30)),
-               config_.replenish_backoff_max);
+      util::backoff_delay(config_.replenish_backoff_base,
+                          config_.replenish_backoff_max, replenish_attempt_);
   ++replenish_scheduled_;
   replenish_event_ = network_.simulator().schedule_after(
       delay, [this] { replenish_fire(); });
@@ -225,11 +258,22 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
                                      const gnutella::Message& message) {
   note_activity(session);
 
+  const double now = network_.simulator().now();
+
+  // Load shedding: under overload the node drops excess queries before
+  // spending any work on them — no trace record, no routing-table entry,
+  // no forwarding.  (The bytes were still received, so the activity
+  // timestamp above stands: a shedding node is busy, not silent.)
+  if (message.type() == gnutella::MessageType::kQuery &&
+      config_.query_shed_rate > 0.0 && !admit_query(now)) {
+    ++shed_queries_;
+    return;
+  }
+
   // The trace records everything the client receives, duplicates included
   // (duplicate suppression affects forwarding, not logging).
   record_message(session.session_id, message);
 
-  const double now = network_.simulator().now();
   const bool first_seen = routing_.note_seen(message.guid, conn, now);
   if (!first_seen) ++duplicates_;
 
@@ -317,7 +361,8 @@ void MeasurementNode::forward_attempt(
     return;
   }
   ++forward_retries_;
-  const double delay = config_.forward_retry_base * static_cast<double>(1 << attempt);
+  const double delay = util::backoff_delay(
+      config_.forward_retry_base, config_.forward_retry_max_delay, attempt);
   network_.simulator().schedule_after(
       delay, [this, from, message, used, attempt] {
         if (used->size() >= static_cast<std::size_t>(config_.forward_fanout)) {

@@ -51,6 +51,10 @@ class MeasurementNode final : public sim::Node {
     int forward_retry_max = 0;
     /// First retry delay, seconds; doubles on each further attempt.
     double forward_retry_base = 2.0;
+    /// Cap on the forward-retry backoff delay, seconds; <= 0 keeps the
+    /// delay uncapped (the pre-unification behavior, byte-identical).
+    /// All node backoff paths share util::backoff_delay.
+    double forward_retry_max_delay = 0.0;
 
     // Neighbor-churn self-healing --------------------------------------
     //
@@ -68,6 +72,28 @@ class MeasurementNode final : public sim::Node {
     /// while the node stays below target, capped at replenish_backoff_max.
     double replenish_backoff_base = 1.0;
     double replenish_backoff_max = 64.0;
+
+    // Graceful degradation under overload (scenario layer) -------------
+    //
+    // A real ultrapeer in a flash crowd does not fall over: it bounds
+    // admission work and sheds excess query load before the load sheds
+    // it.  Both knobs are off by default, and a disabled run is
+    // byte-identical to the pre-degradation behavior.
+
+    /// Cap on handshakes accepted but not yet established.  A connect
+    /// request beyond the cap is refused 503 like a capacity refusal and
+    /// counted in shed_connections.  0: unbounded (off).
+    std::size_t max_pending_handshakes = 0;
+
+    /// Token-bucket admission rate for received queries, queries/second.
+    /// Queries beyond the budget are shed: not recorded, not routed, not
+    /// forwarded (the overloaded client drops the descriptor before
+    /// spending any work on it), counted in shed_queries.  0: off.
+    double query_shed_rate = 0.0;
+
+    /// Token-bucket burst capacity, queries.  0 means one second's worth
+    /// of tokens (query_shed_rate).
+    double query_shed_burst = 0.0;
   };
 
   /// Brings up one replacement neighbor (installed by the simulation
@@ -122,6 +148,15 @@ class MeasurementNode final : public sim::Node {
   std::uint64_t forward_retries_exhausted() const noexcept {
     return forward_retries_exhausted_;
   }
+
+  // Graceful-degradation counters (per shed reason) ----------------------
+
+  /// Connect requests refused because the pending-handshake cap was hit
+  /// (admission control; capacity refusals stay in rejected_connections).
+  std::uint64_t shed_connections() const noexcept { return shed_connections_; }
+
+  /// Queries dropped by the overload token bucket.
+  std::uint64_t shed_queries() const noexcept { return shed_queries_; }
 
   /// Descriptors recorded to the sink (every received message, duplicates
   /// included — mirrors what the trace itself contains).
@@ -189,6 +224,10 @@ class MeasurementNode final : public sim::Node {
 
   void establish(sim::ConnId conn, PendingConn pending);
   void note_session_end(trace::EndReason reason);
+  /// Refuses a connect request with 503 Busy (capacity or admission cap).
+  void refuse_connection(sim::ConnId conn);
+  /// Takes one token from the query admission bucket; false = shed.
+  bool admit_query(double now);
   std::size_t replenish_target() const noexcept {
     return config_.replenish_target != 0 ? config_.replenish_target
                                          : config_.max_connections;
@@ -227,6 +266,12 @@ class MeasurementNode final : public sim::Node {
   std::uint64_t probe_closed_sessions_ = 0;
   std::uint64_t forward_retries_ = 0;
   std::uint64_t forward_retries_exhausted_ = 0;
+  std::uint64_t shed_connections_ = 0;
+  std::uint64_t shed_queries_ = 0;
+  // Query admission token bucket (lazy refill from sim time).
+  double shed_tokens_ = 0.0;
+  double shed_refill_at_ = 0.0;
+  bool shed_primed_ = false;
   std::uint64_t messages_recorded_ = 0;
   std::array<std::uint64_t, 4> session_ends_{};
 

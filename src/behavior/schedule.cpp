@@ -1,0 +1,108 @@
+#include "behavior/schedule.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace p2pgen::behavior {
+
+namespace {
+
+void require(bool ok, const std::string& message) {
+  if (!ok) throw std::invalid_argument("scenario schedule: " + message);
+}
+
+bool finite(double v) noexcept { return std::isfinite(v); }
+
+}  // namespace
+
+double ArrivalSchedule::multiplier_at(double t_days) const noexcept {
+  if (t_days <= points.front().at_days) return points.front().multiplier;
+  if (t_days >= points.back().at_days) return points.back().multiplier;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (t_days <= points[i].at_days) {
+      const ArrivalPoint& a = points[i - 1];
+      const ArrivalPoint& b = points[i];
+      const double f = (t_days - a.at_days) / (b.at_days - a.at_days);
+      return a.multiplier + f * (b.multiplier - a.multiplier);
+    }
+  }
+  return points.back().multiplier;
+}
+
+void validate(const ArrivalSchedule& schedule) {
+  for (std::size_t i = 0; i < schedule.points.size(); ++i) {
+    const ArrivalPoint& p = schedule.points[i];
+    require(finite(p.at_days) && p.at_days >= 0.0,
+            "arrival point " + std::to_string(i) + ": at_days must be >= 0");
+    require(finite(p.multiplier) && p.multiplier >= 0.0,
+            "arrival point " + std::to_string(i) +
+                ": multiplier must be >= 0");
+    if (i > 0) {
+      require(schedule.points[i - 1].at_days < p.at_days,
+              "arrival points must be strictly increasing in time (point " +
+                  std::to_string(i) + ")");
+    }
+  }
+}
+
+void validate(const FaultSchedule& schedule) {
+  for (std::size_t i = 0; i < schedule.phases.size(); ++i) {
+    const FaultPhase& phase = schedule.phases[i];
+    require(finite(phase.at_days) && phase.at_days >= 0.0,
+            "fault phase " + std::to_string(i) + ": at_days must be >= 0");
+    if (i > 0) {
+      require(schedule.phases[i - 1].at_days < phase.at_days,
+              "fault phases must be strictly increasing in time (phase " +
+                  std::to_string(i) + ")");
+    }
+    try {
+      validate(phase.faults);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("scenario schedule: fault phase " +
+                                  std::to_string(i) + ": " + e.what());
+    }
+  }
+}
+
+void validate(const RegionalOutage& outage) {
+  require(finite(outage.at_days) && outage.at_days >= 0.0,
+          "outage: at_days must be >= 0");
+  require(finite(outage.duration_days) && outage.duration_days >= 0.0,
+          "outage: duration_days must be >= 0");
+  require(finite(outage.severity) && outage.severity >= 0.0 &&
+              outage.severity <= 1.0,
+          "outage: severity must be in [0, 1]");
+  require(outage.arrival_suppression < 0.0 ||
+              (finite(outage.arrival_suppression) &&
+               outage.arrival_suppression <= 1.0),
+          "outage: arrival_suppression must be in [0, 1] (or negative for "
+          "\"same as severity\")");
+  require(geo::region_index(outage.region) < geo::kRegionCount,
+          "outage: unknown region");
+}
+
+void validate(const sim::FaultConfig& config) {
+  const auto prob = [](double p, const char* name) {
+    if (!(std::isfinite(p) && p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                  " must be a probability in [0, 1]");
+    }
+  };
+  prob(config.loss_prob, "loss_prob");
+  prob(config.corrupt_prob, "corrupt_prob");
+  prob(config.duplicate_prob, "duplicate_prob");
+  prob(config.half_open_prob, "half_open_prob");
+  if (!(std::isfinite(config.jitter_seconds) && config.jitter_seconds >= 0.0)) {
+    throw std::invalid_argument("FaultConfig: jitter_seconds must be >= 0");
+  }
+  if (!(std::isfinite(config.crash_rate) && config.crash_rate >= 0.0)) {
+    throw std::invalid_argument("FaultConfig: crash_rate must be >= 0");
+  }
+  if (!(std::isfinite(config.half_open_after_mean) &&
+        config.half_open_after_mean > 0.0)) {
+    throw std::invalid_argument("FaultConfig: half_open_after_mean must be > 0");
+  }
+}
+
+}  // namespace p2pgen::behavior

@@ -1,0 +1,101 @@
+// p2pgen — time-varying simulation schedules (the chaos-scenario layer).
+//
+// The paper measured one benign 40-day window; real overlays also see
+// flash crowds, churn storms and correlated regional failures.  These
+// types extend TraceSimulationConfig with deterministic time-varying
+// behavior:
+//
+//   * ArrivalSchedule   — piecewise-linear multiplier on the arrival rate
+//                         (flash-crowd ramps, lulls);
+//   * FaultSchedule     — piecewise fault regimes: the fault injector's
+//                         config is swapped at phase boundaries, so a
+//                         churn storm is simply a phase with a high crash
+//                         hazard;
+//   * RegionalOutage    — a geo-correlated failure: at onset, a `severity`
+//                         fraction of the currently-connected peers of one
+//                         region crash together (drawn from a dedicated
+//                         seeded RNG stream), and arrivals from that
+//                         region are suppressed until the outage lifts.
+//
+// Schedule times are in days of MEASUREMENT time: day 0 is the end of the
+// warm-up period, matching the time axis of every paper figure.  An empty
+// schedule (the default everywhere) is guaranteed byte-identical to a
+// simulation without the scenario layer: no extra RNG draws, no behavior
+// change — only inert phase-boundary events when a schedule is present.
+#pragma once
+
+#include <vector>
+
+#include "geo/region.hpp"
+#include "sim/fault.hpp"
+
+namespace p2pgen::behavior {
+
+/// One control point of the arrival-rate modulation.
+struct ArrivalPoint {
+  double at_days = 0.0;     ///< measurement time (days after warm-up)
+  double multiplier = 1.0;  ///< factor applied to the base arrival rate
+};
+
+/// Piecewise-linear arrival-rate multiplier.  Between control points the
+/// multiplier is interpolated linearly; before the first and after the
+/// last it is clamped to that point's value.  Empty means a constant 1.0
+/// (and multiplier_at is never consulted, keeping runs byte-identical).
+struct ArrivalSchedule {
+  std::vector<ArrivalPoint> points;
+
+  bool empty() const noexcept { return points.empty(); }
+
+  /// Multiplier at measurement time `t_days`.  Requires a validated,
+  /// non-empty schedule.
+  double multiplier_at(double t_days) const noexcept;
+};
+
+/// One fault regime: `faults` applies from `at_days` until the next
+/// phase's boundary (or the end of the run).
+struct FaultPhase {
+  double at_days = 0.0;
+  sim::FaultConfig faults{};
+};
+
+/// Piecewise fault regimes.  Before the first phase boundary the base
+/// FaultConfig of the simulation applies.  Empty means the base config
+/// applies throughout (no boundary events are scheduled).
+struct FaultSchedule {
+  std::vector<FaultPhase> phases;
+
+  bool empty() const noexcept { return phases.empty(); }
+};
+
+/// A geo-correlated regional failure window.
+struct RegionalOutage {
+  double at_days = 0.0;        ///< onset, measurement time in days
+  double duration_days = 0.0;  ///< how long arrivals stay suppressed
+  geo::Region region = geo::Region::kNorthAmerica;
+
+  /// Fraction of the region's currently-connected peers crashed at onset
+  /// (each drawn independently from the scenario RNG stream).
+  double severity = 0.0;
+
+  /// Fraction by which the region's arrival weight is reduced while the
+  /// outage lasts; negative (the default) means "same as severity".
+  double arrival_suppression = -1.0;
+
+  double suppression() const noexcept {
+    return arrival_suppression < 0.0 ? severity : arrival_suppression;
+  }
+};
+
+/// Validation — every malformed value is rejected with a
+/// std::invalid_argument naming the offending field (never silently
+/// clamped).  Monotonicity: control points and phase boundaries must be
+/// strictly increasing in time.
+void validate(const ArrivalSchedule& schedule);
+void validate(const FaultSchedule& schedule);
+void validate(const RegionalOutage& outage);
+
+/// Validates one fault configuration: probabilities in [0, 1], rates and
+/// delays nonnegative, half_open_after_mean positive.
+void validate(const sim::FaultConfig& config);
+
+}  // namespace p2pgen::behavior

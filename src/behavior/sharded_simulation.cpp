@@ -14,6 +14,23 @@ namespace {
 /// split off the same master seed.
 constexpr std::uint64_t kShardStreamTag = 0x5348415244ULL;  // "SHARD"
 
+void fill_stats(ShardStats& stats, const TraceSimulation& simulation,
+                std::uint64_t seed, std::uint64_t events) {
+  stats.seed = seed;
+  stats.peers_spawned = simulation.peers_spawned();
+  stats.events = events;
+  stats.faults = simulation.fault_counters();
+  stats.outage_crashes = simulation.outage_crashes();
+  stats.outage_crashes_by_region = simulation.outage_crashes_by_region();
+  const MeasurementNode& node = simulation.node();
+  stats.shed_connections = node.shed_connections();
+  stats.shed_queries = node.shed_queries();
+  stats.probe_closed_sessions = node.probe_closed_sessions();
+  stats.replenish_scheduled = node.replenish_scheduled();
+  stats.replenish_spawns = node.replenish_spawns();
+  stats.session_ends = node.session_ends();
+}
+
 }  // namespace
 
 std::uint64_t shard_seed(std::uint64_t master_seed,
@@ -33,12 +50,7 @@ trace::Trace simulate_shard(const core::WorkloadModel& model,
   simulation.run();
   simulation.publish_metrics();
 
-  if (stats != nullptr) {
-    stats->seed = config.seed;
-    stats->peers_spawned = simulation.peers_spawned();
-    stats->events = trace.size();
-    stats->faults = simulation.fault_counters();
-  }
+  if (stats != nullptr) fill_stats(*stats, simulation, config.seed, trace.size());
   return trace;
 }
 
@@ -66,12 +78,7 @@ void simulate_shard_into(const core::WorkloadModel& model,
   simulation.run();
   simulation.publish_metrics();
 
-  if (stats != nullptr) {
-    stats->seed = config.seed;
-    stats->peers_spawned = simulation.peers_spawned();
-    stats->events = counting.events;
-    stats->faults = simulation.fault_counters();
-  }
+  if (stats != nullptr) fill_stats(*stats, simulation, config.seed, counting.events);
 }
 
 trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,

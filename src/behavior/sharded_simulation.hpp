@@ -20,9 +20,11 @@
 // affordable only when the replicas run in parallel.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "behavior/trace_simulation.hpp"
+#include "geo/region.hpp"
 
 namespace p2pgen::behavior {
 
@@ -32,6 +34,19 @@ struct ShardStats {
   std::uint64_t peers_spawned = 0;  ///< peers the shard's overlay produced
   std::uint64_t events = 0;         ///< trace events the shard emitted
   sim::FaultCounters faults{};      ///< the shard's fault-layer counters
+
+  // Scenario-layer and degradation counters (all zero when the scenario
+  // layer is off) — the scenario runner's invariant checks sum these
+  // across shards and compare them against the merged-trace analysis.
+  std::uint64_t outage_crashes = 0;  ///< peers killed by regional outages
+  std::array<std::uint64_t, geo::kRegionCount> outage_crashes_by_region{};
+  std::uint64_t shed_connections = 0;  ///< admission-cap 503 refusals
+  std::uint64_t shed_queries = 0;      ///< queries dropped by the token bucket
+  std::uint64_t probe_closed_sessions = 0;  ///< idle+probe reaps
+  std::uint64_t replenish_scheduled = 0;    ///< healing timers armed
+  std::uint64_t replenish_spawns = 0;       ///< replacement peers requested
+  /// SessionEnd histogram by trace::EndReason value.
+  std::array<std::uint64_t, 4> session_ends{};
 };
 
 /// Seed of shard `shard_index` under `master_seed`.  Every shard —

@@ -10,12 +10,15 @@
 // paper's scripts consumed the mutella logs.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "behavior/measurement_node.hpp"
 #include "behavior/peer.hpp"
 #include "behavior/peer_plan.hpp"
+#include "behavior/schedule.hpp"
 #include "core/generator.hpp"
 #include "geo/geoip.hpp"
 #include "sim/network.hpp"
@@ -66,7 +69,35 @@ struct TraceSimulationConfig {
   /// injector is always installed but draws nothing and schedules nothing
   /// until a probability is nonzero.
   sim::FaultConfig faults{};
+
+  // Scenario layer (behavior/schedule.hpp, src/scenario/) ---------------
+  //
+  // All of these default to "off" and are then byte-identical to a run
+  // without the scenario layer.  Schedule times are measurement days
+  // (day 0 = end of warm-up).
+
+  /// Time-varying multiplier on the arrival rate (flash crowds, lulls).
+  ArrivalSchedule arrival_schedule{};
+
+  /// Piecewise fault regimes; `faults` applies before the first boundary.
+  FaultSchedule fault_schedule{};
+
+  /// Geo-correlated regional failures.
+  std::vector<RegionalOutage> outages{};
+
+  /// Named client population driving peer behavior ("default", "clean",
+  /// "spammer", "free_rider" — ClientPopulation::named).  Used by run();
+  /// run_with_clients ignores it.
+  std::string client_mix = "default";
 };
+
+/// Order-sensitive FNV-1a digest over every TraceSimulationConfig field
+/// that shapes the simulated trace: base knobs, node config (replenish
+/// and degradation included), background, network, faults, schedules,
+/// outages and the client mix.  The bench shard cache and the durable-run
+/// identity both key on it, so two configs produce the same digest iff
+/// they would produce the same trace.
+std::uint64_t simulation_config_digest(const TraceSimulationConfig& config);
 
 /// Owns the simulator, network, node, peers and drives the run.
 class TraceSimulation {
@@ -92,6 +123,13 @@ class TraceSimulation {
     return fault_injector_.counters();
   }
 
+  /// Peers crashed by regional outages, total and per region.
+  std::uint64_t outage_crashes() const noexcept { return outage_crashes_; }
+  const std::array<std::uint64_t, geo::kRegionCount>&
+  outage_crashes_by_region() const noexcept {
+    return outage_crashes_by_region_;
+  }
+
   /// Adds this run's node, transport and fault counters to the global obs
   /// registry ("node.*", "transport.*", "fault.*", "sim.peers_spawned").
   /// Call once after run(); the totals are pure functions of the run, so
@@ -103,6 +141,8 @@ class TraceSimulation {
   void spawn_peer(const ClientPopulation& clients);
   core::Region sample_arrival_region(double now);
   double arrival_rate_at(double t) const;
+  void install_scenario_events();
+  void begin_outage(std::size_t index);
 
   /// Drops events before the warm-up gate.
   class GatingSink : public trace::TraceSink {
@@ -131,6 +171,16 @@ class TraceSimulation {
   stats::Rng rng_;
 
   std::unordered_map<sim::NodeId, std::unique_ptr<SimulatedPeer>> peers_;
+  /// Region of every live peer, ordered by NodeId so outage draws iterate
+  /// deterministically on every platform.
+  std::map<sim::NodeId, core::Region> peer_regions_;
+  /// Dedicated RNG stream for outage crash draws; constructed always,
+  /// consulted only when an outage with severity > 0 fires.
+  stats::Rng scenario_rng_;
+  /// True while outage i's suppression window is active.
+  std::vector<char> outage_active_;
+  std::uint64_t outage_crashes_ = 0;
+  std::array<std::uint64_t, geo::kRegionCount> outage_crashes_by_region_{};
   sim::NodeId node_id_ = 0;
   double horizon_ = 0.0;
   std::uint64_t peers_spawned_ = 0;

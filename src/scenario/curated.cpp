@@ -1,0 +1,199 @@
+#include "scenario/curated.hpp"
+
+namespace p2pgen::scenario {
+namespace {
+
+using behavior::ArrivalPoint;
+using behavior::FaultPhase;
+using behavior::RegionalOutage;
+
+/// calm-zero: the digest-identity control.  Every scenario mechanism is
+/// present (an arrival schedule, a fault phase, an outage) but every
+/// severity is zero and every multiplier 1.0 — the run must be
+/// byte-identical to a plain baseline simulation.
+ScenarioSpec calm_zero(double d) {
+  ScenarioSpec s;
+  s.name = "calm-zero";
+  s.description =
+      "all scenario mechanisms present at zero severity; trace must equal "
+      "the no-scenario baseline byte for byte";
+  s.arrival_schedule.points = {{0.0, 1.0}, {d, 1.0}};
+  s.fault_schedule.phases = {{0.25 * d, sim::FaultConfig{}}};
+  RegionalOutage outage;
+  outage.at_days = 0.5 * d;
+  outage.duration_days = 0.25 * d;
+  outage.region = geo::Region::kEurope;
+  outage.severity = 0.0;
+  outage.arrival_suppression = 0.0;
+  s.outages = {outage};
+  return s;
+}
+
+/// flash-crowd: arrivals ramp to 4x mid-run and back down, no help from
+/// the degradation layer — the node must survive on admission capacity
+/// alone.
+ScenarioSpec flash_crowd(double d) {
+  ScenarioSpec s;
+  s.name = "flash-crowd";
+  s.description = "arrival rate ramps 1x -> 4x -> 1x; degradation off";
+  s.arrival_schedule.points = {
+      {0.0, 1.0}, {0.30 * d, 1.0}, {0.45 * d, 4.0},
+      {0.60 * d, 4.0}, {0.75 * d, 1.0}};
+  return s;
+}
+
+/// flash-crowd-shed: the same ramp with graceful degradation enabled —
+/// bounded pending-handshake admission and query shedding.
+ScenarioSpec flash_crowd_shed(double d) {
+  ScenarioSpec s = flash_crowd(d);
+  s.name = "flash-crowd-shed";
+  s.description =
+      "flash crowd with admission caps and query shedding enabled";
+  // Tight enough to actually shed under the 4x crowd at matrix scale.
+  s.node.max_pending_handshakes = 2;
+  s.node.query_shed_rate = 2.0;
+  s.node.query_shed_burst = 4.0;
+  return s;
+}
+
+/// churn-storm: a mid-run phase with a heavy crash hazard, then recovery;
+/// the node heals its neighbor set through the replenish path.
+ScenarioSpec churn_storm(double d) {
+  ScenarioSpec s;
+  s.name = "churn-storm";
+  s.description =
+      "crash-hazard storm for the middle third of the run; replenish on";
+  sim::FaultConfig storm;
+  storm.crash_rate = 1.0 / 900.0;  // mean peer lifetime 15 min under storm
+  storm.half_open_prob = 0.05;
+  sim::FaultConfig calm;
+  s.fault_schedule.phases = {{0.33 * d, storm}, {0.66 * d, calm}};
+  s.node.replenish = true;
+  s.node.replenish_backoff_base = 0.5;
+  s.node.replenish_backoff_max = 32.0;
+  return s;
+}
+
+/// regional-outage-na: North America goes dark mid-run — 80 % of its
+/// connected peers crash together and its arrivals are nearly suppressed
+/// until the outage lifts.
+ScenarioSpec regional_outage_na(double d) {
+  ScenarioSpec s;
+  s.name = "regional-outage-na";
+  s.description =
+      "North America outage: 80 % of connected NA peers crash at onset, "
+      "NA arrivals suppressed 90 % for a quarter of the run";
+  RegionalOutage outage;
+  outage.at_days = 0.40 * d;
+  outage.duration_days = 0.25 * d;
+  outage.region = geo::Region::kNorthAmerica;
+  outage.severity = 0.8;
+  outage.arrival_suppression = 0.9;
+  s.outages = {outage};
+  return s;
+}
+
+/// regional-outage-eu-asia: two overlapping outages in different regions;
+/// replenish keeps the neighbor set from collapsing.
+ScenarioSpec regional_outage_eu_asia(double d) {
+  ScenarioSpec s;
+  s.name = "regional-outage-eu-asia";
+  s.description =
+      "overlapping Europe and Asia outages; replenish heals the slots";
+  RegionalOutage europe;
+  europe.at_days = 0.30 * d;
+  europe.duration_days = 0.30 * d;
+  europe.region = geo::Region::kEurope;
+  europe.severity = 0.7;
+  RegionalOutage asia;
+  asia.at_days = 0.45 * d;
+  asia.duration_days = 0.25 * d;
+  asia.region = geo::Region::kAsia;
+  asia.severity = 0.9;
+  s.outages = {europe, asia};
+  s.node.replenish = true;
+  return s;
+}
+
+/// spammer-flood: a quarter of arrivals are query bots; the node forwards
+/// queries, so duplicate suppression and the filter rules carry the load.
+ScenarioSpec spammer_flood(double /*d*/) {
+  ScenarioSpec s;
+  s.name = "spammer-flood";
+  s.description =
+      "spambot client mix: machine-rate re-queries and replay storms, "
+      "with query forwarding enabled";
+  s.client_mix = "spammer";
+  s.node.forward_fanout = 4;
+  return s;
+}
+
+/// free-rider-drain: half the arrivals are zero-share leeches that churn
+/// fast — maximal connection turnover for minimal contributed content.
+ScenarioSpec free_rider_drain(double /*d*/) {
+  ScenarioSpec s;
+  s.name = "free-rider-drain";
+  s.description =
+      "free-rider client mix: zero-share fast-churning leeches dominate";
+  s.client_mix = "free_rider";
+  return s;
+}
+
+/// hostile-overlay: piecewise fault regimes sweeping loss, corruption,
+/// duplication and jitter up and back down, with forward retries and
+/// shedding enabled — the everything-at-once soak.
+ScenarioSpec hostile_overlay(double d) {
+  ScenarioSpec s;
+  s.name = "hostile-overlay";
+  s.description =
+      "piecewise regimes: benign -> lossy+corrupting -> severe -> recover; "
+      "forward retries, replenish and query shedding all enabled";
+  sim::FaultConfig lossy;
+  lossy.loss_prob = 0.02;
+  lossy.corrupt_prob = 0.002;
+  lossy.duplicate_prob = 0.01;
+  lossy.jitter_seconds = 0.2;
+  sim::FaultConfig severe = lossy;
+  severe.loss_prob = 0.08;
+  severe.corrupt_prob = 0.01;
+  severe.crash_rate = 1.0 / 1800.0;
+  severe.half_open_prob = 0.08;
+  severe.half_open_after_mean = 60.0;
+  sim::FaultConfig calm;
+  s.fault_schedule.phases = {
+      {0.20 * d, lossy}, {0.45 * d, severe}, {0.70 * d, calm}};
+  s.node.forward_fanout = 3;
+  s.node.forward_retry_max = 2;
+  s.node.forward_retry_base = 1.0;
+  s.node.forward_retry_max_delay = 8.0;
+  s.node.replenish = true;
+  s.node.query_shed_rate = 5.0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> curated_scenarios(double duration_days) {
+  const double d = duration_days;
+  return {calm_zero(d),          flash_crowd(d),
+          flash_crowd_shed(d),   churn_storm(d),
+          regional_outage_na(d), regional_outage_eu_asia(d),
+          spammer_flood(d),      free_rider_drain(d),
+          hostile_overlay(d)};
+}
+
+std::optional<ScenarioSpec> find_curated(const std::string& name,
+                                         double duration_days) {
+  for (auto& spec : curated_scenarios(duration_days)) {
+    if (spec.name == name) return std::move(spec);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> curated_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : curated_scenarios(1.0)) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace p2pgen::scenario

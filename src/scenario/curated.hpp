@@ -1,0 +1,36 @@
+// p2pgen — the curated adversarial scenario matrix.
+//
+// A standing set of named scenarios exercising every axis of the chaos
+// layer: flash crowds, churn storms, geo-correlated regional outages,
+// hostile piecewise fault regimes, adversarial client mixes and graceful
+// degradation under overload.  The matrix is what tests/test_scenario.cpp
+// asserts survival invariants over, what the scenario-matrix CI job runs,
+// and what BENCH_scenarios.json baselines.
+//
+// Scenario times are fractions of the run (0..1 of duration_days) so the
+// same matrix stresses a 0.02-day test run and a 0.05-day CI run alike;
+// curated_scenarios(duration_days) materializes them for one duration.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace p2pgen::scenario {
+
+/// All curated scenarios, with schedule times scaled to a run of
+/// `duration_days` measurement days.  The first entry ("calm-zero") keeps
+/// every severity at zero and every multiplier at 1.0: it must produce a
+/// trace byte-identical to a run without any scenario at all.
+std::vector<ScenarioSpec> curated_scenarios(double duration_days);
+
+/// Looks up one curated scenario by name; std::nullopt when unknown.
+std::optional<ScenarioSpec> find_curated(const std::string& name,
+                                         double duration_days);
+
+/// The curated scenario names, in matrix order (for --list-scenarios).
+std::vector<std::string> curated_names();
+
+}  // namespace p2pgen::scenario

@@ -1,0 +1,276 @@
+#include "scenario/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+namespace p2pgen::scenario {
+namespace {
+
+[[noreturn]] void fail_at(std::size_t offset, const std::string& what) {
+  throw JsonError("json: " + what + " at offset " + std::to_string(offset));
+}
+
+/// Single-pass recursive-descent parser over the input view.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail_at(pos_, "trailing content after document");
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail_at(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail_at(pos_, std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail_at(pos_, "invalid literal");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail_at(pos_, "invalid literal");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail_at(pos_, "invalid literal");
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    if (++depth_ > kMaxDepth) fail_at(pos_, "nesting too deep");
+    expect('{');
+    Json::Object object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(object));
+    }
+    for (;;) {
+      skip_ws();
+      const std::size_t key_at = pos_;
+      std::string key = parse_string();
+      if (object.count(key) != 0) fail_at(key_at, "duplicate key \"" + key + "\"");
+      skip_ws();
+      expect(':');
+      object.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      --depth_;
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    if (++depth_ > kMaxDepth) fail_at(pos_, "nesting too deep");
+    expect('[');
+    Json::Array array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return Json(std::move(array));
+    }
+    for (;;) {
+      array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      --depth_;
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    skip_ws();
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail_at(pos_ - 1, "unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail_at(pos_, "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_unicode_escape(out); break;
+        default: fail_at(pos_ - 1, "invalid escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail_at(pos_, "truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail_at(pos_ - 1, "invalid hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_unicode_escape(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate must follow.
+      if (!consume_literal("\\u")) fail_at(pos_, "lone high surrogate");
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail_at(pos_ - 4, "invalid low surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail_at(pos_ - 4, "lone low surrogate");
+    }
+    // Encode the code point as UTF-8.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      return pos_ > before;
+    };
+    // RFC 8259 int grammar: a single 0, or a nonzero digit then digits —
+    // "01" is malformed, not 1.
+    const std::size_t int_start = pos_;
+    if (!digits()) fail_at(pos_, "invalid number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      fail_at(int_start, "leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail_at(pos_, "digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digits()) fail_at(pos_, "digits required in exponent");
+    }
+    // std::from_chars for double is incomplete on some libstdc++ versions;
+    // the token was validated above, so strtod on a NUL-terminated copy is
+    // safe and locale differences don't arise for the validated grammar.
+    const std::string token(text_.substr(start, pos_ - start));
+    return Json(std::strtod(token.c_str(), nullptr));
+  }
+};
+
+[[noreturn]] void type_error(const char* expected) {
+  throw JsonError(std::string("json: value is not ") + expected);
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a boolean");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (!is_number()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(const std::string& key) const {
+  const Object& object = as_object();
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+}  // namespace p2pgen::scenario

@@ -1,0 +1,70 @@
+// p2pgen — minimal JSON reader for scenario specs.
+//
+// The repo writes JSON in several places (obs snapshots, PipelineReport)
+// but never needed to read any until the declarative scenario layer; this
+// is the smallest strict parser that covers the spec format.  No external
+// dependency, no extensions: RFC 8259 objects, arrays, strings (with the
+// standard escapes; \uXXXX is decoded to UTF-8), numbers, booleans and
+// null.  Errors carry the byte offset of the offending character.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace p2pgen::scenario {
+
+/// Parse or type-access failure; `what()` names the problem and, for
+/// parse errors, the byte offset.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value.  Objects keep their keys sorted (std::map), which is
+/// fine for a config format and keeps iteration deterministic.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : value_(nullptr) {}
+  explicit Json(std::nullptr_t) : value_(nullptr) {}
+  explicit Json(bool b) : value_(b) {}
+  explicit Json(double n) : value_(n) {}
+  explicit Json(std::string s) : value_(std::move(s)) {}
+  explicit Json(Array a) : value_(std::move(a)) {}
+  explicit Json(Object o) : value_(std::move(o)) {}
+
+  /// Parses exactly one JSON document; trailing non-whitespace is an
+  /// error.  Throws JsonError.
+  static Json parse(std::string_view text);
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+  /// Typed accessors; throw JsonError naming the expected type.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+
+  /// Object member lookup; nullptr when `this` is an object without the
+  /// key.  Throws JsonError when `this` is not an object.
+  const Json* find(const std::string& key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+}  // namespace p2pgen::scenario

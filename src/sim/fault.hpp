@@ -94,6 +94,12 @@ class FaultInjector {
   const FaultConfig& config() const noexcept { return config_; }
   bool enabled() const noexcept { return config_.enabled(); }
 
+  /// Swaps the active fault regime (the scenario layer's piecewise fault
+  /// schedules).  The RNG stream and counters carry over: a regime switch
+  /// changes which probabilities future draws use, never the stream
+  /// itself, so scheduled runs stay deterministic.
+  void set_config(const FaultConfig& config) noexcept { config_ = config; }
+
   /// Per-message decisions.  Each draws from the fault stream only when
   /// the corresponding probability is nonzero, so an all-zero config
   /// consumes no randomness.

@@ -1,0 +1,24 @@
+// p2pgen — shared exponential-backoff policy.
+//
+// Every retry path in the measurement node (forward-fanout retries from
+// PR 1, neighbor replenishment from PR 5, and the scenario layer's
+// degradation timers) paces itself with the same capped binary
+// exponential backoff, so their timing semantics — and their bounds —
+// are unified in one place.
+#pragma once
+
+#include <algorithm>
+
+namespace p2pgen::util {
+
+/// Delay of the `attempt`-th retry (0-based) under capped binary
+/// exponential backoff: base * 2^attempt, clamped at `cap` seconds when
+/// cap > 0 (cap <= 0 means uncapped).  The shift saturates at 2^30 so
+/// large attempt counts cannot overflow.
+inline double backoff_delay(double base, double cap, int attempt) noexcept {
+  const double raw =
+      base * static_cast<double>(1ULL << std::min(std::max(attempt, 0), 30));
+  return cap > 0.0 ? std::min(raw, cap) : raw;
+}
+
+}  // namespace p2pgen::util
