@@ -12,7 +12,15 @@
 //   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards]
 //       [threads] [--metrics=<path>] [--trace-json=<path>]
 //       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
-//       [--resume] [--scenario=<name-or-json-file>] [--list-scenarios]
+//       [--resume] [--streaming] [--scenario=<name-or-json-file>]
+//       [--list-scenarios]
+//
+// --streaming (needs --checkpoint-dir=) runs the one-pass analysis
+// (DESIGN.md §11): shards spool to disk without buffering a trace in
+// memory, and every number below — digest included — is computed by
+// analysis::analyze_spools() streaming over the spool segments.  The
+// output is bit-identical to the materialized pipeline at a fraction of
+// the peak RSS (bench_streaming measures both).
 //
 // --scenario=<arg> applies a chaos scenario (src/scenario/) on top of the
 // base configuration: <arg> is either the name of a curated scenario
@@ -48,6 +56,7 @@
 #include <iomanip>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -56,10 +65,12 @@
 #include "analysis/model_fit.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
+#include "analysis/streaming.hpp"
 #include "behavior/checkpoint.hpp"
 #include "behavior/client_profile.hpp"
 #include "behavior/sharded_simulation.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/span.hpp"
 #include "scenario/curated.hpp"
 #include "scenario/spec.hpp"
@@ -71,6 +82,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_json_path;
   std::string scenario_arg;
+  bool streaming_on = false;
   behavior::DurabilityConfig durability;
   std::vector<const char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -85,6 +97,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(argv[i] + 22));
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       durability.resume = true;
+    } else if (std::strcmp(argv[i], "--streaming") == 0) {
+      streaming_on = true;
     } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
       scenario_arg = argv[i] + 11;
     } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
@@ -106,6 +120,11 @@ int main(int argc, char** argv) {
   }
   if (durability.resume && durability.dir.empty()) {
     std::cerr << "measurement_pipeline: --resume needs --checkpoint-dir=\n";
+    return 1;
+  }
+  if (streaming_on && durability.dir.empty()) {
+    std::cerr << "measurement_pipeline: --streaming needs --checkpoint-dir= "
+                 "(the spool is the streaming pass's input)\n";
     return 1;
   }
   // Span tracing buffers grow while enabled, so it is opt-in.
@@ -177,7 +196,37 @@ int main(int argc, char** argv) {
   // The single-vantage-point path keeps the full per-node robustness
   // counters, which a merged multi-shard trace no longer has one node for.
   std::unique_ptr<behavior::TraceSimulation> simulation;
-  if (!durability.dir.empty()) {
+  std::optional<analysis::StreamingResult> streaming;
+  if (streaming_on) {
+    behavior::RecoverySummary recovery;
+    try {
+      const auto spool_dirs = behavior::simulate_to_spools(
+          core::WorkloadModel::paper_default(), config, shards, threads,
+          durability, &recovery, &shard_stats);
+      std::cout << "  checkpoint dir:      " << durability.dir << "\n"
+                << "  recovery: " << recovery.records_recovered
+                << " records recovered, " << recovery.records_truncated
+                << " truncated (" << recovery.bytes_truncated << " bytes), "
+                << recovery.events_replayed << " events replayed, "
+                << recovery.shards_completed_prior
+                << " shard(s) loaded complete\n";
+      analysis::StreamingOptions streaming_options;
+      streaming_options.threads = threads;
+      streaming = analysis::analyze_spools(
+          spool_dirs, geo::GeoIpDatabase::synthetic(), streaming_options);
+    } catch (const std::exception& e) {
+      std::cerr << "measurement_pipeline: " << e.what() << "\n";
+      return 1;
+    }
+    // Mirror the materialized path's merge counter so the metric surface
+    // the equivalence CI diffs is the same on both.
+    obs::Registry::global().counter("sim.merged_events").add(streaming->events);
+    std::cout << "  streaming pass:      " << streaming->streaming.segments_read
+              << " segment(s) in " << streaming->streaming.decode_waves
+              << " wave(s), max open sessions "
+              << streaming->streaming.max_open_sessions << " (tracked "
+              << streaming->streaming.max_tracked_sessions << ")\n";
+  } else if (!durability.dir.empty()) {
     behavior::RecoverySummary recovery;
     try {
       trace = behavior::simulate_trace_durable(
@@ -214,13 +263,18 @@ int main(int argc, char** argv) {
     simulation->publish_metrics();
   }
 
-  const auto stats = trace.stats();
-  // The byte-identity handle: grep-able by the kill-and-resume CI job,
-  // equal across thread counts and across SIGKILL + --resume.
+  const auto stats = streaming ? streaming->stats : trace.stats();
+  const std::uint64_t trace_digest =
+      streaming ? streaming->trace_digest : trace::binary_digest(trace);
+  const std::uint64_t trace_events =
+      streaming ? streaming->events : trace.size();
+  // The byte-identity handle: grep-able by the kill-and-resume and
+  // streaming-equivalence CI jobs, equal across thread counts, across
+  // SIGKILL + --resume, and across --streaming vs materialized.
   std::cout << "  trace digest:        " << std::hex << std::setfill('0')
-            << std::setw(16) << trace::binary_digest(trace) << std::dec
+            << std::setw(16) << trace_digest << std::dec
             << std::setfill(' ') << "\n";
-  std::cout << "  trace events:        " << trace.size() << "\n"
+  std::cout << "  trace events:        " << trace_events << "\n"
             << "  direct connections:  " << stats.direct_connections << "\n"
             << "  QUERY messages:      " << stats.query_messages << "\n"
             << "  hop-1 queries:       " << stats.hop1_queries << "\n"
@@ -276,7 +330,20 @@ int main(int argc, char** argv) {
     robustness.forward_retries_exhausted =
         snapshot.counter_value("node.forward_retries_exhausted");
   }
-  robustness.add_trace(trace);
+  if (streaming) {
+    // The streaming pass already counted every SessionEnd by reason —
+    // exactly what add_trace() derives from a materialized trace.
+    using trace::EndReason;
+    const auto& ends = streaming->end_reason_counts;
+    robustness.bye_ends += ends[static_cast<std::size_t>(EndReason::kBye)];
+    robustness.teardown_ends +=
+        ends[static_cast<std::size_t>(EndReason::kTeardown)];
+    robustness.probe_ends +=
+        ends[static_cast<std::size_t>(EndReason::kIdleProbe)];
+    robustness.error_ends += ends[static_cast<std::size_t>(EndReason::kError)];
+  } else {
+    robustness.add_trace(trace);
+  }
   if (faults_on) {
     if (shards > 1) {
       std::cout << "\n(robustness rows summed over " << shards << " shards)\n";
@@ -287,9 +354,18 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "\n== 2. session reconstruction + filter rules ==\n";
-  auto dataset =
-      analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
-  const auto report = analysis::apply_filters(dataset);
+  // Either the materialized chain (build_dataset -> apply_filters ->
+  // measures -> fits) or the numbers the one-pass analysis already
+  // produced; CI's streaming-equivalence job asserts they never differ.
+  std::optional<analysis::TraceDataset> dataset;
+  analysis::FilterReport report;
+  if (streaming) {
+    report = streaming->filters;
+  } else {
+    dataset.emplace(
+        analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic()));
+    report = analysis::apply_filters(*dataset);
+  }
   std::cout << "  initial sessions/queries: " << report.initial_sessions << " / "
             << report.initial_queries << "\n"
             << "  rule 1 (SHA1) removed:    " << report.rule1_removed << "\n"
@@ -302,17 +378,18 @@ int main(int argc, char** argv) {
             << report.rule5_excluded << "\n";
 
   std::cout << "\n== 3. characterization ==\n";
-  const auto passive = analysis::passive_fraction(dataset);
+  const auto passive =
+      streaming ? streaming->passive : analysis::passive_fraction(*dataset);
   for (geo::Region r : geo::kMainRegions) {
     std::cout << "  passive fraction " << std::setw(13)
               << geo::region_name(r) << ": "
               << passive.overall[geo::region_index(r)] << "\n";
   }
 
-  const auto measures = analysis::session_measures(dataset);
-
   std::cout << "\n== 4. closed loop: Appendix fits (ground truth vs recovered) ==\n";
-  const auto fits = analysis::fit_appendix_tables(measures);
+  const auto fits =
+      streaming ? streaming->fits
+                : analysis::fit_appendix_tables(analysis::session_measures(*dataset));
   const auto na = geo::region_index(geo::Region::kNorthAmerica);
   std::cout << std::fixed << std::setprecision(3);
   std::cout << "  Table A.2 (#queries, NA):     paper mu=-0.067 sigma=1.360 | "
@@ -334,7 +411,8 @@ int main(int argc, char** argv) {
             << a4.body.sigma << ")+Pareto(" << a4.tail_alpha << ")\n";
 
   std::cout << "\n== 5. full refit -> generator-ready model ==\n";
-  const auto refit = analysis::fit_workload_model(dataset);
+  const auto refit =
+      streaming ? streaming->model : analysis::fit_workload_model(*dataset);
   std::cout << "  refit passive fraction NA: " << refit.passive_fraction[na]
             << " (ground truth 0.825)\n"
             << "  refit drift: " << refit.popularity.daily_drift
@@ -342,6 +420,7 @@ int main(int argc, char** argv) {
             << "  model validates: yes\n";
 
   analysis::publish_analysis_pool_metrics();
+  obs::publish_process_metrics();
   if (!metrics_path.empty() || !trace_json_path.empty()) {
     std::cout << "\n== 6. pipeline health report ==\n";
   }

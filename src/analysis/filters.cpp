@@ -143,6 +143,8 @@ void add_report(FilterReport& total, const FilterReport& part) {
   total.interarrival_queries += part.interarrival_queries;
 }
 
+}  // namespace
+
 void publish_filter_metrics(const FilterReport& report) {
   auto& registry = obs::Registry::global();
   if (!registry.enabled()) return;
@@ -162,7 +164,15 @@ void publish_filter_metrics(const FilterReport& report) {
       .add(report.interarrival_queries);
 }
 
-}  // namespace
+void apply_filters_to_session(ObservedSession& session,
+                              const FilterOptions& options,
+                              FilterReport& report) {
+  pass_rule1(session, options, report);
+  pass_rule2(session, options, report);
+  pass_rule3(session, options, report);
+  pass_rule4(session, options, report);
+  pass_rule5(session, options, report);
+}
 
 FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options) {
   obs::ObsSpan filters_span("analysis.filters");

@@ -51,4 +51,18 @@ struct FilterReport {
 /// Idempotent: re-running with the same options yields the same marks.
 FilterReport apply_filters(TraceDataset& dataset, const FilterOptions& options = {});
 
+/// Applies all five rules to ONE session, accumulating its Table-2 rows
+/// into `report`.  Sessions are independent under every rule (rule 2's
+/// repeat set is per-session), so summing per-session reports over any
+/// session order equals apply_filters() exactly — this is the streaming
+/// path's fused form of the five global passes.
+void apply_filters_to_session(ObservedSession& session,
+                              const FilterOptions& options,
+                              FilterReport& report);
+
+/// Publishes the Table-2 rows as `filter.*` counters (no-op when the
+/// metrics registry is disabled).  apply_filters() calls this itself;
+/// the streaming pass calls it once with its summed report.
+void publish_filter_metrics(const FilterReport& report);
+
 }  // namespace p2pgen::analysis

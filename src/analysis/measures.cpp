@@ -30,39 +30,34 @@ std::optional<std::size_t> key_period_of(double t) {
   return std::nullopt;
 }
 
-GeographyByHour geographic_distribution(const TraceDataset& dataset) {
-  GeographyByHour geo;
-
-  // One-hop peers: connected-session occupancy in seconds per hour bin.
-  std::array<std::array<double, 24>, kRegions> region_seconds{};
-  std::array<double, 24> total_seconds{};
-  for (const auto& session : dataset.sessions) {
-    const double end = session.has_end ? session.end : dataset.trace_end;
-    double t = session.start;
-    while (t < end) {
-      const double hour_end =
-          (std::floor(t / 3600.0) + 1.0) * 3600.0;  // next hour boundary
-      const double chunk = std::min(end, hour_end) - t;
-      const std::size_t bin = hour_bin(t);
-      total_seconds[bin] += chunk;
-      if (session.region) region_seconds[idx(*session.region)][bin] += chunk;
-      t = std::min(end, hour_end);
-    }
+void GeographyAccumulator::add_session(const ObservedSession& session,
+                                       double trace_end) {
+  const double end = session.has_end ? session.end : trace_end;
+  double t = session.start;
+  while (t < end) {
+    const double hour_end =
+        (std::floor(t / 3600.0) + 1.0) * 3600.0;  // next hour boundary
+    const double chunk = std::min(end, hour_end) - t;
+    const std::size_t bin = hour_bin(t);
+    total_seconds[bin] += chunk;
+    if (session.region) region_seconds[idx(*session.region)][bin] += chunk;
+    t = std::min(end, hour_end);
   }
+}
+
+void GeographyAccumulator::add_sample(const AddressSample& sample) {
+  const std::size_t bin = hour_bin(sample.time);
+  sample_totals[bin] += 1.0;
+  if (sample.region) sample_counts[idx(*sample.region)][bin] += 1.0;
+}
+
+GeographyByHour GeographyAccumulator::finalize() const {
+  GeographyByHour geo;
   for (std::size_t h = 0; h < 24; ++h) {
     if (total_seconds[h] <= 0.0) continue;
     for (std::size_t r = 0; r < kRegions; ++r) {
       geo.onehop[r][h] = region_seconds[r][h] / total_seconds[h];
     }
-  }
-
-  // All peers: PONG/QUERYHIT address samples per hour.
-  std::array<std::array<double, 24>, kRegions> sample_counts{};
-  std::array<double, 24> sample_totals{};
-  for (const auto& sample : dataset.all_peer_addresses) {
-    const std::size_t bin = hour_bin(sample.time);
-    sample_totals[bin] += 1.0;
-    if (sample.region) sample_counts[idx(*sample.region)][bin] += 1.0;
   }
   for (std::size_t h = 0; h < 24; ++h) {
     if (sample_totals[h] <= 0.0) continue;
@@ -73,56 +68,93 @@ GeographyByHour geographic_distribution(const TraceDataset& dataset) {
   return geo;
 }
 
-SharedFilesDistribution shared_files_distribution(const TraceDataset& dataset) {
+GeographyByHour geographic_distribution(const TraceDataset& dataset) {
+  GeographyAccumulator acc;
+  // One-hop peers: connected-session occupancy in seconds per hour bin.
+  for (const auto& session : dataset.sessions) {
+    acc.add_session(session, dataset.trace_end);
+  }
+  // All peers: PONG/QUERYHIT address samples per hour.
+  for (const auto& sample : dataset.all_peer_addresses) {
+    acc.add_sample(sample);
+  }
+  return acc.finalize();
+}
+
+void SharedFilesAccumulator::add_onehop(std::uint32_t shared_files) {
+  if (shared_files <= 100) onehop_counts[shared_files] += 1.0;
+  onehop_total += 1.0;
+}
+
+void SharedFilesAccumulator::add_allpeer(std::uint32_t shared_files) {
+  if (shared_files <= 100) allpeers_counts[shared_files] += 1.0;
+  allpeers_total += 1.0;
+}
+
+SharedFilesDistribution SharedFilesAccumulator::finalize() const {
   SharedFilesDistribution dist;
-  auto fill = [](const std::vector<std::uint32_t>& samples,
-                 std::array<double, 101>& out) {
-    if (samples.empty()) return;
-    for (std::uint32_t v : samples) {
-      if (v <= 100) out[v] += 1.0;
+  if (onehop_total > 0.0) {
+    for (std::size_t k = 0; k <= 100; ++k) {
+      dist.onehop[k] = onehop_counts[k] / onehop_total;
     }
-    for (double& f : out) f /= static_cast<double>(samples.size());
-  };
-  fill(dataset.onehop_shared_files, dist.onehop);
-  fill(dataset.all_peer_shared_files, dist.allpeers);
+  }
+  if (allpeers_total > 0.0) {
+    for (std::size_t k = 0; k <= 100; ++k) {
+      dist.allpeers[k] = allpeers_counts[k] / allpeers_total;
+    }
+  }
   return dist;
 }
 
-LoadByTime query_load(const TraceDataset& dataset) {
-  std::array<stats::DayBinSeries, kRegions> series{
-      stats::DayBinSeries(1800), stats::DayBinSeries(1800),
-      stats::DayBinSeries(1800), stats::DayBinSeries(1800)};
-  for (const auto& session : dataset.sessions) {
-    if (session.removed || !session.region) continue;
-    for (const auto& query : session.queries) {
-      if (!query.kept() || query.excluded_from_interarrival) continue;
-      series[idx(*session.region)].add(query.time);
-    }
+SharedFilesDistribution shared_files_distribution(const TraceDataset& dataset) {
+  SharedFilesAccumulator acc;
+  for (std::uint32_t v : dataset.onehop_shared_files) acc.add_onehop(v);
+  for (std::uint32_t v : dataset.all_peer_shared_files) acc.add_allpeer(v);
+  return acc.finalize();
+}
+
+LoadAccumulator::LoadAccumulator()
+    : series_{stats::DayBinSeries(1800), stats::DayBinSeries(1800),
+              stats::DayBinSeries(1800), stats::DayBinSeries(1800)} {}
+
+void LoadAccumulator::add_session(const ObservedSession& session) {
+  if (session.removed || !session.region) return;
+  for (const auto& query : session.queries) {
+    if (!query.kept() || query.excluded_from_interarrival) continue;
+    series_[idx(*session.region)].add(query.time);
   }
+}
+
+LoadByTime LoadAccumulator::finalize() const {
   LoadByTime load;
-  for (std::size_t r = 0; r < kRegions; ++r) load.bins[r] = series[r].stats();
+  for (std::size_t r = 0; r < kRegions; ++r) load.bins[r] = series_[r].stats();
   return load;
 }
 
-PassiveFraction passive_fraction(const TraceDataset& dataset) {
-  std::array<stats::DayBinSeries, kRegions> passive{
-      stats::DayBinSeries(3600), stats::DayBinSeries(3600),
-      stats::DayBinSeries(3600), stats::DayBinSeries(3600)};
-  std::array<stats::DayBinSeries, kRegions> total{
-      stats::DayBinSeries(3600), stats::DayBinSeries(3600),
-      stats::DayBinSeries(3600), stats::DayBinSeries(3600)};
+LoadByTime query_load(const TraceDataset& dataset) {
+  LoadAccumulator acc;
+  for (const auto& session : dataset.sessions) acc.add_session(session);
+  return acc.finalize();
+}
 
-  for (const auto& session : dataset.sessions) {
-    if (session.removed || !session.region) continue;
-    const std::size_t r = idx(*session.region);
-    total[r].add(session.start);
-    if (!session.active()) passive[r].add(session.start);
-  }
+PassiveAccumulator::PassiveAccumulator()
+    : passive_{stats::DayBinSeries(3600), stats::DayBinSeries(3600),
+               stats::DayBinSeries(3600), stats::DayBinSeries(3600)},
+      total_{stats::DayBinSeries(3600), stats::DayBinSeries(3600),
+             stats::DayBinSeries(3600), stats::DayBinSeries(3600)} {}
 
+void PassiveAccumulator::add_session(const ObservedSession& session) {
+  if (session.removed || !session.region) return;
+  const std::size_t r = idx(*session.region);
+  total_[r].add(session.start);
+  if (!session.active()) passive_[r].add(session.start);
+}
+
+PassiveFraction PassiveAccumulator::finalize() const {
   PassiveFraction result;
   for (std::size_t r = 0; r < kRegions; ++r) {
-    const auto& p_days = passive[r].per_day();
-    const auto& t_days = total[r].per_day();
+    const auto& p_days = passive_[r].per_day();
+    const auto& t_days = total_[r].per_day();
     double overall_passive = 0.0;
     double overall_total = 0.0;
     for (std::size_t h = 0; h < 24; ++h) {
@@ -150,6 +182,12 @@ PassiveFraction passive_fraction(const TraceDataset& dataset) {
   return result;
 }
 
+PassiveFraction passive_fraction(const TraceDataset& dataset) {
+  PassiveAccumulator acc;
+  for (const auto& session : dataset.sessions) acc.add_session(session);
+  return acc.finalize();
+}
+
 namespace {
 
 /// Sessions per parallel work unit for session_measures().  Fixed so the
@@ -157,9 +195,10 @@ namespace {
 /// are independent of the thread count.
 constexpr std::size_t kMeasureChunk = 512;
 
-/// Adds one session's samples to `m` — the serial inner loop of
-/// session_measures(), unchanged.
-void accumulate_session(SessionMeasures& m, const ObservedSession& session) {
+}  // namespace
+
+void accumulate_session_measures(SessionMeasures& m,
+                                 const ObservedSession& session) {
   {
     if (session.removed || !session.region) return;
     const std::size_t r = idx(*session.region);
@@ -236,6 +275,8 @@ void accumulate_session(SessionMeasures& m, const ObservedSession& session) {
   }
 }
 
+namespace {
+
 void append_samples(std::vector<double>& dst, std::vector<double>& src) {
   if (dst.empty()) {
     dst = std::move(src);
@@ -308,7 +349,7 @@ SessionMeasures session_measures(const TraceDataset& dataset) {
       n, kMeasureChunk,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          accumulate_session(partial[chunk], dataset.sessions[i]);
+          accumulate_session_measures(partial[chunk], dataset.sessions[i]);
         }
       });
 

@@ -122,4 +122,70 @@ std::array<std::vector<double>, kRegions> queries_without_rules45(
 /// Key-period index of an absolute time (0..3) or nullopt.
 std::optional<std::size_t> key_period_of(double t);
 
+// ---------------------------------------------------------------------------
+// Streaming-shareable accumulators.  Each holds the exact intermediate
+// state of one materialized measure function above.  The materialized
+// functions and the streaming pass (analysis/streaming.hpp) both feed
+// them — one session / one sample at a time, in the same order — so the
+// float arithmetic is literally the same code, which is what makes the
+// two paths bit-identical rather than merely close.
+
+/// Figure 1 state.  Session occupancy is an order-sensitive float sum:
+/// callers must add sessions in SessionStart order.  Address samples are
+/// exact +1.0 counts and may arrive in any order relative to sessions.
+struct GeographyAccumulator {
+  std::array<std::array<double, 24>, kRegions> region_seconds{};
+  std::array<double, 24> total_seconds{};
+  std::array<std::array<double, 24>, kRegions> sample_counts{};
+  std::array<double, 24> sample_totals{};
+
+  /// One-hop connected occupancy of one session, split at hour boundaries.
+  void add_session(const ObservedSession& session, double trace_end);
+  /// One PONG/QUERYHIT address sample.
+  void add_sample(const AddressSample& sample);
+  GeographyByHour finalize() const;
+};
+
+/// Figure 2 state (exact +1.0 counts; order-insensitive).
+struct SharedFilesAccumulator {
+  std::array<double, 101> onehop_counts{};
+  std::array<double, 101> allpeers_counts{};
+  double onehop_total = 0.0;
+  double allpeers_total = 0.0;
+
+  void add_onehop(std::uint32_t shared_files);
+  void add_allpeer(std::uint32_t shared_files);
+  SharedFilesDistribution finalize() const;
+};
+
+/// Figure 3 state.  Feed each surviving session after filtering.
+class LoadAccumulator {
+ public:
+  LoadAccumulator();
+  void add_session(const ObservedSession& session);
+  LoadByTime finalize() const;
+
+ private:
+  std::array<stats::DayBinSeries, kRegions> series_;
+};
+
+/// Figure 4 state.  Feed each surviving session after filtering.
+class PassiveAccumulator {
+ public:
+  PassiveAccumulator();
+  void add_session(const ObservedSession& session);
+  PassiveFraction finalize() const;
+
+ private:
+  std::array<stats::DayBinSeries, kRegions> passive_;
+  std::array<stats::DayBinSeries, kRegions> total_;
+};
+
+/// Adds one (filtered) session's conditioned samples to `m` — the serial
+/// inner loop of session_measures(), exposed so the streaming pass can
+/// feed sessions in emission order and land every sample in the same
+/// vector position a materialized pass would.
+void accumulate_session_measures(SessionMeasures& m,
+                                 const ObservedSession& session);
+
 }  // namespace p2pgen::analysis

@@ -107,10 +107,18 @@ AppendixFits fit_appendix_tables(const SessionMeasures& measures,
 
 core::WorkloadModel fit_workload_model(const TraceDataset& dataset,
                                        const core::WorkloadModel& fallback) {
+  return fit_workload_model_from_parts(
+      geographic_distribution(dataset), passive_fraction(dataset),
+      session_measures(dataset), DailyQueryTables(dataset), fallback);
+}
+
+core::WorkloadModel fit_workload_model_from_parts(
+    const GeographyByHour& geography, const PassiveFraction& passive,
+    const SessionMeasures& measures, const DailyQueryTables& tables,
+    const core::WorkloadModel& fallback) {
   core::WorkloadModel model = fallback;  // inherit anything we cannot fit
 
   // ---- Region mix (Figure 1), from one-hop occupancy ------------------
-  const GeographyByHour geography = geographic_distribution(dataset);
   for (std::size_t h = 0; h < 24; ++h) {
     double total = 0.0;
     for (std::size_t r = 0; r < kRegions; ++r) total += geography.onehop[r][h];
@@ -122,13 +130,11 @@ core::WorkloadModel fit_workload_model(const TraceDataset& dataset,
   }
 
   // ---- Passive fractions (Figure 4) ------------------------------------
-  const PassiveFraction passive = passive_fraction(dataset);
   for (std::size_t r = 0; r < kRegions; ++r) {
     if (passive.overall[r] > 0.0) model.passive_fraction[r] = passive.overall[r];
   }
 
   // ---- Appendix distribution fits --------------------------------------
-  const SessionMeasures measures = session_measures(dataset);
   const FitSplits splits;
   const AppendixFits fits = fit_appendix_tables(measures, splits);
 
@@ -166,7 +172,6 @@ core::WorkloadModel fit_workload_model(const TraceDataset& dataset,
   }
 
   // ---- Popularity model (Table 3 / Figures 10-11) -----------------------
-  const DailyQueryTables tables(dataset);
   if (tables.days() >= 2) {
     const auto sizes = query_class_sizes(tables, {1});
     const auto pop = popularity_distributions(tables);

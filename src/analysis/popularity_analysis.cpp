@@ -37,21 +37,27 @@ std::vector<std::pair<std::string, std::uint32_t>> ranked(
 }  // namespace
 
 DailyQueryTables::DailyQueryTables(const TraceDataset& dataset) {
-  const auto total_days = static_cast<std::size_t>(
-      std::max(1.0, std::ceil(dataset.trace_end / sim::kSecondsPerDay)));
-  per_day_.resize(total_days);
-  for (const auto& session : dataset.sessions) {
-    if (session.removed) continue;
-    const std::size_t r = main_region_index(session.region);
-    if (r == static_cast<std::size_t>(-1)) continue;
-    for (const auto& query : session.queries) {
-      if (!query.kept() || query.canonical.empty()) continue;
-      const auto day = static_cast<std::size_t>(
-          std::max(0.0, query.time) / sim::kSecondsPerDay);
-      if (day >= per_day_.size()) continue;
-      per_day_[day][query.canonical][r] += 1;
-    }
+  for (const auto& session : dataset.sessions) add_session(session);
+  finalize(dataset.trace_end);
+}
+
+void DailyQueryTables::add_session(const ObservedSession& session) {
+  if (session.removed) return;
+  const std::size_t r = main_region_index(session.region);
+  if (r == static_cast<std::size_t>(-1)) return;
+  for (const auto& query : session.queries) {
+    if (!query.kept() || query.canonical.empty()) continue;
+    const auto day = static_cast<std::size_t>(std::max(0.0, query.time) /
+                                              sim::kSecondsPerDay);
+    if (day >= per_day_.size()) per_day_.resize(day + 1);
+    per_day_[day][query.canonical][r] += 1;
   }
+}
+
+void DailyQueryTables::finalize(double trace_end) {
+  const auto total_days = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(trace_end / sim::kSecondsPerDay)));
+  per_day_.resize(total_days);
 }
 
 std::vector<QueryClassSizes> query_class_sizes(

@@ -25,8 +25,24 @@ namespace p2pgen::analysis {
 /// Per-day, per-region frequency tables of canonical query strings.
 class DailyQueryTables {
  public:
+  /// Empty tables for incremental building: the streaming pass feeds
+  /// add_session() per emitted session, then finalize(trace_end).
+  DailyQueryTables() = default;
+
   /// Builds from the dataset.  Only the three main regions are tracked.
   explicit DailyQueryTables(const TraceDataset& dataset);
+
+  /// Adds one (filtered) session's popularity queries — rule-1-3
+  /// survivors with non-empty canonical keywords.  Day rows grow on
+  /// demand; counts are integer increments, so feeding sessions in any
+  /// order builds the same tables.
+  void add_session(const ObservedSession& session);
+
+  /// Fixes the day-row count to ceil(trace_end / day) — exactly the shape
+  /// the one-shot constructor pre-allocates (rows past the end are
+  /// dropped, missing rows become empty), so incremental build + finalize
+  /// equals constructing from the materialized dataset.
+  void finalize(double trace_end);
 
   std::size_t days() const noexcept { return per_day_.size(); }
 

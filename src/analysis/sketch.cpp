@@ -1,0 +1,99 @@
+#include "analysis/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pgen::analysis {
+
+void StreamingMoments::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingMoments::merge(const StreamingMoments& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double StreamingMoments::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+namespace {
+
+/// Bucket index of a value: underflow 0, log buckets 1..N, overflow N+1.
+std::size_t bucket_of(double x) noexcept {
+  if (!(x >= LogQuantileSketch::kMinValue)) return 0;  // NaN lands here too
+  if (x >= LogQuantileSketch::kMaxValue) {
+    return LogQuantileSketch::kBuckets - 1;
+  }
+  const double decades = std::log10(x / LogQuantileSketch::kMinValue);
+  auto i = static_cast<std::size_t>(
+      decades * static_cast<double>(LogQuantileSketch::kBucketsPerDecade));
+  const std::size_t last_log =
+      LogQuantileSketch::kBucketsPerDecade * LogQuantileSketch::kDecades - 1;
+  if (i > last_log) i = last_log;  // float edge: clamp into the log range
+  return i + 1;
+}
+
+/// Lower edge of log bucket i (1-based within the log range).
+double bucket_lo(std::size_t i) noexcept {
+  const double per = static_cast<double>(LogQuantileSketch::kBucketsPerDecade);
+  return LogQuantileSketch::kMinValue *
+         std::pow(10.0, static_cast<double>(i - 1) / per);
+}
+
+}  // namespace
+
+void LogQuantileSketch::add(double x) noexcept {
+  ++counts_[bucket_of(x)];
+  ++count_;
+}
+
+void LogQuantileSketch::merge(const LogQuantileSketch& other) noexcept {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+}
+
+double LogQuantileSketch::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based, matching nearest-rank quantiles.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts_[i];
+    if (seen < rank) continue;
+    if (i == 0) return kMinValue;
+    if (i == kBuckets - 1) return kMaxValue;
+    const double lo = bucket_lo(i);
+    const double hi = bucket_lo(i + 1);
+    return std::sqrt(lo * hi);  // geometric midpoint
+  }
+  return kMaxValue;
+}
+
+}  // namespace p2pgen::analysis

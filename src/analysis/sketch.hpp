@@ -1,0 +1,82 @@
+// p2pgen — streaming moments and mergeable quantile sketches (DESIGN.md §11).
+//
+// The streaming analysis pass keeps the exact conditioned sample vectors
+// for the appendix-table fitters (bit-identity with the materialized path
+// demands the same doubles in the same order), but it also wants cheap,
+// constant-memory summaries it can publish while the pass is still
+// running — per-segment and per-shard partials that merge into global
+// figures without a barrier.  Two primitives cover that:
+//
+//   * StreamingMoments — count/mean/variance/min/max by Welford's
+//     recurrence, merged with Chan's pairwise update.  Deterministic for
+//     a fixed feed order; merging partials in shard/segment order gives
+//     the same result on every thread count.
+//   * LogQuantileSketch — fixed log-spaced buckets with integer counts.
+//     Integer adds commute, so the merged sketch is identical for ANY
+//     feed or merge order, and quantiles are reproducible to the bucket's
+//     relative width (~5% with the default 128 buckets per decade range).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+namespace p2pgen::analysis {
+
+/// Welford/Chan running moments.  All state is a few doubles: merging a
+/// sketch built per segment costs O(1).
+class StreamingMoments {
+ public:
+  void add(double x) noexcept;
+
+  /// Folds `other` in (Chan's parallel variance update).  Merge order
+  /// must be deterministic (shard, then segment) for bitwise-stable
+  /// results — float addition does not commute.
+  void merge(const StreamingMoments& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Population variance (n denominator); 0 with fewer than 2 samples.
+  double variance() const noexcept;
+  double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Log-bucketed quantile sketch over [kMinValue, kMaxValue): bucket i
+/// covers one kBucketsPerDecade-th of a decade.  Values below the range
+/// land in an underflow bucket, values at/above in an overflow bucket.
+/// Counts are integers, so add/merge are exactly commutative: the sketch
+/// a parallel pass assembles is byte-identical on every thread count and
+/// merge order — the property the streaming determinism tests pin.
+class LogQuantileSketch {
+ public:
+  static constexpr double kMinValue = 1e-3;   // 1 ms
+  static constexpr double kMaxValue = 1e7;    // ~115 days
+  static constexpr std::size_t kBucketsPerDecade = 16;
+  static constexpr std::size_t kDecades = 10;  // 1e-3 .. 1e7
+  static constexpr std::size_t kBuckets = kBucketsPerDecade * kDecades + 2;
+
+  void add(double x) noexcept;
+  void merge(const LogQuantileSketch& other) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+
+  /// Value at quantile q in [0, 1]: the geometric midpoint of the bucket
+  /// holding the q-th sample (range edge for under/overflow buckets).
+  /// Relative error is bounded by the bucket width, ~15% per bucket at
+  /// 16 buckets/decade.
+  double quantile(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace p2pgen::analysis

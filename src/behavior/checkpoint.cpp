@@ -124,7 +124,9 @@ struct Manifest {
 /// refuse rather than splice two different traces together.
 class DurableSink final : public trace::TraceSink {
  public:
-  DurableSink(trace::Trace& trace, trace::SpoolWriter& writer,
+  /// `trace` may be null: the spool-only (streaming) path keeps nothing
+  /// in memory and the spool is the sole output.
+  DurableSink(trace::Trace* trace, trace::SpoolWriter& writer,
               unsigned shard_index)
       : trace_(trace),
         writer_(writer),
@@ -133,7 +135,7 @@ class DurableSink final : public trace::TraceSink {
         shard_index_(shard_index) {}
 
   void on_event(const trace::TraceEvent& event) override {
-    trace_.append(event);
+    if (trace_ != nullptr) trace_->append(event);
     if (replayed_ < prefix_records_) {
       encode_buf_.clear();
       trace::append_event_binary(event, encode_buf_);
@@ -153,7 +155,7 @@ class DurableSink final : public trace::TraceSink {
   std::uint64_t replayed() const noexcept { return replayed_; }
 
  private:
-  trace::Trace& trace_;
+  trace::Trace* trace_;
   trace::SpoolWriter& writer_;
   std::uint64_t prefix_records_;
   std::uint64_t prefix_digest_;
@@ -183,33 +185,17 @@ void publish_recovery_metrics(const RecoverySummary& summary) {
       .add(summary.shards_completed_prior);
 }
 
-}  // namespace
-
-std::uint64_t run_identity_digest(const core::WorkloadModel& model,
-                                  const TraceSimulationConfig& config,
-                                  unsigned n_shards) {
-  std::ostringstream model_text;
-  core::save_model(model, model_text);
-  std::uint64_t d = trace::kFnvOffsetBasis;
-  d = hash_string(d, model_text.str());
-  // One shared digest covers every config field that shapes the trace —
-  // scenario schedules, degradation knobs and client mix included — so
-  // the durable-run identity can never drift out of sync with the config.
-  d = hash_pod(d, simulation_config_digest(config));
-  d = hash_pod(d, n_shards);
-  return d;
-}
-
-bool checkpoint_exists(const std::string& dir) {
-  return fs::exists(fs::path(dir) / kManifestName);
-}
-
-trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
-                                    const TraceSimulationConfig& base,
-                                    unsigned n_shards, unsigned n_threads,
-                                    const DurabilityConfig& durability,
-                                    RecoverySummary* summary_out,
-                                    std::vector<ShardStats>* stats) {
+/// The shared durable shard runner.  With `shards_out` it behaves like
+/// the classic durable path (completed shards loaded from their spools,
+/// running shards buffered in memory while they spool); without it the
+/// spools are the only output — completed shards are not even opened,
+/// and the simulation streams through a trace-less DurableSink.
+void run_durable_shards(const core::WorkloadModel& model,
+                        const TraceSimulationConfig& base, unsigned n_shards,
+                        unsigned n_threads, const DurabilityConfig& durability,
+                        RecoverySummary* summary_out,
+                        std::vector<ShardStats>* stats,
+                        std::vector<trace::Trace>* shards_out) {
   if (n_shards == 0) {
     throw std::invalid_argument("simulate_trace_durable: n_shards must be > 0");
   }
@@ -248,7 +234,7 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
     ++summary.checkpoints_written;
   }
 
-  std::vector<trace::Trace> shards(n_shards);
+  if (shards_out != nullptr) shards_out->resize(n_shards);
   std::vector<ShardStats> shard_stats(n_shards);
   std::mutex manifest_mutex;  // guards manifest + summary
 
@@ -260,18 +246,23 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
     if (manifest.done[k]) {
       // Finished before the crash: its spool holds the whole shard
       // trace, fsync'd before the manifest marked it done.
-      trace::SpoolRecoveryReport report;
-      shards[k] = trace::read_spool(spool_dir, &report);
-      if (report.torn) {
-        throw std::runtime_error(
-            "checkpoint: completed shard " + std::to_string(index) +
-            " has a torn spool — completed data should never tear");
-      }
       shard_stats[k].seed = shard_seed(base.seed, index);
-      shard_stats[k].events = shards[k].size();
+      if (shards_out != nullptr) {
+        trace::SpoolRecoveryReport report;
+        (*shards_out)[k] = trace::read_spool(spool_dir, &report);
+        if (report.torn) {
+          throw std::runtime_error(
+              "checkpoint: completed shard " + std::to_string(index) +
+              " has a torn spool — completed data should never tear");
+        }
+        shard_stats[k].events = (*shards_out)[k].size();
+        std::lock_guard<std::mutex> lock(manifest_mutex);
+        summary.segments_scanned += report.segments_scanned;
+        summary.records_recovered += report.records_recovered;
+      }
+      // Spool-only mode reads nothing: the streaming analysis validates
+      // the segments in its own single pass.
       std::lock_guard<std::mutex> lock(manifest_mutex);
-      summary.segments_scanned += report.segments_scanned;
-      summary.records_recovered += report.records_recovered;
       ++summary.checkpoints_loaded;
       ++summary.shards_completed_prior;
       return;
@@ -279,6 +270,7 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
 
     trace::SpoolConfig spool_config;
     spool_config.sync_interval_records = durability.sync_interval_records;
+    spool_config.segment_max_records = durability.segment_max_records;
     trace::SpoolWriter writer(spool_dir, spool_config);
     {
       std::lock_guard<std::mutex> lock(manifest_mutex);
@@ -289,7 +281,8 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
       if (writer.durable_records() > 0) ++summary.checkpoints_loaded;
     }
 
-    DurableSink sink(shards[k], writer, index);
+    DurableSink sink(shards_out != nullptr ? &(*shards_out)[k] : nullptr,
+                     writer, index);
     simulate_shard_into(model, base, index, sink, &shard_stats[k]);
     writer.close();  // final fsync: the shard's redo log is complete
 
@@ -305,6 +298,38 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
   publish_recovery_metrics(summary);
   if (summary_out != nullptr) *summary_out = summary;
   if (stats != nullptr) *stats = std::move(shard_stats);
+}
+
+}  // namespace
+
+std::uint64_t run_identity_digest(const core::WorkloadModel& model,
+                                  const TraceSimulationConfig& config,
+                                  unsigned n_shards) {
+  std::ostringstream model_text;
+  core::save_model(model, model_text);
+  std::uint64_t d = trace::kFnvOffsetBasis;
+  d = hash_string(d, model_text.str());
+  // One shared digest covers every config field that shapes the trace —
+  // scenario schedules, degradation knobs and client mix included — so
+  // the durable-run identity can never drift out of sync with the config.
+  d = hash_pod(d, simulation_config_digest(config));
+  d = hash_pod(d, n_shards);
+  return d;
+}
+
+bool checkpoint_exists(const std::string& dir) {
+  return fs::exists(fs::path(dir) / kManifestName);
+}
+
+trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
+                                    const TraceSimulationConfig& base,
+                                    unsigned n_shards, unsigned n_threads,
+                                    const DurabilityConfig& durability,
+                                    RecoverySummary* summary_out,
+                                    std::vector<ShardStats>* stats) {
+  std::vector<trace::Trace> shards;
+  run_durable_shards(model, base, n_shards, n_threads, durability, summary_out,
+                     stats, &shards);
 
   trace::Trace merged;
   {
@@ -313,6 +338,23 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
   }
   obs::Registry::global().counter("sim.merged_events").add(merged.size());
   return merged;
+}
+
+std::vector<std::string> simulate_to_spools(
+    const core::WorkloadModel& model, const TraceSimulationConfig& base,
+    unsigned n_shards, unsigned n_threads, const DurabilityConfig& durability,
+    RecoverySummary* summary_out, std::vector<ShardStats>* stats) {
+  run_durable_shards(model, base, n_shards, n_threads, durability, summary_out,
+                     stats, /*shards_out=*/nullptr);
+  return checkpoint_shard_dirs(durability.dir, n_shards);
+}
+
+std::vector<std::string> checkpoint_shard_dirs(const std::string& dir,
+                                               unsigned n_shards) {
+  std::vector<std::string> dirs;
+  dirs.reserve(n_shards);
+  for (unsigned k = 0; k < n_shards; ++k) dirs.push_back(shard_dir(dir, k));
+  return dirs;
 }
 
 }  // namespace p2pgen::behavior

@@ -38,6 +38,14 @@ struct DurabilityConfig {
   /// on a crash — it is re-simulated, so nothing is wrong, just slower).
   std::uint64_t sync_interval_records = 65536;
 
+  /// Records per spool segment before the writer rolls to a new file.
+  /// Segments are the streaming analysis's unit of memory (a decode wave
+  /// holds ~thread-count of them) AND its unit of parallelism, so durable
+  /// spools default to much smaller segments than the raw SpoolConfig:
+  /// big enough to amortize the per-file cost, small enough that a
+  /// multi-day shard spans many of them.
+  std::uint64_t segment_max_records = std::uint64_t{1} << 16;
+
   /// Require an existing, identity-matching MANIFEST (the --resume flag):
   /// resuming against a different model/config/shard-count is refused
   /// instead of silently producing a franken-trace.
@@ -79,5 +87,24 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
                                     const DurabilityConfig& durability,
                                     RecoverySummary* summary = nullptr,
                                     std::vector<ShardStats>* stats = nullptr);
+
+/// The durable run without the merge: every shard's events end up in its
+/// fsync'd spool (resume semantics identical to simulate_trace_durable),
+/// but NO shard trace is materialized in memory — the producer half of
+/// the streaming pipeline, whose peak RSS must stay O(one shard's live
+/// simulation), not O(trace).  Shards already marked done in the MANIFEST
+/// are not even re-read here; the streaming analysis validates their
+/// spools in its own single pass.  Returns the per-shard spool
+/// directories in shard order (what analyze_spools expects).
+std::vector<std::string> simulate_to_spools(
+    const core::WorkloadModel& model, const TraceSimulationConfig& base,
+    unsigned n_shards, unsigned n_threads, const DurabilityConfig& durability,
+    RecoverySummary* summary = nullptr,
+    std::vector<ShardStats>* stats = nullptr);
+
+/// Per-shard spool directories of a checkpoint ("<dir>/shard-NNNN"), in
+/// shard order.  Pure path arithmetic; nothing is read.
+std::vector<std::string> checkpoint_shard_dirs(const std::string& dir,
+                                               unsigned n_shards);
 
 }  // namespace p2pgen::behavior

@@ -1,0 +1,34 @@
+#include "obs/process.hpp"
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace p2pgen::obs {
+
+std::uint64_t process_peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss);
+#else
+  // Linux and the BSDs report kibibytes.
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024u;
+#endif
+#else
+  return 0;
+#endif
+}
+
+void publish_process_metrics() {
+  auto& registry = Registry::global();
+  if (!registry.enabled()) return;
+  registry.gauge("process.peak_rss_bytes")
+      .record_max(static_cast<std::int64_t>(process_peak_rss_bytes()));
+}
+
+}  // namespace p2pgen::obs

@@ -1,0 +1,26 @@
+// p2pgen — process-level observability: peak memory of this process.
+//
+// The streaming-analysis memory gate (bench/bench_streaming.cpp, CI
+// memory-regression job) compares the peak RSS of a materialized
+// pipeline run against a streaming one.  Peak RSS is a process-lifetime
+// high-water mark, so each candidate runs in its own child process and
+// reports this number; the gauge lets any long-lived binary expose the
+// same figure in its metrics snapshot.
+#pragma once
+
+#include <cstdint>
+
+namespace p2pgen::obs {
+
+/// Peak resident set size of the calling process, in bytes (getrusage
+/// ru_maxrss; 0 on platforms without it).  Monotone over the process
+/// lifetime — it never goes down, which is exactly what a memory gate
+/// wants and why per-phase deltas are meaningless.
+std::uint64_t process_peak_rss_bytes();
+
+/// Records the current peak RSS in the global registry gauge
+/// "process.peak_rss_bytes" (record_max: snapshots taken later keep the
+/// high-water mark).  No-op while the registry is disabled.
+void publish_process_metrics();
+
+}  // namespace p2pgen::obs

@@ -9,6 +9,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "trace/spool_reader.hpp"
 #include "trace/trace_io.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -20,13 +21,6 @@ namespace p2pgen::trace {
 namespace {
 
 namespace fs = std::filesystem;
-
-constexpr char kSpoolMagic[4] = {'P', '2', 'P', 'S'};
-constexpr std::uint32_t kSpoolVersion = 1;
-constexpr std::uint64_t kHeaderBytes = sizeof(kSpoolMagic) + sizeof(std::uint32_t);
-/// Frames above this payload size are corruption, not data: a trace
-/// record is a few dozen bytes plus a query string capped at 1 MiB.
-constexpr std::uint32_t kMaxPayload = 1u << 24;
 
 const std::array<std::uint32_t, 256>& crc_table() {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -43,26 +37,6 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
-std::string segment_name(std::size_t index) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "seg-%06zu.p2ps", index);
-  return buf;
-}
-
-/// Index encoded in a segment filename ("seg-NNNNNN.p2ps").
-bool parse_segment_index(const std::string& name, std::size_t& index) {
-  if (name.rfind("seg-", 0) != 0) return false;
-  const auto dot = name.find(".p2ps");
-  if (dot == std::string::npos || dot + 5 != name.size()) return false;
-  const std::string digits = name.substr(4, dot - 4);
-  if (digits.empty() ||
-      digits.find_first_not_of("0123456789") != std::string::npos) {
-    return false;
-  }
-  index = static_cast<std::size_t>(std::stoull(digits));
-  return true;
-}
-
 void fsync_directory(const std::string& dir) {
 #if defined(__unix__) || defined(__APPLE__)
   const int fd = ::open(dir.c_str(), O_RDONLY);
@@ -75,100 +49,18 @@ void fsync_directory(const std::string& dir) {
 #endif
 }
 
-/// One segment's scan outcome.
-struct SegmentScan {
-  std::uint64_t records = 0;
-  std::uint64_t valid_end = 0;  ///< bytes of valid header + frames
-  std::uint64_t file_size = 0;
-  std::uint64_t first_bad_offset = 0;
-  bool torn = false;
-};
-
-/// Validates `path` frame by frame, feeding valid payloads to
-/// `on_payload` (may be null) and updating `digest`.
-SegmentScan scan_segment(const std::string& path, std::uint64_t& digest,
-                         const std::function<void(const std::uint8_t*,
-                                                  std::size_t)>& on_payload) {
-  SegmentScan out;
-  out.file_size = static_cast<std::uint64_t>(fs::file_size(path));
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("spool: cannot open " + path);
-
-  char magic[4];
-  std::uint32_t version = 0;
-  in.read(magic, sizeof(magic));
-  if (static_cast<std::size_t>(in.gcount()) == sizeof(magic)) {
-    in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  }
-  if (static_cast<std::size_t>(in.gcount()) != sizeof(version) ||
-      std::memcmp(magic, kSpoolMagic, sizeof(magic)) != 0 ||
-      version == 0 || version > kSpoolVersion) {
-    // Torn or foreign header: nothing in this file is trustworthy.
-    out.torn = true;
-    out.first_bad_offset = 0;
-    out.valid_end = 0;
-    return out;
-  }
-
-  std::uint64_t pos = kHeaderBytes;
-  std::vector<std::uint8_t> payload;
-  while (true) {
-    std::uint32_t len = 0;
-    in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    const auto len_got = static_cast<std::size_t>(in.gcount());
-    if (len_got == 0) break;  // clean end on a frame boundary
-    if (len_got < sizeof(len) || len > kMaxPayload) {
-      out.torn = true;
-      break;
-    }
-    std::uint32_t crc = 0;
-    in.read(reinterpret_cast<char*>(&crc), sizeof(crc));
-    if (static_cast<std::size_t>(in.gcount()) < sizeof(crc)) {
-      out.torn = true;
-      break;
-    }
-    payload.resize(len);
-    if (len > 0) {
-      in.read(reinterpret_cast<char*>(payload.data()),
-              static_cast<std::streamsize>(len));
-    }
-    if (static_cast<std::size_t>(in.gcount()) < len) {
-      out.torn = true;
-      break;
-    }
-    if (crc32(payload.data(), payload.size()) != crc) {
-      out.torn = true;
-      break;
-    }
-    pos += sizeof(len) + sizeof(crc) + len;
-    ++out.records;
-    digest = fnv1a_update(digest, payload.data(), payload.size());
-    if (on_payload) on_payload(payload.data(), payload.size());
-  }
-  out.valid_end = pos;
-  if (out.torn) out.first_bad_offset = pos;
-  return out;
-}
-
+/// Single pass over every segment in index order, built on the
+/// validated-segment reader (spool_reader.hpp) so the scan and any
+/// consumer share one read of the bytes.
 SpoolScan scan_spool_impl(const std::string& dir, bool truncate_tail,
-                          const std::function<void(const std::uint8_t*,
-                                                   std::size_t)>& on_payload) {
-  fs::create_directories(dir);
-
-  std::vector<std::pair<std::size_t, std::string>> segments;
-  for (const auto& entry : fs::directory_iterator(dir)) {
-    if (!entry.is_regular_file()) continue;
-    std::size_t index = 0;
-    if (parse_segment_index(entry.path().filename().string(), index)) {
-      segments.emplace_back(index, entry.path().string());
-    }
-  }
-  std::sort(segments.begin(), segments.end());
+                          const SpoolPayloadFn& on_payload) {
+  const std::vector<std::string> paths = spool_segment_paths(dir);
 
   SpoolScan scan;
-  for (std::size_t i = 0; i < segments.size(); ++i) {
-    const std::string& path = segments[i].second;
-    const SegmentScan seg = scan_segment(path, scan.payload_digest, on_payload);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string& path = paths[i];
+    const SegmentReadResult seg = read_spool_segment(
+        path, /*allow_damage=*/true, &scan.payload_digest, on_payload);
     ++scan.report.segments_scanned;
     scan.records += seg.records;
     scan.report.records_recovered += seg.records;
@@ -176,7 +68,7 @@ SpoolScan scan_spool_impl(const std::string& dir, bool truncate_tail,
     scan.segment_records.push_back(seg.records);
     if (!seg.torn) continue;
 
-    if (i + 1 != segments.size()) {
+    if (i + 1 != paths.size()) {
       // Interior damage is not a tail: records after this segment would
       // silently vanish from the middle of the stream.
       throw TraceIoError("spool: interior segment damaged: " + path +
@@ -242,12 +134,12 @@ SpoolWriter::SpoolWriter(std::string dir, SpoolConfig config)
     return;
   }
   std::size_t last_index = scan.segments.size() - 1;
-  (void)parse_segment_index(fs::path(scan.segments.back()).filename().string(),
-                            last_index);
+  (void)parse_spool_segment_index(
+      fs::path(scan.segments.back()).filename().string(), last_index);
   const std::uint64_t last_records = scan.segment_records.back();
   const std::uint64_t last_size =
       static_cast<std::uint64_t>(fs::file_size(scan.segments.back()));
-  if (last_size < kHeaderBytes) {
+  if (last_size < kSpoolHeaderBytes) {
     // The whole header was torn away: rebuild this segment from scratch.
     segment_index_ = last_index;
     open_segment(segment_index_, /*fresh=*/true);
@@ -272,7 +164,7 @@ SpoolWriter::~SpoolWriter() {
 
 void SpoolWriter::open_segment(std::size_t index, bool fresh) {
   const std::string path =
-      (fs::path(dir_) / segment_name(index)).string();
+      (fs::path(dir_) / spool_segment_name(index)).string();
   std::FILE* f = std::fopen(path.c_str(), fresh ? "wb" : "ab");
   if (f == nullptr) throw std::runtime_error("spool: cannot open " + path);
   impl_->file = f;

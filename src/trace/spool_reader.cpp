@@ -1,0 +1,213 @@
+#include "trace/spool_reader.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "trace/spool.hpp"
+#include "trace/trace_io.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define P2PGEN_SPOOL_HAVE_MMAP 1
+#else
+#define P2PGEN_SPOOL_HAVE_MMAP 0
+#endif
+
+namespace p2pgen::trace {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A segment's bytes: mmap'd when the platform allows, otherwise read
+/// into an owned buffer.  Either way the parse below sees one flat span.
+class MappedFile {
+ public:
+  explicit MappedFile(const std::string& path) {
+    size_ = static_cast<std::size_t>(fs::file_size(path));
+#if P2PGEN_SPOOL_HAVE_MMAP
+    if (size_ > 0) {
+      const int fd = ::open(path.c_str(), O_RDONLY);
+      if (fd < 0) throw std::runtime_error("spool: cannot open " + path);
+      void* p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (p != MAP_FAILED) {
+        map_ = p;
+        data_ = static_cast<const std::uint8_t*>(p);
+        return;
+      }
+      // mmap can fail on exotic filesystems; fall through to read().
+    }
+#endif
+    buf_.resize(size_);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("spool: cannot open " + path);
+    if (size_ > 0) {
+      in.read(reinterpret_cast<char*>(buf_.data()),
+              static_cast<std::streamsize>(size_));
+      if (static_cast<std::size_t>(in.gcount()) != size_) {
+        throw std::runtime_error("spool: short read: " + path);
+      }
+    }
+    data_ = buf_.data();
+  }
+
+  ~MappedFile() {
+#if P2PGEN_SPOOL_HAVE_MMAP
+    if (map_ != nullptr) ::munmap(map_, size_);
+#endif
+  }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+
+ private:
+  void* map_ = nullptr;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<std::uint8_t> buf_;
+};
+
+}  // namespace
+
+std::string spool_segment_name(std::size_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06zu.p2ps", index);
+  return buf;
+}
+
+bool parse_spool_segment_index(const std::string& name, std::size_t& index) {
+  if (name.rfind("seg-", 0) != 0) return false;
+  const auto dot = name.find(".p2ps");
+  if (dot == std::string::npos || dot + 5 != name.size()) return false;
+  const std::string digits = name.substr(4, dot - 4);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  index = static_cast<std::size_t>(std::stoull(digits));
+  return true;
+}
+
+std::vector<std::string> spool_segment_paths(const std::string& dir) {
+  fs::create_directories(dir);
+  std::vector<std::pair<std::size_t, std::string>> segments;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::size_t index = 0;
+    if (parse_spool_segment_index(entry.path().filename().string(), index)) {
+      segments.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  std::vector<std::string> paths;
+  paths.reserve(segments.size());
+  for (auto& [index, path] : segments) paths.push_back(std::move(path));
+  return paths;
+}
+
+SegmentReadResult read_spool_segment(const std::string& path,
+                                     bool allow_damage,
+                                     std::uint64_t* digest,
+                                     const SpoolPayloadFn& on_payload) {
+  const MappedFile file(path);
+  const std::uint8_t* data = file.data();
+  const std::uint64_t size = file.size();
+
+  SegmentReadResult out;
+  out.file_size = size;
+
+  char magic[sizeof(kSpoolMagic)];
+  std::uint32_t version = 0;
+  if (size >= kSpoolHeaderBytes) {
+    std::memcpy(magic, data, sizeof(magic));
+    std::memcpy(&version, data + sizeof(magic), sizeof(version));
+  }
+  if (size < kSpoolHeaderBytes ||
+      std::memcmp(magic, kSpoolMagic, sizeof(magic)) != 0 || version == 0 ||
+      version > kSpoolVersion) {
+    // Torn or foreign header: nothing in this file is trustworthy.
+    out.torn = true;
+    out.first_bad_offset = 0;
+    out.valid_end = 0;
+  } else {
+    std::uint64_t pos = kSpoolHeaderBytes;
+    while (true) {
+      const std::uint64_t remaining = size - pos;
+      if (remaining == 0) break;  // clean end on a frame boundary
+      std::uint32_t len = 0;
+      if (remaining < sizeof(len)) {
+        out.torn = true;
+        break;
+      }
+      std::memcpy(&len, data + pos, sizeof(len));
+      if (len > kSpoolMaxPayload) {
+        out.torn = true;
+        break;
+      }
+      std::uint32_t crc = 0;
+      if (remaining < sizeof(len) + sizeof(crc)) {
+        out.torn = true;
+        break;
+      }
+      std::memcpy(&crc, data + pos + sizeof(len), sizeof(crc));
+      if (remaining < sizeof(len) + sizeof(crc) + len) {
+        out.torn = true;
+        break;
+      }
+      const std::uint8_t* payload = data + pos + sizeof(len) + sizeof(crc);
+      if (crc32(payload, len) != crc) {
+        out.torn = true;
+        break;
+      }
+      pos += sizeof(len) + sizeof(crc) + len;
+      ++out.records;
+      if (digest != nullptr) *digest = fnv1a_update(*digest, payload, len);
+      if (on_payload) on_payload(payload, len);
+    }
+    out.valid_end = pos;
+    if (out.torn) out.first_bad_offset = pos;
+  }
+
+  if (out.torn && !allow_damage) {
+    throw TraceIoError("spool: segment damaged: " + path + " at byte offset " +
+                           std::to_string(out.first_bad_offset),
+                       out.first_bad_offset);
+  }
+  return out;
+}
+
+SpoolReader::SpoolReader(std::string dir)
+    : dir_(std::move(dir)), segments_(spool_segment_paths(dir_)) {}
+
+SegmentReadResult SpoolReader::read_segment(
+    std::size_t index, const SpoolPayloadFn& on_payload) const {
+  if (index >= segments_.size()) {
+    throw std::out_of_range("SpoolReader: segment index " +
+                            std::to_string(index) + " out of range");
+  }
+  const std::string& path = segments_[index];
+  const SegmentReadResult out =
+      read_spool_segment(path, /*allow_damage=*/true, nullptr, on_payload);
+  if (out.torn && index + 1 != segments_.size()) {
+    // Interior damage is not a tail: records after this segment would
+    // silently vanish from the middle of the stream.
+    throw TraceIoError("spool: interior segment damaged: " + path +
+                           " at byte offset " +
+                           std::to_string(out.first_bad_offset),
+                       out.first_bad_offset);
+  }
+  return out;
+}
+
+}  // namespace p2pgen::trace

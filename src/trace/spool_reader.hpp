@@ -1,0 +1,99 @@
+// p2pgen — single-pass validated spool segment reader (DESIGN.md §11).
+//
+// The original recovery path read every spool segment twice: once in the
+// scan (CRC validation) and once more when the analysis replayed the
+// records.  SpoolReader collapses that into one pass: each segment is
+// mapped (mmap when available, buffered read otherwise) and its frames
+// are CRC-validated *while* the payloads are handed to the consumer, so
+// validation is free for whoever reads the spool anyway.  The recovery
+// decision is made online with the same policy as the scan:
+//
+//   * a torn tail is tolerated only on the LAST segment (reported, the
+//     valid prefix is kept),
+//   * damage to an interior segment is a hard TraceIoError — records
+//     after it would silently vanish from the middle of the stream.
+//
+// scan_spool()/read_spool() (trace/spool.hpp) are built on this reader,
+// and the streaming analysis (analysis/streaming.hpp) uses it directly
+// so paper-scale spools are read exactly once, segment-parallel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace p2pgen::trace {
+
+/// Spool on-disk format constants, shared by writer and reader.
+inline constexpr char kSpoolMagic[4] = {'P', '2', 'P', 'S'};
+inline constexpr std::uint32_t kSpoolVersion = 1;
+inline constexpr std::uint64_t kSpoolHeaderBytes =
+    sizeof(kSpoolMagic) + sizeof(std::uint32_t);
+/// Frames above this payload size are corruption, not data: a trace
+/// record is a few dozen bytes plus a query string capped at 1 MiB.
+inline constexpr std::uint32_t kSpoolMaxPayload = 1u << 24;
+
+/// Segment filename for an index ("seg-NNNNNN.p2ps").
+std::string spool_segment_name(std::size_t index);
+
+/// Index encoded in a segment filename; false when `name` is not one.
+bool parse_spool_segment_index(const std::string& name, std::size_t& index);
+
+/// Segment file paths under `dir` (created if missing), in index order.
+std::vector<std::string> spool_segment_paths(const std::string& dir);
+
+/// Receives one validated frame payload.
+using SpoolPayloadFn =
+    std::function<void(const std::uint8_t* data, std::size_t size)>;
+
+/// What one single-pass segment read found.
+struct SegmentReadResult {
+  std::uint64_t records = 0;        ///< valid frames fed to the consumer
+  std::uint64_t valid_end = 0;      ///< bytes of valid header + frames
+  std::uint64_t file_size = 0;
+  std::uint64_t first_bad_offset = 0;  ///< == valid_end when torn
+  bool torn = false;                ///< damaged tail found (and tolerated)
+};
+
+/// Reads `path` in one pass, CRC-validating each frame and feeding every
+/// valid payload to `on_payload` (may be null).  `digest`, when non-null,
+/// is FNV-1a-updated over the valid payloads in order.  With
+/// `allow_damage` the valid prefix is kept and the damage reported;
+/// without it any damage throws TraceIoError with the byte offset.
+SegmentReadResult read_spool_segment(const std::string& path,
+                                     bool allow_damage,
+                                     std::uint64_t* digest,
+                                     const SpoolPayloadFn& on_payload);
+
+/// Validated-segment iterator over a whole spool directory.  Lists the
+/// segments on construction; read_segment() validates and decodes one
+/// segment in a single pass.  Distinct segments may be read concurrently
+/// (the reader holds no per-read state) — the deterministic merge in the
+/// streaming analysis decodes segments in parallel this way.
+class SpoolReader {
+ public:
+  /// Opens `dir` (created if missing).  No segment bytes are read yet.
+  explicit SpoolReader(std::string dir);
+
+  const std::string& dir() const noexcept { return dir_; }
+  std::size_t segment_count() const noexcept { return segments_.size(); }
+  const std::vector<std::string>& segment_paths() const noexcept {
+    return segments_;
+  }
+
+  /// Reads segment `index`, feeding every valid payload to `on_payload`.
+  /// Torn tails are tolerated (and reported) only on the final segment;
+  /// damage anywhere else throws TraceIoError.  Thread-safe for distinct
+  /// indices.
+  SegmentReadResult read_segment(std::size_t index,
+                                 const SpoolPayloadFn& on_payload) const;
+
+ private:
+  std::string dir_;
+  std::vector<std::string> segments_;
+};
+
+}  // namespace p2pgen::trace

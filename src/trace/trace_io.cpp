@@ -323,6 +323,12 @@ void append_event_binary(const TraceEvent& event, std::string& out) {
   write_event(os, event);
 }
 
+void append_header_binary(std::string& out) {
+  StringAppendBuf buf(out);
+  std::ostream os(&buf);
+  write_header(os);
+}
+
 TraceEvent decode_event_binary(const std::uint8_t* data, std::size_t size) {
   MemSource source(data, size);
   std::uint8_t kind_byte = 0;

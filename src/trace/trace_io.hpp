@@ -70,6 +70,12 @@ Trace load_trace_lenient(const std::string& path,
 /// and checksums each record individually.
 void append_event_binary(const TraceEvent& event, std::string& out);
 
+/// Appends the binary stream header ("P2PT" magic + version) to `out` —
+/// exactly the bytes write_binary() emits before the first record.  Lets
+/// the streaming analysis fold header-then-records into the same FNV-1a
+/// digest binary_digest() computes, without materializing a Trace.
+void append_header_binary(std::string& out);
+
 /// Decodes one record produced by append_event_binary.  Throws
 /// TraceIoError on malformed input or if the buffer holds trailing bytes
 /// beyond the one record.

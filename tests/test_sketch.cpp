@@ -1,0 +1,160 @@
+// Streaming summary primitives (DESIGN.md §11): Welford/Chan moments and
+// the log-bucketed quantile sketch.  The properties that matter to the
+// streaming pass: moments match the closed-form values, merging partials
+// is deterministic, and the integer-bucket sketch is EXACTLY
+// merge-order-invariant (its counts commute), with quantiles accurate to
+// the documented bucket width.
+#include "analysis/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace p2pgen::analysis {
+namespace {
+
+std::vector<double> log_uniform_samples(std::size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Spread over ~5 decades inside the sketch range.
+    xs.push_back(std::pow(10.0, -1.0 + 5.0 * rng.uniform()));
+  }
+  return xs;
+}
+
+TEST(StreamingMoments, MatchesClosedFormOnKnownSamples) {
+  StreamingMoments m;
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (const double x : xs) m.add(x);
+  EXPECT_EQ(m.count(), xs.size());
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);  // the textbook population variance
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+}
+
+TEST(StreamingMoments, EmptyAndSingletonAreWellDefined) {
+  StreamingMoments empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.variance(), 0.0);
+
+  StreamingMoments one;
+  one.add(3.5);
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.mean(), 3.5);
+  EXPECT_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.min(), 3.5);
+  EXPECT_DOUBLE_EQ(one.max(), 3.5);
+}
+
+TEST(StreamingMoments, MergingPartialsIsAccurateAndDeterministic) {
+  const auto xs = log_uniform_samples(4096, 42);
+
+  StreamingMoments serial;
+  for (const double x : xs) serial.add(x);
+
+  // Partition into per-"segment" partials, merge in order — what the
+  // streaming pass does.  Two identical merges must agree bitwise.
+  auto merged_of = [&](std::size_t parts) {
+    StreamingMoments total;
+    const std::size_t chunk = xs.size() / parts;
+    for (std::size_t p = 0; p < parts; ++p) {
+      StreamingMoments partial;
+      const std::size_t end = p + 1 == parts ? xs.size() : (p + 1) * chunk;
+      for (std::size_t i = p * chunk; i < end; ++i) partial.add(xs[i]);
+      total.merge(partial);
+    }
+    return total;
+  };
+
+  const StreamingMoments a = merged_of(8);
+  const StreamingMoments b = merged_of(8);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());          // bitwise: same merge order
+  EXPECT_EQ(a.variance(), b.variance());  // bitwise: same merge order
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+
+  // Accuracy vs the serial feed: float addition does not commute, so
+  // only closeness is promised across different groupings.
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_NEAR(a.mean(), serial.mean(), 1e-9 * std::abs(serial.mean()));
+  EXPECT_NEAR(a.variance(), serial.variance(),
+              1e-6 * std::abs(serial.variance()));
+  EXPECT_EQ(a.min(), serial.min());
+  EXPECT_EQ(a.max(), serial.max());
+}
+
+TEST(LogQuantileSketch, QuantilesAreWithinTheDocumentedBucketError) {
+  auto xs = log_uniform_samples(20000, 7);
+  LogQuantileSketch sketch;
+  for (const double x : xs) sketch.add(x);
+  EXPECT_EQ(sketch.count(), xs.size());
+
+  std::sort(xs.begin(), xs.end());
+  for (const double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double exact = xs[static_cast<std::size_t>(q * (xs.size() - 1))];
+    const double approx = sketch.quantile(q);
+    // One bucket spans 10^(1/16) ≈ 1.155x; the geometric midpoint halves
+    // that, but stay generous to avoid pinning bucket-edge rounding.
+    EXPECT_GT(approx, exact / 1.2) << "q=" << q;
+    EXPECT_LT(approx, exact * 1.2) << "q=" << q;
+  }
+}
+
+TEST(LogQuantileSketch, OutOfRangeValuesLandInUnderAndOverflow) {
+  LogQuantileSketch sketch;
+  sketch.add(0.0);                               // below kMinValue
+  sketch.add(LogQuantileSketch::kMaxValue * 10);  // above kMaxValue
+  EXPECT_EQ(sketch.count(), 2u);
+  EXPECT_LE(sketch.quantile(0.0), LogQuantileSketch::kMinValue);
+  EXPECT_GE(sketch.quantile(1.0), LogQuantileSketch::kMaxValue);
+}
+
+TEST(LogQuantileSketch, MergeIsExactlyOrderInvariant) {
+  const auto xs = log_uniform_samples(5000, 1);
+  const auto ys = log_uniform_samples(3000, 2);
+
+  LogQuantileSketch all;
+  for (const double x : xs) all.add(x);
+  for (const double y : ys) all.add(y);
+
+  LogQuantileSketch a;
+  for (const double x : xs) a.add(x);
+  LogQuantileSketch b;
+  for (const double y : ys) b.add(y);
+
+  LogQuantileSketch ab = a;
+  ab.merge(b);
+  LogQuantileSketch ba = b;
+  ba.merge(a);
+
+  // Integer bucket counts commute: every representation is identical, so
+  // every quantile is identical — not just close.
+  EXPECT_EQ(ab.count(), all.count());
+  EXPECT_EQ(ba.count(), all.count());
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    EXPECT_EQ(ab.quantile(q), all.quantile(q)) << "q=" << q;
+    EXPECT_EQ(ba.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogQuantileSketch, EmptySketchIsInert) {
+  LogQuantileSketch sketch;
+  EXPECT_EQ(sketch.count(), 0u);
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  LogQuantileSketch other;
+  other.merge(sketch);
+  EXPECT_EQ(other.count(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pgen::analysis

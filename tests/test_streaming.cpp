@@ -1,0 +1,365 @@
+// Streaming determinism suite (DESIGN.md §11): the one-pass spool
+// analysis must be bit-identical to the materialized pipeline — same
+// trace digest, Table-1 stats, Table-2 filter rows, measure vectors and
+// refit model — at every thread count, on clean, faulted and
+// chaos-scenario spools; it must tolerate a torn spool tail exactly like
+// read_spool, hard-fail on interior damage exactly like read_spool, and
+// keep its tracked-session table bounded (throwing on the cap instead of
+// silently degrading to O(trace) memory).
+#include "analysis/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/filters.hpp"
+#include "analysis/measures.hpp"
+#include "analysis/model_fit.hpp"
+#include "behavior/checkpoint.hpp"
+#include "core/model_io.hpp"
+#include "geo/geoip.hpp"
+#include "scenario/curated.hpp"
+#include "stats/rng.hpp"
+#include "trace/spool.hpp"
+#include "trace/trace_io.hpp"
+
+namespace p2pgen {
+namespace {
+
+namespace fs = std::filesystem;
+
+behavior::TraceSimulationConfig tiny_fault_config() {
+  behavior::TraceSimulationConfig config;
+  config.duration_days = 0.02;  // ~29 simulated minutes per shard
+  config.arrival_rate = 1.0;
+  config.seed = 20040315;
+  config.faults.loss_prob = 0.03;
+  config.faults.corrupt_prob = 0.01;
+  config.faults.duplicate_prob = 0.02;
+  config.faults.crash_rate = 1.0 / 3600.0;
+  config.faults.half_open_prob = 0.05;
+  config.faults.half_open_after_mean = 300.0;
+  return config;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/p2pgen_streaming_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// Everything the materialized pipeline derives — the oracle the
+/// streaming pass is pinned against.
+struct Materialized {
+  trace::TraceStats stats;
+  std::uint64_t digest = 0;
+  std::uint64_t events = 0;
+  analysis::FilterReport filters;
+  analysis::SessionMeasures measures;
+  core::WorkloadModel model;
+};
+
+Materialized materialize(const trace::Trace& trace) {
+  Materialized m;
+  m.stats = trace.stats();
+  m.digest = trace::binary_digest(trace);
+  m.events = trace.size();
+  analysis::TraceDataset dataset =
+      analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic());
+  m.filters = analysis::apply_filters(dataset);
+  m.measures = analysis::session_measures(dataset);
+  m.model = analysis::fit_workload_model(dataset);
+  return m;
+}
+
+std::string model_string(const core::WorkloadModel& model) {
+  std::ostringstream os;
+  core::save_model(model, os);
+  return os.str();
+}
+
+void expect_stats_equal(const trace::TraceStats& a, const trace::TraceStats& b) {
+  EXPECT_EQ(a.first_time, b.first_time);
+  EXPECT_EQ(a.last_time, b.last_time);
+  EXPECT_EQ(a.query_messages, b.query_messages);
+  EXPECT_EQ(a.queryhit_messages, b.queryhit_messages);
+  EXPECT_EQ(a.ping_messages, b.ping_messages);
+  EXPECT_EQ(a.pong_messages, b.pong_messages);
+  EXPECT_EQ(a.bye_messages, b.bye_messages);
+  EXPECT_EQ(a.route_update_messages, b.route_update_messages);
+  EXPECT_EQ(a.direct_connections, b.direct_connections);
+  EXPECT_EQ(a.hop1_queries, b.hop1_queries);
+  EXPECT_EQ(a.ultrapeer_connections, b.ultrapeer_connections);
+  EXPECT_EQ(a.leaf_connections, b.leaf_connections);
+}
+
+void expect_filters_equal(const analysis::FilterReport& a,
+                          const analysis::FilterReport& b) {
+  EXPECT_EQ(a.initial_queries, b.initial_queries);
+  EXPECT_EQ(a.initial_sessions, b.initial_sessions);
+  EXPECT_EQ(a.rule1_removed, b.rule1_removed);
+  EXPECT_EQ(a.rule2_removed, b.rule2_removed);
+  EXPECT_EQ(a.rule3_removed_queries, b.rule3_removed_queries);
+  EXPECT_EQ(a.rule3_removed_sessions, b.rule3_removed_sessions);
+  EXPECT_EQ(a.final_queries, b.final_queries);
+  EXPECT_EQ(a.final_sessions, b.final_sessions);
+  EXPECT_EQ(a.rule4_excluded, b.rule4_excluded);
+  EXPECT_EQ(a.rule5_excluded, b.rule5_excluded);
+  EXPECT_EQ(a.interarrival_queries, b.interarrival_queries);
+}
+
+/// Bitwise equality of every conditioned sample vector — the inputs the
+/// appendix fitters consume, so identical measures force identical fits.
+void expect_measures_equal(const analysis::SessionMeasures& a,
+                           const analysis::SessionMeasures& b) {
+  EXPECT_TRUE(a.passive_duration_by_region == b.passive_duration_by_region);
+  EXPECT_TRUE(a.passive_duration_by_key_period ==
+              b.passive_duration_by_key_period);
+  EXPECT_TRUE(a.passive_duration_by_day_period ==
+              b.passive_duration_by_day_period);
+  EXPECT_TRUE(a.queries_by_region == b.queries_by_region);
+  EXPECT_TRUE(a.queries_by_key_period == b.queries_by_key_period);
+  EXPECT_TRUE(a.first_query_by_region == b.first_query_by_region);
+  EXPECT_TRUE(a.first_query_by_class == b.first_query_by_class);
+  EXPECT_TRUE(a.first_query_by_key_period == b.first_query_by_key_period);
+  EXPECT_TRUE(a.first_query_by_period_class == b.first_query_by_period_class);
+  EXPECT_TRUE(a.interarrival_by_region == b.interarrival_by_region);
+}
+
+void expect_streaming_matches(const analysis::StreamingResult& got,
+                              const Materialized& want) {
+  EXPECT_EQ(got.trace_digest, want.digest);
+  EXPECT_EQ(got.events, want.events);
+  expect_stats_equal(got.stats, want.stats);
+  expect_filters_equal(got.filters, want.filters);
+  expect_measures_equal(got.measures, want.measures);
+  EXPECT_EQ(model_string(got.model), model_string(want.model));
+}
+
+/// Builds a durable checkpoint and returns its spool dirs; the
+/// materialized oracle later resumes the SAME checkpoint so both paths
+/// consume identical bytes.
+std::vector<std::string> build_checkpoint(
+    const behavior::TraceSimulationConfig& config, unsigned shards,
+    const std::string& dir) {
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  return behavior::simulate_to_spools(core::WorkloadModel::paper_default(),
+                                      config, shards, 2, durability);
+}
+
+trace::Trace resume_materialized(const behavior::TraceSimulationConfig& config,
+                                 unsigned shards, const std::string& dir) {
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  durability.resume = true;
+  return behavior::simulate_trace_durable(core::WorkloadModel::paper_default(),
+                                          config, shards, 2, durability);
+}
+
+TEST(Streaming, MatchesMaterializedOnFaultedMultiShardSpoolAtAnyThreadCount) {
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("faulted");
+  const auto spool_dirs = build_checkpoint(config, 3, dir);
+  const Materialized want = materialize(resume_materialized(config, 3, dir));
+  ASSERT_GT(want.events, 0u);
+
+  analysis::StreamingStats first_stats;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    analysis::StreamingOptions options;
+    options.threads = threads;
+    const auto got = analysis::analyze_spools(
+        spool_dirs, geo::GeoIpDatabase::synthetic(), options);
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    expect_streaming_matches(got, want);
+    // The sketches ride along deterministically: one duration sample per
+    // surviving session, one interarrival sample per usable gap.
+    EXPECT_EQ(got.duration_moments.count(), got.duration_sketch.count());
+    EXPECT_GT(got.duration_sketch.count(), 0u);
+    // Pass-shape counters that do not depend on the thread count must
+    // not either (wave count legitimately does).
+    if (threads == 1) {
+      first_stats = got.streaming;
+    } else {
+      EXPECT_EQ(got.streaming.segments_read, first_stats.segments_read);
+      EXPECT_EQ(got.streaming.events, first_stats.events);
+      EXPECT_EQ(got.streaming.max_open_sessions,
+                first_stats.max_open_sessions);
+      EXPECT_EQ(got.streaming.max_tracked_sessions,
+                first_stats.max_tracked_sessions);
+      EXPECT_EQ(got.streaming.unmatched_query_events,
+                first_stats.unmatched_query_events);
+      EXPECT_EQ(got.streaming.unmatched_end_events,
+                first_stats.unmatched_end_events);
+    }
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Streaming, MatchesMaterializedOnChaosScenarioSpools) {
+  for (const std::string name : {"flash-crowd", "regional-outage-na"}) {
+    auto config = tiny_fault_config();
+    const auto spec = scenario::find_curated(name, config.duration_days);
+    ASSERT_TRUE(spec.has_value()) << name;
+    config = spec->apply(config);
+
+    const std::string dir = fresh_dir("scenario_" + name);
+    const auto spool_dirs = build_checkpoint(config, 2, dir);
+    const Materialized want = materialize(resume_materialized(config, 2, dir));
+    ASSERT_GT(want.events, 0u) << name;
+
+    analysis::StreamingOptions options;
+    options.threads = 2;
+    const auto got = analysis::analyze_spools(
+        spool_dirs, geo::GeoIpDatabase::synthetic(), options);
+    SCOPED_TRACE(name);
+    expect_streaming_matches(got, want);
+    fs::remove_all(dir);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Raw-spool damage handling, pinned against read_spool on synthetic
+// spools (single shard, so no session-id namespacing is involved).
+
+trace::Trace synthetic_trace(std::size_t sessions, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  trace::Trace out;
+  double now = 0.0;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const std::uint64_t id = s + 1;
+    trace::SessionStart start;
+    start.time = now;
+    start.session_id = id;
+    start.ip = static_cast<std::uint32_t>(rng.next_u64());
+    start.ultrapeer = rng.bernoulli(0.3);
+    start.user_agent = rng.bernoulli(0.5) ? "mutella-0.4.5" : "LimeWire/4.2";
+    out.append(trace::TraceEvent(start));
+    const int messages = 1 + static_cast<int>(rng.next_u64() % 5);
+    for (int m = 0; m < messages; ++m) {
+      now += 90.0;
+      trace::MessageEvent msg;
+      msg.time = now;
+      msg.session_id = id;
+      msg.type = gnutella::MessageType::kQuery;
+      msg.ttl = 3;
+      msg.hops = 1;
+      msg.query = "metallica track " + std::to_string(rng.next_u64() % 7);
+      msg.sha1 = rng.bernoulli(0.1);
+      msg.guid_hash = rng.next_u64();
+      out.append(trace::TraceEvent(msg));
+    }
+    now += 120.0;
+    trace::SessionEnd end;
+    end.time = now;
+    end.session_id = id;
+    end.reason = static_cast<trace::EndReason>(rng.next_u64() % 4);
+    out.append(trace::TraceEvent(end));
+  }
+  return out;
+}
+
+void spool_trace(const trace::Trace& trace, const std::string& dir,
+                 std::uint64_t segment_max_records) {
+  trace::SpoolConfig config;
+  config.segment_max_records = segment_max_records;
+  trace::SpoolWriter writer(dir, config);
+  for (const auto& event : trace.events()) writer.append(event);
+  writer.close();
+}
+
+std::vector<std::string> segment_paths(const std::string& dir) {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("seg-", 0) == 0) {
+      names.push_back(entry.path().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void truncate_file(const std::string& path, std::uintmax_t drop_bytes) {
+  const auto size = fs::file_size(path);
+  ASSERT_GT(size, drop_bytes);
+  fs::resize_file(path, size - drop_bytes);
+}
+
+TEST(Streaming, TornTailIsTruncatedExactlyLikeReadSpool) {
+  const std::string dir = fresh_dir("torn");
+  spool_trace(synthetic_trace(64, 7), dir, 16);
+  const auto segments = segment_paths(dir);
+  ASSERT_GT(segments.size(), 2u);
+  truncate_file(segments.back(), 5);  // tear the final frame mid-payload
+
+  trace::SpoolRecoveryReport report;
+  const trace::Trace loaded = trace::read_spool(dir, &report);
+  EXPECT_TRUE(report.torn);
+  const Materialized want = materialize(loaded);
+
+  const auto got = analysis::analyze_spools({dir},
+                                            geo::GeoIpDatabase::synthetic());
+  expect_streaming_matches(got, want);
+  EXPECT_EQ(got.streaming.shards_torn, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(Streaming, InteriorSegmentDamageIsAHardErrorLikeReadSpool) {
+  const std::string dir = fresh_dir("interior");
+  spool_trace(synthetic_trace(64, 11), dir, 16);
+  const auto segments = segment_paths(dir);
+  ASSERT_GT(segments.size(), 2u);
+  truncate_file(segments[segments.size() / 2], 5);
+
+  EXPECT_THROW(trace::read_spool(dir), trace::TraceIoError);
+  EXPECT_THROW(
+      analysis::analyze_spools({dir}, geo::GeoIpDatabase::synthetic()),
+      trace::TraceIoError);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded memory: the tracked-session table.
+
+TEST(Streaming, TrackedSessionTableStaysBoundedUnderChurnStorm) {
+  auto config = tiny_fault_config();
+  const auto spec = scenario::find_curated("churn-storm", config.duration_days);
+  ASSERT_TRUE(spec.has_value());
+  config = spec->apply(config);
+
+  const std::string dir = fresh_dir("churn");
+  const auto spool_dirs = build_checkpoint(config, 2, dir);
+  const auto got =
+      analysis::analyze_spools(spool_dirs, geo::GeoIpDatabase::synthetic());
+  // The table's high-water mark is session CONCURRENCY, not session
+  // count: under churn the trace holds far more sessions than are ever
+  // simultaneously tracked.
+  ASSERT_GT(got.stats.direct_connections, 0u);
+  EXPECT_GT(got.streaming.max_tracked_sessions, 0u);
+  EXPECT_LT(got.streaming.max_tracked_sessions, got.stats.direct_connections);
+  EXPECT_LE(got.streaming.max_open_sessions,
+            got.streaming.max_tracked_sessions);
+  fs::remove_all(dir);
+}
+
+TEST(Streaming, ExceedingTheTrackedSessionCapThrows) {
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("cap");
+  const auto spool_dirs = build_checkpoint(config, 1, dir);
+
+  analysis::StreamingOptions options;
+  options.max_tracked_sessions = 2;  // absurdly small on purpose
+  EXPECT_THROW(analysis::analyze_spools(spool_dirs,
+                                        geo::GeoIpDatabase::synthetic(),
+                                        options),
+               std::runtime_error);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace p2pgen

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Equivalence diff of two measurement_pipeline PipelineReport JSONs.
+
+The streaming-equivalence CI job runs the materialized and the
+--streaming pipeline over the SAME resumed checkpoint and feeds both
+--metrics files here.  The comparison surface is everything the analysis
+derives from the trace:
+
+  * the robustness section (end-reason rows included),
+  * the Table-2 filter section,
+  * every metrics counter EXCEPT pass-shape namespaces that legitimately
+    differ between the two executions: pool.* (scheduler internals),
+    recovery.* (only the spool-producing run recovers), streaming.*
+    (describes the streaming pass itself) and process.* (RSS — differing
+    is the point).
+
+Gauges and histograms are excluded wholesale: they hold queue depths,
+span timings and peak RSS, all of which measure the machine, not the
+trace.  Exit 0 iff equivalent; prints each divergence otherwise.
+"""
+
+import json
+import sys
+
+EXCLUDED_PREFIXES = ("pool.", "recovery.", "streaming.", "process.")
+
+
+def comparable_counters(report):
+    counters = report.get("metrics", {}).get("counters", {})
+    return {
+        key: value
+        for key, value in counters.items()
+        if not key.startswith(EXCLUDED_PREFIXES)
+    }
+
+
+def diff_section(name, a, b, problems):
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if left != right:
+            problems.append(f"{name}.{key}: {left!r} != {right!r}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <materialized.json> <streaming.json>",
+              file=sys.stderr)
+        return 2
+    with open(argv[1]) as fh:
+        materialized = json.load(fh)
+    with open(argv[2]) as fh:
+        streaming = json.load(fh)
+
+    problems = []
+    diff_section("robustness", materialized.get("robustness", {}),
+                 streaming.get("robustness", {}), problems)
+    diff_section("filters", materialized.get("filters", {}),
+                 streaming.get("filters", {}), problems)
+    mat_counters = comparable_counters(materialized)
+    str_counters = comparable_counters(streaming)
+    diff_section("counters", mat_counters, str_counters, problems)
+
+    if problems:
+        print(f"{len(problems)} divergence(s) between {argv[1]} and {argv[2]}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"reports equivalent: robustness, filters and "
+          f"{len(mat_counters)} counters identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
