@@ -51,6 +51,7 @@
 #include "analysis/streaming.hpp"
 #include "behavior/checkpoint.hpp"
 #include "geo/geoip.hpp"
+#include "obs/metrics.hpp"
 #include "obs/process.hpp"
 #include "scenario/json.hpp"
 #include "trace/trace_io.hpp"
@@ -181,6 +182,11 @@ int run_child(const std::string& phase, const std::string& dir) {
   durability.resume = true;
 
   PhaseOutcome out;
+  // Baseline for the per-phase registry delta reported below: everything
+  // the phase publishes is read as Registry::delta(pre_phase), so the
+  // numbers are the phase's own contribution even if this process ever
+  // grows pre-phase metric traffic.
+  const obs::MetricsSnapshot pre_phase = obs::Registry::global().snapshot();
   const auto t0 = std::chrono::steady_clock::now();
   if (phase == "materialized") {
     const trace::Trace trace = behavior::simulate_trace_durable(
@@ -216,6 +222,14 @@ int run_child(const std::string& phase, const std::string& dir) {
     return 2;
   }
   const auto t1 = std::chrono::steady_clock::now();
+  const auto phase_delta = obs::Registry::global().delta(pre_phase);
+  std::cerr << "[bench] phase " << phase << " delta: merged_events="
+            << phase_delta.counter_value("sim.merged_events")
+            << " transport_delivered="
+            << phase_delta.counter_value("transport.messages_delivered")
+            << " recovery_loaded="
+            << phase_delta.counter_value("recovery.shards_completed_prior")
+            << "\n";
   out.wall_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
   out.events_per_sec =
       out.wall_ms > 0.0

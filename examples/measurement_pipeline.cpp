@@ -13,6 +13,7 @@
 //       [threads] [--metrics=<path>] [--trace-json=<path>]
 //       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
 //       [--resume] [--streaming] [--scenario=<name-or-json-file>]
+//       [--qtrace-sample=<rate>] [--query-trace=<dir>]
 //       [--list-scenarios]
 //
 // --streaming (needs --checkpoint-dir=) runs the one-pass analysis
@@ -40,6 +41,17 @@
 // in records (default 65536; smaller = less re-simulation after a kill).
 // --resume requires an existing, identity-matching checkpoint.
 //
+// --qtrace-sample=<rate> turns on query-lifecycle tracing (DESIGN.md §12):
+// a deterministic FNV-sampled subset of queries records every hop of its
+// journey (emitted, received, forwarded, dropped-and-why, QUERYHIT return
+// with end-to-end latency).  The sampled set depends only on the query id
+// and the rate — never on thread count or sharding — so traces are
+// byte-identical across runs.  Derived qtrace.* histograms (hop count,
+// fan-out, drop reasons, hit latency) land in the metrics report;
+// --query-trace=<dir> additionally dumps the merged hop stream as
+// qtrace.bin (compact binary) + qtrace.json, and --trace-json gains
+// chrome://tracing flow arrows connecting each query's hops.
+//
 // Pass a third argument "faults" (or "1") to run the same measurement on
 // a hostile overlay: message loss, byte corruption, duplication, jitter,
 // abrupt peer crashes and half-open links — and print the robustness
@@ -52,11 +64,13 @@
 // passes below also fan across the same thread budget.
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -71,6 +85,7 @@
 #include "behavior/sharded_simulation.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
+#include "obs/qtrace.hpp"
 #include "obs/span.hpp"
 #include "scenario/curated.hpp"
 #include "scenario/spec.hpp"
@@ -82,6 +97,8 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   std::string trace_json_path;
   std::string scenario_arg;
+  std::string query_trace_dir;
+  double qtrace_sample = 0.0;
   bool streaming_on = false;
   behavior::DurabilityConfig durability;
   std::vector<const char*> args;
@@ -101,6 +118,10 @@ int main(int argc, char** argv) {
       streaming_on = true;
     } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
       scenario_arg = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--qtrace-sample=", 16) == 0) {
+      qtrace_sample = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--query-trace=", 14) == 0) {
+      query_trace_dir = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
       std::cout << "curated scenarios (--scenario=<name>):\n";
       for (const auto& spec :
@@ -127,6 +148,11 @@ int main(int argc, char** argv) {
                  "(the spool is the streaming pass's input)\n";
     return 1;
   }
+  if (!query_trace_dir.empty() && qtrace_sample <= 0.0) {
+    std::cerr << "measurement_pipeline: --query-trace needs "
+                 "--qtrace-sample=<rate> > 0 (nothing would be recorded)\n";
+    return 1;
+  }
   // Span tracing buffers grow while enabled, so it is opt-in.
   if (!trace_json_path.empty()) obs::TraceLog::global().set_enabled(true);
 
@@ -134,6 +160,7 @@ int main(int argc, char** argv) {
   config.duration_days = args.size() > 0 ? std::atof(args[0]) : 1.0;
   config.arrival_rate = args.size() > 1 ? std::atof(args[1]) : 1.0;
   config.seed = 20040315;
+  config.qtrace.sample_rate = qtrace_sample;
 
   const unsigned shards =
       args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3])) : 1;
@@ -193,6 +220,11 @@ int main(int argc, char** argv) {
   }
   trace::Trace trace;
   std::vector<behavior::ShardStats> shard_stats;
+  std::vector<obs::QueryHopEvent> qtrace;
+  // Snapshot before any simulation runs: the robustness rows below are
+  // read as a delta against this baseline, so they count only what THIS
+  // run's shards published (not whatever else shares the registry).
+  const obs::MetricsSnapshot pre_sim_snapshot = obs::Registry::global().snapshot();
   // The single-vantage-point path keeps the full per-node robustness
   // counters, which a merged multi-shard trace no longer has one node for.
   std::unique_ptr<behavior::TraceSimulation> simulation;
@@ -221,6 +253,7 @@ int main(int argc, char** argv) {
     // Mirror the materialized path's merge counter so the metric surface
     // the equivalence CI diffs is the same on both.
     obs::Registry::global().counter("sim.merged_events").add(streaming->events);
+    qtrace = std::move(streaming->qtrace);
     std::cout << "  streaming pass:      " << streaming->streaming.segments_read
               << " segment(s) in " << streaming->streaming.decode_waves
               << " wave(s), max open sessions "
@@ -231,7 +264,7 @@ int main(int argc, char** argv) {
     try {
       trace = behavior::simulate_trace_durable(
           core::WorkloadModel::paper_default(), config, shards, threads,
-          durability, &recovery, &shard_stats);
+          durability, &recovery, &shard_stats, &qtrace);
     } catch (const std::exception& e) {
       // Identity mismatch / missing checkpoint: refuse cleanly instead
       // of splicing incompatible runs (or dumping a raw terminate).
@@ -248,7 +281,7 @@ int main(int argc, char** argv) {
   } else if (shards > 1) {
     trace = behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
                                              config, shards, threads,
-                                             &shard_stats);
+                                             &shard_stats, &qtrace);
     for (unsigned k = 0; k < shards; ++k) {
       std::cout << "  shard " << k << ": seed " << shard_stats[k].seed << ", "
                 << shard_stats[k].events << " events, "
@@ -261,6 +294,14 @@ int main(int argc, char** argv) {
     // The sharded path publishes per-shard; the single-vantage-point
     // path owns its one simulation and publishes it here.
     simulation->publish_metrics();
+    if (config.qtrace.sample_rate > 0.0) {
+      // One shard's buffer still goes through the merge so the stream
+      // carries the same (time, shard) ordering guarantees as n > 1.
+      std::vector<std::vector<obs::QueryHopEvent>> buffers;
+      buffers.push_back(simulation->take_qtrace());
+      qtrace = obs::merge_qtrace(std::move(buffers));
+      obs::publish_qtrace_metrics(qtrace);
+    }
   }
 
   const auto stats = streaming ? streaming->stats : trace.stats();
@@ -285,6 +326,16 @@ int main(int argc, char** argv) {
                    static_cast<double>(std::max<std::uint64_t>(
                        1, stats.direct_connections))
             << "\n";
+  if (config.qtrace.sample_rate > 0.0) {
+    // publish_qtrace_metrics already counted the distinct sampled
+    // queries while aggregating; read it back rather than re-deriving.
+    const auto qsnap = obs::Registry::global().snapshot();
+    std::cout << "  qtrace:              " << qtrace.size()
+              << " hop events across "
+              << qsnap.counter_value("qtrace.sampled_queries")
+              << " sampled queries (rate " << config.qtrace.sample_rate
+              << ")\n";
+  }
 
   // The pipeline report wants the robustness rows whether or not faults
   // were injected (on a clean overlay they are simply zero).
@@ -317,8 +368,9 @@ int main(int argc, char** argv) {
     }
     // ShardStats only carries fault counters; the transport and node
     // totals of the merged run come from the metrics registry, where
-    // every shard's simulation published them.
-    const auto snapshot = obs::Registry::global().snapshot();
+    // every shard's simulation published them.  Read as a delta against
+    // the pre-simulation baseline so only this run's contribution counts.
+    const auto snapshot = obs::Registry::global().delta(pre_sim_snapshot);
     robustness.transport_delivered =
         snapshot.counter_value("transport.messages_delivered");
     robustness.transport_dropped =
@@ -421,8 +473,27 @@ int main(int argc, char** argv) {
 
   analysis::publish_analysis_pool_metrics();
   obs::publish_process_metrics();
-  if (!metrics_path.empty() || !trace_json_path.empty()) {
+  if (!metrics_path.empty() || !trace_json_path.empty() ||
+      !query_trace_dir.empty()) {
     std::cout << "\n== 6. pipeline health report ==\n";
+  }
+  if (!query_trace_dir.empty()) {
+    try {
+      std::filesystem::create_directories(query_trace_dir);
+      const std::string bin_path = query_trace_dir + "/qtrace.bin";
+      obs::save_qtrace(bin_path, qtrace);
+      const std::string json_path = query_trace_dir + "/qtrace.json";
+      std::ofstream json_out(json_path);
+      obs::write_qtrace_json(json_out, qtrace);
+      if (!json_out) {
+        throw std::runtime_error("failed writing " + json_path);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "measurement_pipeline: --query-trace: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "  qtrace:  " << query_trace_dir << "/qtrace.{bin,json} ("
+              << qtrace.size() << " hop events)\n";
   }
   if (!metrics_path.empty()) {
     const auto pipeline = analysis::PipelineReport::capture(robustness, report);
@@ -442,7 +513,11 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) {
     auto& log = obs::TraceLog::global();
     std::ofstream trace_out(trace_json_path);
-    log.write_chrome_json(trace_out);
+    // Sampled query journeys ride along as flow events: each hop is a
+    // slice on the shard's track and arrows chain the causal path.
+    log.write_chrome_json(trace_out, [&](std::ostream& out, bool any_prior) {
+      obs::write_qtrace_flow_events(out, qtrace, any_prior);
+    });
     if (!trace_out) {
       std::cerr << "measurement_pipeline: failed writing " << trace_json_path
                 << "\n";

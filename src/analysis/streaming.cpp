@@ -89,7 +89,8 @@ class StreamingPass {
                 const StreamingOptions& options)
       : geodb_(geodb),
         options_(options),
-        pool_(options.threads == 0 ? 1 : options.threads) {
+        pool_(options.threads == 0 ? 1 : options.threads),
+        shard_dirs_(shard_dirs) {
     cursors_.reserve(shard_dirs.size());
     for (std::size_t k = 0; k < shard_dirs.size(); ++k) {
       cursors_.emplace_back(shard_dirs[k]);
@@ -433,6 +434,30 @@ class StreamingPass {
     result.duration_moments = duration_moments_;
     result.duration_sketch = duration_sketch_;
     result.interarrival_sketch = interarrival_sketch_;
+
+    // Query-lifecycle sidecars (DESIGN.md §12): the durable producer
+    // wrote one "qtrace.bin" per shard when tracing was on.  Reading
+    // them back and merging in the same (time, shard) order reproduces
+    // the materialized path's merged stream — and therefore the exact
+    // same published aggregates.  Publish only when at least one sidecar
+    // exists, mirroring the materialized rule (publish iff rate > 0), so
+    // both paths expose the identical metric surface.
+    {
+      std::vector<std::vector<obs::QueryHopEvent>> per_shard(
+          shard_dirs_.size());
+      bool any_sidecar = false;
+      for (std::size_t k = 0; k < shard_dirs_.size(); ++k) {
+        if (obs::load_qtrace(obs::qtrace_sidecar_path(shard_dirs_[k]),
+                             per_shard[k])) {
+          any_sidecar = true;
+        }
+      }
+      if (any_sidecar) {
+        result.qtrace = obs::merge_qtrace(std::move(per_shard));
+        obs::publish_qtrace_metrics(result.qtrace);
+      }
+    }
+
     publish_metrics(result.streaming);
     util::publish_pool_stats("pool.streaming", pool_.stats());
     return result;
@@ -459,6 +484,7 @@ class StreamingPass {
   const geo::GeoIpDatabase& geodb_;
   const StreamingOptions& options_;
   util::ThreadPool pool_;
+  std::vector<std::string> shard_dirs_;  ///< for the qtrace sidecars
   std::vector<ShardCursor> cursors_;
 
   // Merge + digest state.

@@ -40,6 +40,7 @@
 #include "analysis/sketch.hpp"
 #include "core/model.hpp"
 #include "geo/geoip.hpp"
+#include "obs/qtrace.hpp"
 #include "trace/trace.hpp"
 
 namespace p2pgen::analysis {
@@ -108,6 +109,13 @@ struct StreamingResult {
   StreamingMoments duration_moments;
   LogQuantileSketch duration_sketch;
   LogQuantileSketch interarrival_sketch;
+
+  /// Merged query-lifecycle hop events, read back from the per-shard
+  /// "qtrace.bin" sidecars the durable runner writes (empty when no
+  /// sidecar exists — tracing was off).  Merged in the same (time,
+  /// shard) order as the materialized path, so the published qtrace
+  /// aggregates are identical to simulate_trace_durable's.
+  std::vector<obs::QueryHopEvent> qtrace;
 };
 
 /// Runs the one-pass analysis over per-shard spool directories (order

@@ -11,6 +11,7 @@
 
 #include "core/model_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/qtrace.hpp"
 #include "obs/span.hpp"
 #include "trace/trace_io.hpp"
 #include "util/thread_pool.hpp"
@@ -194,7 +195,7 @@ void run_durable_shards(const core::WorkloadModel& model,
                         const TraceSimulationConfig& base, unsigned n_shards,
                         unsigned n_threads, const DurabilityConfig& durability,
                         RecoverySummary* summary_out,
-                        std::vector<ShardStats>* stats,
+                        std::vector<ShardStats>& shard_stats,
                         std::vector<trace::Trace>* shards_out) {
   if (n_shards == 0) {
     throw std::invalid_argument("simulate_trace_durable: n_shards must be > 0");
@@ -235,7 +236,8 @@ void run_durable_shards(const core::WorkloadModel& model,
   }
 
   if (shards_out != nullptr) shards_out->resize(n_shards);
-  std::vector<ShardStats> shard_stats(n_shards);
+  shard_stats.assign(n_shards, ShardStats{});
+  const bool qtrace_on = base.qtrace.sample_rate > 0.0;
   std::mutex manifest_mutex;  // guards manifest + summary
 
   util::ThreadPool pool(std::min(n_threads, n_shards));
@@ -256,6 +258,13 @@ void run_durable_shards(const core::WorkloadModel& model,
               " has a torn spool — completed data should never tear");
         }
         shard_stats[k].events = (*shards_out)[k].size();
+        if (qtrace_on) {
+          // A checkpoint written before tracing (or at rate 0) simply has
+          // no sidecar; the shard contributes no hop events, exactly as
+          // the streaming replay will also conclude.
+          obs::load_qtrace(obs::qtrace_sidecar_path(spool_dir),
+                           shard_stats[k].qtrace);
+        }
         std::lock_guard<std::mutex> lock(manifest_mutex);
         summary.segments_scanned += report.segments_scanned;
         summary.records_recovered += report.records_recovered;
@@ -285,6 +294,18 @@ void run_durable_shards(const core::WorkloadModel& model,
                      writer, index);
     simulate_shard_into(model, base, index, sink, &shard_stats[k]);
     writer.close();  // final fsync: the shard's redo log is complete
+    if (qtrace_on) {
+      // The sidecar is durable before the manifest marks the shard done,
+      // so a done shard always has its (possibly empty) qtrace next to
+      // its spool.  Spool-only mode drops the in-memory copy right away:
+      // the streaming pass reads it back from disk.
+      obs::save_qtrace(obs::qtrace_sidecar_path(spool_dir),
+                       shard_stats[k].qtrace);
+      if (shards_out == nullptr) {
+        shard_stats[k].qtrace.clear();
+        shard_stats[k].qtrace.shrink_to_fit();
+      }
+    }
 
     std::lock_guard<std::mutex> lock(manifest_mutex);
     summary.events_replayed += sink.replayed();
@@ -297,7 +318,6 @@ void run_durable_shards(const core::WorkloadModel& model,
 
   publish_recovery_metrics(summary);
   if (summary_out != nullptr) *summary_out = summary;
-  if (stats != nullptr) *stats = std::move(shard_stats);
 }
 
 }  // namespace
@@ -326,10 +346,12 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
                                     unsigned n_shards, unsigned n_threads,
                                     const DurabilityConfig& durability,
                                     RecoverySummary* summary_out,
-                                    std::vector<ShardStats>* stats) {
+                                    std::vector<ShardStats>* stats,
+                                    std::vector<obs::QueryHopEvent>* qtrace) {
   std::vector<trace::Trace> shards;
+  std::vector<ShardStats> shard_stats;
   run_durable_shards(model, base, n_shards, n_threads, durability, summary_out,
-                     stats, &shards);
+                     shard_stats, &shards);
 
   trace::Trace merged;
   {
@@ -337,6 +359,23 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
     merged = trace::merge_traces(std::move(shards));
   }
   obs::Registry::global().counter("sim.merged_events").add(merged.size());
+
+  if (base.qtrace.sample_rate > 0.0) {
+    // Same merge + publish as simulate_trace_sharded: resumed shards
+    // contribute the sidecar buffers recovered above, fresh shards the
+    // buffers they just recorded, so an interrupted-and-resumed run's
+    // merged qtrace is identical to an uninterrupted one's.
+    std::vector<std::vector<obs::QueryHopEvent>> per_shard(n_shards);
+    for (unsigned k = 0; k < n_shards; ++k) {
+      per_shard[k] = std::move(shard_stats[k].qtrace);
+    }
+    std::vector<obs::QueryHopEvent> merged_qtrace =
+        obs::merge_qtrace(std::move(per_shard));
+    obs::publish_qtrace_metrics(merged_qtrace);
+    if (qtrace != nullptr) *qtrace = std::move(merged_qtrace);
+  }
+
+  if (stats != nullptr) *stats = std::move(shard_stats);
   return merged;
 }
 
@@ -344,8 +383,10 @@ std::vector<std::string> simulate_to_spools(
     const core::WorkloadModel& model, const TraceSimulationConfig& base,
     unsigned n_shards, unsigned n_threads, const DurabilityConfig& durability,
     RecoverySummary* summary_out, std::vector<ShardStats>* stats) {
+  std::vector<ShardStats> shard_stats;
   run_durable_shards(model, base, n_shards, n_threads, durability, summary_out,
-                     stats, /*shards_out=*/nullptr);
+                     shard_stats, /*shards_out=*/nullptr);
+  if (stats != nullptr) *stats = std::move(shard_stats);
   return checkpoint_shard_dirs(durability.dir, n_shards);
 }
 

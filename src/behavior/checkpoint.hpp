@@ -81,12 +81,20 @@ bool checkpoint_exists(const std::string& dir);
 /// counters to the obs registry.  Throws std::runtime_error when
 /// `durability.resume` is set but no checkpoint exists, or when the
 /// existing checkpoint's identity does not match (model/config/shards).
-trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
-                                    const TraceSimulationConfig& base,
-                                    unsigned n_shards, unsigned n_threads,
-                                    const DurabilityConfig& durability,
-                                    RecoverySummary* summary = nullptr,
-                                    std::vector<ShardStats>* stats = nullptr);
+///
+/// Query-lifecycle tracing (base.qtrace.sample_rate > 0): each shard's
+/// hop events are written to an atomic "qtrace.bin" sidecar next to its
+/// spool before the MANIFEST marks the shard done, and done shards load
+/// theirs back on resume — so the merged stream (published to the obs
+/// registry; optionally returned via `qtrace`) is identical whether or
+/// not the run was interrupted.  A done shard without a sidecar (written
+/// before tracing, or at rate 0) contributes no events; keep the
+/// sampling flags consistent across resume for meaningful aggregates.
+trace::Trace simulate_trace_durable(
+    const core::WorkloadModel& model, const TraceSimulationConfig& base,
+    unsigned n_shards, unsigned n_threads, const DurabilityConfig& durability,
+    RecoverySummary* summary = nullptr, std::vector<ShardStats>* stats = nullptr,
+    std::vector<obs::QueryHopEvent>* qtrace = nullptr);
 
 /// The durable run without the merge: every shard's events end up in its
 /// fsync'd spool (resume semantics identical to simulate_trace_durable),

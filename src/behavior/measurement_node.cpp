@@ -6,6 +6,7 @@
 #include <utility>
 #include <variant>
 
+#include "obs/qtrace.hpp"
 #include "util/backoff.hpp"
 
 namespace p2pgen::behavior {
@@ -260,6 +261,18 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
 
   const double now = network_.simulator().now();
 
+  // Query-lifecycle tracing (DESIGN.md §12): purely observational, the
+  // decisions below are identical with tracing on or off.
+  const auto mtype = message.type();
+  const bool is_query = mtype == gnutella::MessageType::kQuery;
+  const bool is_hit = mtype == gnutella::MessageType::kQueryHit;
+  std::uint64_t qkey = 0;
+  bool traced = false;
+  if (qtracer_ != nullptr && (is_query || is_hit)) {
+    qkey = gnutella::GuidHash{}(message.guid);
+    traced = qtracer_->sampled(qkey);
+  }
+
   // Load shedding: under overload the node drops excess queries before
   // spending any work on them — no trace record, no routing-table entry,
   // no forwarding.  (The bytes were still received, so the activity
@@ -267,15 +280,31 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
   if (message.type() == gnutella::MessageType::kQuery &&
       config_.query_shed_rate > 0.0 && !admit_query(now)) {
     ++shed_queries_;
+    if (traced) {
+      qtracer_->record(now, qkey, obs::QueryHop::kShed, message.ttl,
+                       message.hops);
+    }
     return;
   }
 
   // The trace records everything the client receives, duplicates included
   // (duplicate suppression affects forwarding, not logging).
   record_message(session.session_id, message);
+  if (traced) {
+    qtracer_->record(now, qkey,
+                     is_query ? obs::QueryHop::kQueryReceived
+                              : obs::QueryHop::kHitReceived,
+                     message.ttl, message.hops);
+  }
 
   const bool first_seen = routing_.note_seen(message.guid, conn, now);
-  if (!first_seen) ++duplicates_;
+  if (!first_seen) {
+    ++duplicates_;
+    if (traced && is_query) {
+      qtracer_->record(now, qkey, obs::QueryHop::kDuplicateDropped,
+                       message.ttl, message.hops);
+    }
+  }
 
   switch (message.type()) {
     case gnutella::MessageType::kPing: {
@@ -289,6 +318,10 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
     case gnutella::MessageType::kQuery: {
       if (first_seen && config_.forward_fanout > 0 && message.forwardable()) {
         forward_query(conn, message);
+      } else if (traced && first_seen && config_.forward_fanout > 0) {
+        // Would have been forwarded, but arrived with TTL 0.
+        qtracer_->record(now, qkey, obs::QueryHop::kTtlExpired, message.ttl,
+                         message.hops);
       }
       break;
     }
@@ -298,6 +331,13 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
       if (route && *route != conn && message.forwardable() &&
           network_.is_open(*route)) {
         network_.send(*route, id_, message.forwarded());
+        if (traced) {
+          // End-to-end latency: from the query's first emission to its
+          // answer leaving the node toward the querier.
+          qtracer_->record(now, qkey, obs::QueryHop::kHitReturned,
+                           message.ttl, message.hops,
+                           qtracer_->latency_since_emit(qkey, now));
+        }
       }
       break;
     }
@@ -332,6 +372,14 @@ void MeasurementNode::forward_attempt(
     const std::shared_ptr<std::unordered_set<sim::ConnId>>& used,
     int attempt) {
   const auto& payload = std::get<gnutella::QueryPayload>(message.payload);
+  // Computed locally because retries re-enter this function later.
+  std::uint64_t qkey = 0;
+  bool traced = false;
+  if (qtracer_ != nullptr) {
+    qkey = gnutella::GuidHash{}(message.guid);
+    traced = qtracer_->sampled(qkey);
+  }
+  const double now = network_.simulator().now();
   for (auto& [conn, session] : sessions_) {
     if (conn == from || used->count(conn) > 0) continue;
     if (!network_.is_open(conn)) continue;
@@ -341,11 +389,23 @@ void MeasurementNode::forward_attempt(
       // nothing and are skipped entirely.  (Counted only on the first
       // pass: a retry revisiting the same leaf is not a new suppression.)
       if (!session.qrp || !session.qrp->might_match(payload.keywords)) {
-        if (attempt == 0) ++qrp_suppressed_;
+        if (attempt == 0) {
+          ++qrp_suppressed_;
+          if (traced) {
+            qtracer_->record(now, qkey, obs::QueryHop::kQrpSuppressed,
+                             message.ttl, message.hops);
+          }
+        }
         continue;
       }
     }
     network_.send(conn, id_, message.forwarded());
+    if (traced) {
+      // One hop per send, with the forwarded header (TTL-1, hops+1).
+      qtracer_->record(now, qkey, obs::QueryHop::kForwarded,
+                       static_cast<std::uint8_t>(message.ttl - 1),
+                       static_cast<std::uint8_t>(message.hops + 1));
+    }
     used->insert(conn);
     ++forwarded_;
     if (used->size() >= static_cast<std::size_t>(config_.forward_fanout)) {

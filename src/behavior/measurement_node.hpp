@@ -30,6 +30,10 @@
 #include "sim/network.hpp"
 #include "trace/trace.hpp"
 
+namespace p2pgen::obs {
+class QueryTracer;
+}  // namespace p2pgen::obs
+
 namespace p2pgen::behavior {
 
 class MeasurementNode final : public sim::Node {
@@ -177,6 +181,13 @@ class MeasurementNode final : public sim::Node {
     replenish_hook_ = std::move(hook);
   }
 
+  /// Installs a query-lifecycle tracer (non-owning, nullable; DESIGN.md
+  /// §12).  Strictly observational — the node's decisions are identical
+  /// with or without one.
+  void set_query_tracer(obs::QueryTracer* tracer) noexcept {
+    qtracer_ = tracer;
+  }
+
   /// Session deaths that requested replenishment (node below target),
   /// indexed by the trace::EndReason that killed the session.
   const std::array<std::uint64_t, 4>& replenish_by_reason() const noexcept {
@@ -250,6 +261,7 @@ class MeasurementNode final : public sim::Node {
   Config config_;
   stats::Rng rng_;
   gnutella::RoutingTable routing_;
+  obs::QueryTracer* qtracer_ = nullptr;
 
   sim::NodeId id_ = 0;
   bool attached_ = false;

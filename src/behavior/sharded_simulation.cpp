@@ -14,7 +14,7 @@ namespace {
 /// split off the same master seed.
 constexpr std::uint64_t kShardStreamTag = 0x5348415244ULL;  // "SHARD"
 
-void fill_stats(ShardStats& stats, const TraceSimulation& simulation,
+void fill_stats(ShardStats& stats, TraceSimulation& simulation,
                 std::uint64_t seed, std::uint64_t events) {
   stats.seed = seed;
   stats.peers_spawned = simulation.peers_spawned();
@@ -29,6 +29,7 @@ void fill_stats(ShardStats& stats, const TraceSimulation& simulation,
   stats.replenish_scheduled = node.replenish_scheduled();
   stats.replenish_spawns = node.replenish_spawns();
   stats.session_ends = node.session_ends();
+  stats.qtrace = simulation.take_qtrace();
 }
 
 }  // namespace
@@ -84,7 +85,8 @@ void simulate_shard_into(const core::WorkloadModel& model,
 trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
                                     const TraceSimulationConfig& base,
                                     unsigned n_shards, unsigned n_threads,
-                                    std::vector<ShardStats>* stats) {
+                                    std::vector<ShardStats>* stats,
+                                    std::vector<obs::QueryHopEvent>* qtrace) {
   if (n_shards == 0) {
     throw std::invalid_argument("simulate_trace_sharded: n_shards must be > 0");
   }
@@ -101,6 +103,19 @@ trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
   });
   util::publish_pool_stats("pool.sim", pool.stats());
   obs::Registry::global().counter("sim.shards_run").add(n_shards);
+
+  if (base.qtrace.sample_rate > 0.0) {
+    // Merge + aggregate the per-shard qtrace buffers before the stats
+    // move below consumes them.
+    std::vector<std::vector<obs::QueryHopEvent>> per_shard(n_shards);
+    for (unsigned k = 0; k < n_shards; ++k) {
+      per_shard[k] = std::move(shard_stats[k].qtrace);
+    }
+    std::vector<obs::QueryHopEvent> merged_qtrace =
+        obs::merge_qtrace(std::move(per_shard));
+    obs::publish_qtrace_metrics(merged_qtrace);
+    if (qtrace != nullptr) *qtrace = std::move(merged_qtrace);
+  }
 
   if (stats != nullptr) *stats = std::move(shard_stats);
   trace::Trace merged;

@@ -25,6 +25,7 @@
 
 #include "behavior/trace_simulation.hpp"
 #include "geo/region.hpp"
+#include "obs/qtrace.hpp"
 
 namespace p2pgen::behavior {
 
@@ -47,6 +48,11 @@ struct ShardStats {
   std::uint64_t replenish_spawns = 0;       ///< replacement peers requested
   /// SessionEnd histogram by trace::EndReason value.
   std::array<std::uint64_t, 4> session_ends{};
+
+  /// The shard's query-lifecycle hop events (empty when qtrace sampling
+  /// is off).  Time-ordered within the shard; obs::merge_qtrace pins the
+  /// cross-shard order.
+  std::vector<obs::QueryHopEvent> qtrace;
 };
 
 /// Seed of shard `shard_index` under `master_seed`.  Every shard —
@@ -76,9 +82,16 @@ void simulate_shard_into(const core::WorkloadModel& model,
 /// their traces (see file comment for the determinism contract).  Each
 /// shard simulates the full base.duration_days window.  When `stats` is
 /// non-null it receives one entry per shard, in shard order.
-trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
-                                    const TraceSimulationConfig& base,
-                                    unsigned n_shards, unsigned n_threads,
-                                    std::vector<ShardStats>* stats = nullptr);
+///
+/// When base.qtrace.sample_rate > 0 the per-shard qtrace buffers are
+/// merged (obs::merge_qtrace) and their aggregates published to the
+/// global registry; pass `qtrace` to also receive the merged stream.
+/// The per-shard buffers are consumed by the merge — ShardStats.qtrace
+/// comes back empty from this entry point.
+trace::Trace simulate_trace_sharded(
+    const core::WorkloadModel& model, const TraceSimulationConfig& base,
+    unsigned n_shards, unsigned n_threads,
+    std::vector<ShardStats>* stats = nullptr,
+    std::vector<obs::QueryHopEvent>* qtrace = nullptr);
 
 }  // namespace p2pgen::behavior

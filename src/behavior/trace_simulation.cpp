@@ -139,6 +139,17 @@ TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
   net_.set_fault_injector(&fault_injector_);
   net_.protect_node(node_id_);
   horizon_ = (config_.warmup_days + config_.duration_days) * sim::kSecondsPerDay;
+  // Query-lifecycle tracing: only constructed when sampling is on, so a
+  // rate-0 run takes the exact same code paths as a build without the
+  // subsystem.  Hop events are gated at the same warm-up boundary as the
+  // trace itself.
+  if (config_.qtrace.sample_rate > 0.0) {
+    obs::QtraceConfig qconfig = config_.qtrace;
+    qconfig.gate_time = config_.warmup_days * sim::kSecondsPerDay;
+    qtracer_ = std::make_unique<obs::QueryTracer>(qconfig);
+    net_.set_query_tracer(qtracer_.get());
+    node_.set_query_tracer(qtracer_.get());
+  }
 }
 
 double TraceSimulation::arrival_rate_at(double t) const {

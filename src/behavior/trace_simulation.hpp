@@ -21,6 +21,7 @@
 #include "behavior/schedule.hpp"
 #include "core/generator.hpp"
 #include "geo/geoip.hpp"
+#include "obs/qtrace.hpp"
 #include "sim/network.hpp"
 #include "trace/trace.hpp"
 
@@ -89,6 +90,14 @@ struct TraceSimulationConfig {
   /// "spammer", "free_rider" — ClientPopulation::named).  Used by run();
   /// run_with_clients ignores it.
   std::string client_mix = "default";
+
+  /// Query-lifecycle tracing (obs/qtrace.hpp, DESIGN.md §12).  Strictly
+  /// observational, so deliberately EXCLUDED from
+  /// simulation_config_digest: configs differing only in sampling share
+  /// bench caches and durable-run identities.  gate_time is managed by
+  /// TraceSimulation (set to the warm-up gate); only sample_rate is a
+  /// user knob.
+  obs::QtraceConfig qtrace{};
 };
 
 /// Order-sensitive FNV-1a digest over every TraceSimulationConfig field
@@ -136,6 +145,17 @@ class TraceSimulation {
   /// summing them over shards is deterministic for any thread count.
   void publish_metrics() const;
 
+  /// The query-lifecycle tracer, or nullptr when sample_rate == 0.
+  const obs::QueryTracer* query_tracer() const noexcept {
+    return qtracer_.get();
+  }
+
+  /// Takes the recorded hop events (empty when tracing is off).  The
+  /// per-shard buffer is time-ordered; merge with obs::merge_qtrace.
+  std::vector<obs::QueryHopEvent> take_qtrace() {
+    return qtracer_ ? qtracer_->take() : std::vector<obs::QueryHopEvent>{};
+  }
+
  private:
   void schedule_next_arrival(const ClientPopulation& clients);
   void spawn_peer(const ClientPopulation& clients);
@@ -169,6 +189,9 @@ class TraceSimulation {
   PeerPlanner planner_;
   MeasurementNode node_;
   stats::Rng rng_;
+  /// Constructed only when qtrace.sample_rate > 0; wired into the
+  /// network and node so every instrumentation site is one null check.
+  std::unique_ptr<obs::QueryTracer> qtracer_;
 
   std::unordered_map<sim::NodeId, std::unique_ptr<SimulatedPeer>> peers_;
   /// Region of every live peer, ordered by NodeId so outage draws iterate

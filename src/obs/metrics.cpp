@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -52,6 +53,20 @@ std::string prometheus_name(std::string_view name) {
 }
 
 }  // namespace
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c); break;
+    }
+  }
+  return out;
+}
 
 // ---- MetricsSnapshot ----------------------------------------------------
 
@@ -118,13 +133,16 @@ void MetricsSnapshot::write_prometheus(std::ostream& out) const {
     std::uint64_t cumulative = 0;
     for (std::size_t b = 0; b < h.buckets.size(); ++b) {
       cumulative += h.buckets[b];
-      out << name << "_bucket{le=\"";
+      std::string le = "+Inf";
       if (b < h.bounds.size()) {
-        out << h.bounds[b];
-      } else {
-        out << "+Inf";
+        std::ostringstream bound;
+        bound << h.bounds[b];
+        le = bound.str();
       }
-      out << "\"} " << cumulative << "\n";
+      // Label VALUES (unlike metric names) are free-form and must be
+      // escaped per the exposition format.
+      out << name << "_bucket{le=\"" << prometheus_escape_label(le) << "\"} "
+          << cumulative << "\n";
     }
     out << name << "_sum " << h.sum << "\n"
         << name << "_count " << h.count << "\n";
@@ -312,6 +330,40 @@ MetricsSnapshot Registry::snapshot() const {
   std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
   std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
   return snap;
+}
+
+MetricsSnapshot Registry::delta(const MetricsSnapshot& since) const {
+  MetricsSnapshot now = snapshot();
+  // Both snapshots are sorted by name, but `since` may lack metrics that
+  // were registered after it was taken, so subtract by lookup rather
+  // than by position.  Clamp at zero: a reset() between the snapshots
+  // must not wrap counters around.
+  for (auto& c : now.counters) {
+    const std::uint64_t base = since.counter_value(c.name);
+    c.value = c.value >= base ? c.value - base : 0;
+  }
+  for (auto& h : now.histograms) {
+    const MetricsSnapshot::HistogramValue* base = nullptr;
+    for (const auto& candidate : since.histograms) {
+      if (candidate.name == h.name) {
+        base = &candidate;
+        break;
+      }
+    }
+    if (base == nullptr || base->bounds != h.bounds ||
+        base->buckets.size() != h.buckets.size()) {
+      continue;  // new or re-bucketed histogram: the delta is all of it
+    }
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      h.buckets[b] =
+          h.buckets[b] >= base->buckets[b] ? h.buckets[b] - base->buckets[b] : 0;
+    }
+    h.count = h.count >= base->count ? h.count - base->count : 0;
+    h.sum = h.sum >= base->sum ? h.sum - base->sum : 0;
+  }
+  // Gauges are point-in-time values; differencing them is meaningless,
+  // so they pass through as-is.
+  return now;
 }
 
 void Registry::reset() {

@@ -75,6 +75,10 @@ struct MetricsSnapshot {
   void write_prometheus(std::ostream& out) const;
 };
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n.
+std::string prometheus_escape_label(std::string_view value);
+
 /// Monotone event counter.  Trivially copyable; a default-constructed
 /// handle is unbound and every operation on it is a no-op.
 class Counter {
@@ -155,6 +159,14 @@ class Registry {
   /// Merges all shards into a snapshot.  Safe to call while other
   /// threads keep incrementing (their updates land in a later snapshot).
   MetricsSnapshot snapshot() const;
+
+  /// Snapshot relative to an earlier one: counters and histogram
+  /// buckets/count/sum have `since`'s values subtracted (clamped at 0 if
+  /// a reset intervened); metrics absent from `since` pass through
+  /// whole; gauges are point-in-time and pass through unchanged.  This
+  /// is the per-phase delta benches and the pipeline previously computed
+  /// by hand.
+  MetricsSnapshot delta(const MetricsSnapshot& since) const;
 
   /// Zeroes every cell and gauge.  Names and handles stay registered.
   void reset();

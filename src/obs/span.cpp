@@ -74,6 +74,12 @@ void TraceLog::clear() {
 }
 
 void TraceLog::write_chrome_json(std::ostream& out) const {
+  write_chrome_json(out, {});
+}
+
+void TraceLog::write_chrome_json(
+    std::ostream& out,
+    const std::function<void(std::ostream&, bool)>& extra_events) const {
   const std::vector<Span> spans = this->spans();
   out << "{\"traceEvents\":[";
   for (std::size_t i = 0; i < spans.size(); ++i) {
@@ -84,6 +90,7 @@ void TraceLog::write_chrome_json(std::ostream& out) const {
         << ",\"dur\":" << s.duration_us << ",\"pid\":1,\"tid\":" << s.tid
         << "}";
   }
+  if (extra_events) extra_events(out, !spans.empty());
   out << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
 

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <mutex>
 #include <string>
@@ -65,6 +66,15 @@ class TraceLog {
   /// chrome://tracing "trace event" JSON: {"traceEvents":[...]}, one
   /// complete ("ph":"X") event per span, timestamps in microseconds.
   void write_chrome_json(std::ostream& out) const;
+
+  /// Same, with a hook that may append extra trace-event fragments
+  /// (e.g. obs::write_qtrace_flow_events) before the closing bracket.
+  /// The hook receives (out, any_prior): whether any event has already
+  /// been written, so it knows whether its first fragment needs a
+  /// leading comma.
+  void write_chrome_json(
+      std::ostream& out,
+      const std::function<void(std::ostream&, bool)>& extra_events) const;
 
   /// Per-name aggregate table: count, total ms, mean ms, max ms.
   void write_summary(std::ostream& out) const;

@@ -5,8 +5,21 @@
 #include <utility>
 
 #include "gnutella/codec.hpp"
+#include "obs/qtrace.hpp"
 
 namespace p2pgen::sim {
+
+namespace {
+
+/// True when `message` is on the query plane the lifecycle tracer cares
+/// about (QUERY out, QUERYHIT back).
+bool qtrace_kind(const gnutella::Message& message) noexcept {
+  const auto type = message.type();
+  return type == gnutella::MessageType::kQuery ||
+         type == gnutella::MessageType::kQueryHit;
+}
+
+}  // namespace
 
 void Node::on_wire(ConnId conn, const std::vector<std::uint8_t>& bytes) {
   // Lenient default: decode a single descriptor if possible, otherwise
@@ -183,13 +196,43 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
     throw std::invalid_argument("Network: sender is not an endpoint");
   }
   const bool from_a = sender == c.a;
+
+  // Query-lifecycle tracing (DESIGN.md §12).  The sampling decision is a
+  // pure function of the GUID, so instrumenting here cannot perturb the
+  // simulation; everything below only ever *records*.
+  std::uint64_t qkey = 0;
+  bool traced = false;
+  bool is_query = false;
+  if (qtracer_ != nullptr && qtrace_kind(message)) {
+    qkey = gnutella::GuidHash{}(message.guid);
+    traced = qtracer_->sampled(qkey);
+    is_query = message.type() == gnutella::MessageType::kQuery;
+  }
+  const std::uint8_t qttl = message.ttl;
+  const std::uint8_t qhops = message.hops;
+
   if (crashed_[sender] || (from_a ? c.dead_a_to_b : c.dead_b_to_a)) {
     // A dead process sends nothing; a half-open link swallows silently.
     // The sender cannot tell — exactly the failure the idle probe exists
     // to detect.
     if (injector_) ++injector_->counters().sends_into_dead_link;
+    if (traced) {
+      qtracer_->record(sim_.now(), qkey, obs::QueryHop::kDropDeadLink, qttl,
+                       qhops);
+    }
     ++messages_dropped_;
     return;
+  }
+  if (traced && !protected_[sender]) {
+    // A behavior peer put the descriptor on the wire: this is the
+    // query's emission (or its answer's).  Forwards by the measurement
+    // node are recorded as kForwarded at the node instead.
+    if (is_query) {
+      qtracer_->record_query_emitted(sim_.now(), qkey, qttl, qhops);
+    } else {
+      qtracer_->record(sim_.now(), qkey, obs::QueryHop::kHitEmitted, qttl,
+                       qhops);
+    }
   }
   if (config_.count_wire_bytes) {
     wire_bytes_ += gnutella::encode(message).size();
@@ -207,6 +250,10 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
     auto& counters = injector_->counters();
     if (injector_->drop_message()) {
       ++counters.messages_lost;
+      if (traced) {
+        qtracer_->record(sim_.now(), qkey, obs::QueryHop::kDropLoss, qttl,
+                         qhops);
+      }
       ++messages_dropped_;
       return;
     }
@@ -223,6 +270,10 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
       std::vector<std::uint8_t> wire = gnutella::encode(message);
       injector_->corrupt_bytes(wire);
       ++counters.messages_corrupted;
+      if (traced) {
+        qtracer_->record(sim_.now(), qkey, obs::QueryHop::kCorrupted, qttl,
+                         qhops);
+      }
       deliver_at = std::max(deliver_at, fifo);
       fifo = deliver_at;
       deliver_wire(conn, receiver, deliver_at, wire);

@@ -27,6 +27,10 @@
 #include "sim/fault.hpp"
 #include "sim/simulator.hpp"
 
+namespace p2pgen::obs {
+class QueryTracer;
+}  // namespace p2pgen::obs
+
 namespace p2pgen::sim {
 
 using NodeId = std::uint64_t;
@@ -86,6 +90,14 @@ class Network {
   /// exactly as it always has — byte-identical runs.
   void set_fault_injector(FaultInjector* injector) noexcept {
     injector_ = injector;
+  }
+
+  /// Installs a query-lifecycle tracer (non-owning, nullable; DESIGN.md
+  /// §12).  Strictly observational: the transport records emit/loss/
+  /// corruption hops for sampled queries but behaves byte-identically
+  /// with or without one.
+  void set_query_tracer(obs::QueryTracer* tracer) noexcept {
+    qtracer_ = tracer;
   }
 
   /// Marks a node as immune to injected crashes (the measurement node:
@@ -173,6 +185,7 @@ class Network {
   std::vector<char> protected_;
   std::unordered_map<ConnId, Connection> connections_;
   FaultInjector* injector_ = nullptr;
+  obs::QueryTracer* qtracer_ = nullptr;
   ConnId next_conn_id_ = 1;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -151,6 +151,51 @@ TEST(MetricsRegistry, JsonAndPrometheusExportsAreWellFormed) {
   EXPECT_NE(p.find("a_depth -4"), std::string::npos);
 }
 
+TEST(MetricsRegistry, PrometheusLabelValuesAreEscaped) {
+  // The exposition format requires backslash, double-quote and newline
+  // escaped inside label VALUES (metric names are sanitized separately).
+  EXPECT_EQ(obs::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_escape_label("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::prometheus_escape_label("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(obs::prometheus_escape_label("new\nline"), "new\\nline");
+  EXPECT_EQ(obs::prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+
+  // The histogram `le` label goes through the escaper in write_prometheus:
+  // bucket lines must stay one-per-line and parseable even though the
+  // bound is formatted through operator<<.
+  obs::Registry registry;
+  registry.histogram("esc.lat", {0.5, 5.0}).observe(1.0);
+  std::ostringstream prom;
+  registry.snapshot().write_prometheus(prom);
+  const std::string p = prom.str();
+  EXPECT_NE(p.find("esc_lat_bucket{le=\"0.5\"} 0"), std::string::npos);
+  EXPECT_NE(p.find("esc_lat_bucket{le=\"5\"} 1"), std::string::npos);
+  EXPECT_NE(p.find("esc_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, DeltaSubtractsABaselineSnapshot) {
+  obs::Registry registry;
+  auto c = registry.counter("work.done");
+  auto h = registry.histogram("work.lat", {1.0, 10.0});
+  c.add(5);
+  h.observe(0.5);
+  const auto baseline = registry.snapshot();
+  c.add(7);
+  h.observe(0.7);
+  h.observe(5.0);
+  registry.counter("work.late").add(3);  // born after the baseline
+
+  const auto delta = registry.delta(baseline);
+  EXPECT_EQ(delta.counter_value("work.done"), 7u);
+  EXPECT_EQ(delta.counter_value("work.late"), 3u);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const auto& hist = delta.histograms[0];
+  ASSERT_EQ(hist.buckets.size(), 3u);
+  EXPECT_EQ(hist.buckets[0], 1u);  // only the post-baseline 0.7
+  EXPECT_EQ(hist.buckets[1], 1u);  // the post-baseline 5.0
+  EXPECT_EQ(hist.count, 2u);
+}
+
 TEST(TraceLog, DisabledLogRecordsNothingThroughSpans) {
   obs::TraceLog log;
   ASSERT_FALSE(log.enabled());

@@ -12,11 +12,20 @@ derives from the trace:
     differ between the two executions: pool.* (scheduler internals),
     recovery.* (only the spool-producing run recovers), streaming.*
     (describes the streaming pass itself) and process.* (RSS — differing
-    is the point).
+    is the point),
+  * every metrics histogram (same exclusions): bounds, per-bucket
+    counts, total count and sum must all match — the qtrace hop-count /
+    fan-out / drop-reason / hit-latency distributions live here.
 
-Gauges and histograms are excluded wholesale: they hold queue depths,
-span timings and peak RSS, all of which measure the machine, not the
-trace.  Exit 0 iff equivalent; prints each divergence otherwise.
+Gauges are excluded wholesale: they hold queue depths and peak RSS,
+which measure the machine, not the trace.
+
+--require=<prefix> (repeatable) asserts that at least one counter or
+histogram under that namespace exists in BOTH reports.  Without it, a
+subsystem that silently stopped publishing (on both paths at once)
+would still compare "equivalent"; CI passes --require=qtrace so the
+qtrace surface can never vanish unnoticed.  Exit 0 iff equivalent;
+prints each divergence otherwise.
 """
 
 import json
@@ -25,13 +34,20 @@ import sys
 EXCLUDED_PREFIXES = ("pool.", "recovery.", "streaming.", "process.")
 
 
-def comparable_counters(report):
-    counters = report.get("metrics", {}).get("counters", {})
+def comparable(section):
     return {
         key: value
-        for key, value in counters.items()
+        for key, value in section.items()
         if not key.startswith(EXCLUDED_PREFIXES)
     }
+
+
+def comparable_counters(report):
+    return comparable(report.get("metrics", {}).get("counters", {}))
+
+
+def comparable_histograms(report):
+    return comparable(report.get("metrics", {}).get("histograms", {}))
 
 
 def diff_section(name, a, b, problems):
@@ -41,14 +57,41 @@ def diff_section(name, a, b, problems):
             problems.append(f"{name}.{key}: {left!r} != {right!r}")
 
 
+def diff_histograms(a, b, problems):
+    for key in sorted(set(a) | set(b)):
+        left, right = a.get(key), b.get(key)
+        if left is None or right is None:
+            present = "first" if right is None else "second"
+            problems.append(
+                f"histograms.{key}: only present in {present} report")
+            continue
+        for field in ("bounds", "buckets", "count", "sum"):
+            if left.get(field) != right.get(field):
+                problems.append(f"histograms.{key}.{field}: "
+                                f"{left.get(field)!r} != {right.get(field)!r}")
+
+
+def check_required(prefix, names, label, problems):
+    if not any(key.startswith(prefix) for key in names):
+        problems.append(
+            f"required namespace {prefix!r} entirely missing from {label}")
+
+
 def main(argv):
-    if len(argv) != 3:
-        print(f"usage: {argv[0]} <materialized.json> <streaming.json>",
-              file=sys.stderr)
+    required = []
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required.append(arg[len("--require="):])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(f"usage: {argv[0]} [--require=<prefix>]... "
+              f"<materialized.json> <streaming.json>", file=sys.stderr)
         return 2
-    with open(argv[1]) as fh:
+    with open(paths[0]) as fh:
         materialized = json.load(fh)
-    with open(argv[2]) as fh:
+    with open(paths[1]) as fh:
         streaming = json.load(fh)
 
     problems = []
@@ -59,14 +102,25 @@ def main(argv):
     mat_counters = comparable_counters(materialized)
     str_counters = comparable_counters(streaming)
     diff_section("counters", mat_counters, str_counters, problems)
+    mat_histograms = comparable_histograms(materialized)
+    str_histograms = comparable_histograms(streaming)
+    diff_histograms(mat_histograms, str_histograms, problems)
+
+    for prefix in required:
+        check_required(prefix, set(mat_counters) | set(mat_histograms),
+                       paths[0], problems)
+        check_required(prefix, set(str_counters) | set(str_histograms),
+                       paths[1], problems)
 
     if problems:
-        print(f"{len(problems)} divergence(s) between {argv[1]} and {argv[2]}:")
+        print(f"{len(problems)} divergence(s) between {paths[0]} and "
+              f"{paths[1]}:")
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print(f"reports equivalent: robustness, filters and "
-          f"{len(mat_counters)} counters identical")
+    print(f"reports equivalent: robustness, filters, "
+          f"{len(mat_counters)} counters and {len(mat_histograms)} "
+          f"histograms identical")
     return 0
 
 
