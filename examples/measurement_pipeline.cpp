@@ -14,6 +14,7 @@
 //       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
 //       [--resume] [--streaming] [--scenario=<name-or-json-file>]
 //       [--qtrace-sample=<rate>] [--query-trace=<dir>]
+//       [--timeline=<dir>] [--timeline-tick=<secs>] [--heartbeat=<secs>]
 //       [--list-scenarios]
 //
 // --streaming (needs --checkpoint-dir=) runs the one-pass analysis
@@ -52,6 +53,21 @@
 // qtrace.bin (compact binary) + qtrace.json, and --trace-json gains
 // chrome://tracing flow arrows connecting each query's hops.
 //
+// --timeline-tick=<secs> turns on sim-time metric timelines (DESIGN.md
+// §13): per-shard snapshots of the declared series set (query/QUERYHIT
+// rates, sessions, sheds, drops by reason, per-region query rates) at
+// fixed sim-time ticks, merged deterministically and embedded in the
+// metrics report.  --timeline=<dir> additionally dumps the merged stream
+// as timeline.csv (one row per tick and shard, with day/hour columns and
+// the per-region peak/non-peak band of §4.2) + timeline.json, and implies
+// a 600 s tick when --timeline-tick was not given.  Timelines are strictly
+// observational: the trace digest is invariant under any tick setting.
+//
+// --heartbeat=<secs> (needs --checkpoint-dir=) makes the durable run
+// rewrite <dir>/heartbeat.json atomically every that many wall-seconds —
+// per-shard sim-time progress, events/sec, current + peak RSS, ETA — for
+// tools/runwatch.py to tail while a long run is going.
+//
 // Pass a third argument "faults" (or "1") to run the same measurement on
 // a hostile overlay: message loss, byte corruption, duplication, jitter,
 // abrupt peer crashes and half-open links — and print the robustness
@@ -62,6 +78,7 @@
 // on up to `threads` threads (default: hardware concurrency).  The
 // merged trace is byte-identical for any thread count, and the analysis
 // passes below also fan across the same thread budget.
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -83,13 +100,75 @@
 #include "behavior/checkpoint.hpp"
 #include "behavior/client_profile.hpp"
 #include "behavior/sharded_simulation.hpp"
+#include "core/conditions.hpp"
 #include "obs/metrics.hpp"
 #include "obs/process.hpp"
 #include "obs/qtrace.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
 #include "scenario/curated.hpp"
 #include "scenario/spec.hpp"
+#include "sim/simulator.hpp"
 #include "trace/trace_io.hpp"
+
+namespace {
+
+// One CSV row per (tick, shard): tick bounds, the tick's sim day and hour,
+// and the per-region peak/non-peak band of §4.2 — so the EXPERIMENTS.md
+// diurnal figure needs no downstream time arithmetic at all.
+void write_timeline_csv(std::ostream& out,
+                        const std::vector<p2pgen::obs::TimelinePoint>& points,
+                        double tick_seconds) {
+  using namespace p2pgen;
+  out << "tick_start_s,tick_end_s,day,hour,period_north_america,"
+         "period_europe,period_asia,period_other,shard";
+  for (std::size_t s = 0; s < obs::kTimelineSeriesCount; ++s) {
+    out << ','
+        << obs::timeline_series_name(static_cast<obs::TimelineSeries>(s));
+  }
+  out << '\n';
+  char num[64];
+  for (const obs::TimelinePoint& point : points) {
+    std::snprintf(num, sizeof(num), "%.3f,%.3f", point.time,
+                  point.time + tick_seconds);
+    const int hour = sim::hour_of_day(point.time);
+    out << num << ',' << sim::day_index(point.time) << ',' << hour;
+    for (geo::Region region :
+         {geo::Region::kNorthAmerica, geo::Region::kEurope, geo::Region::kAsia,
+          geo::Region::kOther}) {
+      out << ',' << core::day_period_name(core::day_period(region, hour));
+    }
+    out << ',' << point.shard;
+    for (std::uint64_t value : point.values) out << ',' << value;
+    out << '\n';
+  }
+}
+
+// Same shape as the PipelineReport "timeline" block, standalone.
+void write_timeline_json(std::ostream& out,
+                         const std::vector<p2pgen::obs::TimelinePoint>& points,
+                         double tick_seconds) {
+  using namespace p2pgen;
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.9f", tick_seconds);
+  out << "{\n  \"tick_seconds\": " << num << ",\n  \"series\": [";
+  for (std::size_t s = 0; s < obs::kTimelineSeriesCount; ++s) {
+    out << (s == 0 ? "" : ", ") << '"'
+        << obs::timeline_series_name(static_cast<obs::TimelineSeries>(s))
+        << '"';
+  }
+  out << "],\n  \"points\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const obs::TimelinePoint& point = points[i];
+    std::snprintf(num, sizeof(num), "%.9f", point.time);
+    out << (i == 0 ? "\n    [" : ",\n    [") << num << ", " << point.shard;
+    for (std::uint64_t value : point.values) out << ", " << value;
+    out << "]";
+  }
+  out << (points.empty() ? "]\n}\n" : "\n  ]\n}\n");
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace p2pgen;
@@ -98,7 +177,9 @@ int main(int argc, char** argv) {
   std::string trace_json_path;
   std::string scenario_arg;
   std::string query_trace_dir;
+  std::string timeline_dir;
   double qtrace_sample = 0.0;
+  double timeline_tick = 0.0;
   bool streaming_on = false;
   behavior::DurabilityConfig durability;
   std::vector<const char*> args;
@@ -122,6 +203,12 @@ int main(int argc, char** argv) {
       qtrace_sample = std::atof(argv[i] + 16);
     } else if (std::strncmp(argv[i], "--query-trace=", 14) == 0) {
       query_trace_dir = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      timeline_dir = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--timeline-tick=", 16) == 0) {
+      timeline_tick = std::atof(argv[i] + 16);
+    } else if (std::strncmp(argv[i], "--heartbeat=", 12) == 0) {
+      durability.heartbeat_interval_seconds = std::atof(argv[i] + 12);
     } else if (std::strcmp(argv[i], "--list-scenarios") == 0) {
       std::cout << "curated scenarios (--scenario=<name>):\n";
       for (const auto& spec :
@@ -153,6 +240,14 @@ int main(int argc, char** argv) {
                  "--qtrace-sample=<rate> > 0 (nothing would be recorded)\n";
     return 1;
   }
+  if (durability.heartbeat_interval_seconds > 0.0 && durability.dir.empty()) {
+    std::cerr << "measurement_pipeline: --heartbeat needs --checkpoint-dir= "
+                 "(the beat file lives next to the MANIFEST)\n";
+    return 1;
+  }
+  // A dump directory without an explicit tick means "give me the default
+  // diurnal resolution" (10 sim-minutes, the paper's time-of-day scale).
+  if (!timeline_dir.empty() && timeline_tick <= 0.0) timeline_tick = 600.0;
   // Span tracing buffers grow while enabled, so it is opt-in.
   if (!trace_json_path.empty()) obs::TraceLog::global().set_enabled(true);
 
@@ -161,6 +256,7 @@ int main(int argc, char** argv) {
   config.arrival_rate = args.size() > 1 ? std::atof(args[1]) : 1.0;
   config.seed = 20040315;
   config.qtrace.sample_rate = qtrace_sample;
+  config.timeline.tick_seconds = timeline_tick;
 
   const unsigned shards =
       args.size() > 3 ? static_cast<unsigned>(std::atoi(args[3])) : 1;
@@ -221,6 +317,7 @@ int main(int argc, char** argv) {
   trace::Trace trace;
   std::vector<behavior::ShardStats> shard_stats;
   std::vector<obs::QueryHopEvent> qtrace;
+  std::vector<obs::TimelinePoint> timeline;
   // Snapshot before any simulation runs: the robustness rows below are
   // read as a delta against this baseline, so they count only what THIS
   // run's shards published (not whatever else shares the registry).
@@ -254,6 +351,7 @@ int main(int argc, char** argv) {
     // the equivalence CI diffs is the same on both.
     obs::Registry::global().counter("sim.merged_events").add(streaming->events);
     qtrace = std::move(streaming->qtrace);
+    timeline = std::move(streaming->timeline);
     std::cout << "  streaming pass:      " << streaming->streaming.segments_read
               << " segment(s) in " << streaming->streaming.decode_waves
               << " wave(s), max open sessions "
@@ -264,7 +362,7 @@ int main(int argc, char** argv) {
     try {
       trace = behavior::simulate_trace_durable(
           core::WorkloadModel::paper_default(), config, shards, threads,
-          durability, &recovery, &shard_stats, &qtrace);
+          durability, &recovery, &shard_stats, &qtrace, &timeline);
     } catch (const std::exception& e) {
       // Identity mismatch / missing checkpoint: refuse cleanly instead
       // of splicing incompatible runs (or dumping a raw terminate).
@@ -281,7 +379,7 @@ int main(int argc, char** argv) {
   } else if (shards > 1) {
     trace = behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
                                              config, shards, threads,
-                                             &shard_stats, &qtrace);
+                                             &shard_stats, &qtrace, &timeline);
     for (unsigned k = 0; k < shards; ++k) {
       std::cout << "  shard " << k << ": seed " << shard_stats[k].seed << ", "
                 << shard_stats[k].events << " events, "
@@ -301,6 +399,13 @@ int main(int argc, char** argv) {
       buffers.push_back(simulation->take_qtrace());
       qtrace = obs::merge_qtrace(std::move(buffers));
       obs::publish_qtrace_metrics(qtrace);
+    }
+    if (config.timeline.tick_seconds > 0.0) {
+      // Same single-buffer merge for the timeline ticks.
+      std::vector<std::vector<obs::TimelinePoint>> buffers;
+      buffers.push_back(simulation->take_timeline());
+      timeline = obs::merge_timeline(std::move(buffers));
+      obs::publish_timeline_metrics(timeline);
     }
   }
 
@@ -335,6 +440,19 @@ int main(int argc, char** argv) {
               << qsnap.counter_value("qtrace.sampled_queries")
               << " sampled queries (rate " << config.qtrace.sample_rate
               << ")\n";
+  }
+  // The tick width actually in effect: the flag, or — on a streaming
+  // resume over spools recorded with timelines on — the sidecars' own.
+  const double timeline_tick_effective =
+      streaming && streaming->timeline_tick_seconds > 0.0
+          ? streaming->timeline_tick_seconds
+          : config.timeline.tick_seconds;
+  if (timeline_tick_effective > 0.0) {
+    std::cout << "  timeline:            " << timeline.size()
+              << " tick point(s) at " << timeline_tick_effective
+              << " s/tick, digest " << std::hex << std::setfill('0')
+              << std::setw(16) << obs::timeline_digest(timeline) << std::dec
+              << std::setfill(' ') << "\n";
   }
 
   // The pipeline report wants the robustness rows whether or not faults
@@ -474,7 +592,7 @@ int main(int argc, char** argv) {
   analysis::publish_analysis_pool_metrics();
   obs::publish_process_metrics();
   if (!metrics_path.empty() || !trace_json_path.empty() ||
-      !query_trace_dir.empty()) {
+      !query_trace_dir.empty() || !timeline_dir.empty()) {
     std::cout << "\n== 6. pipeline health report ==\n";
   }
   if (!query_trace_dir.empty()) {
@@ -495,8 +613,28 @@ int main(int argc, char** argv) {
     std::cout << "  qtrace:  " << query_trace_dir << "/qtrace.{bin,json} ("
               << qtrace.size() << " hop events)\n";
   }
+  if (!timeline_dir.empty()) {
+    try {
+      std::filesystem::create_directories(timeline_dir);
+      const std::string csv_path = timeline_dir + "/timeline.csv";
+      std::ofstream csv_out(csv_path);
+      write_timeline_csv(csv_out, timeline, timeline_tick_effective);
+      if (!csv_out) throw std::runtime_error("failed writing " + csv_path);
+      const std::string json_path = timeline_dir + "/timeline.json";
+      std::ofstream json_out(json_path);
+      write_timeline_json(json_out, timeline, timeline_tick_effective);
+      if (!json_out) throw std::runtime_error("failed writing " + json_path);
+    } catch (const std::exception& e) {
+      std::cerr << "measurement_pipeline: --timeline: " << e.what() << "\n";
+      return 1;
+    }
+    std::cout << "  timeline: " << timeline_dir << "/timeline.{csv,json} ("
+              << timeline.size() << " tick points)\n";
+  }
   if (!metrics_path.empty()) {
-    const auto pipeline = analysis::PipelineReport::capture(robustness, report);
+    auto pipeline = analysis::PipelineReport::capture(robustness, report);
+    pipeline.timeline = timeline;
+    pipeline.timeline_tick_seconds = timeline_tick_effective;
     std::ofstream json_out(metrics_path);
     pipeline.write_json(json_out);
     json_out << "\n";
@@ -513,10 +651,13 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) {
     auto& log = obs::TraceLog::global();
     std::ofstream trace_out(trace_json_path);
-    // Sampled query journeys ride along as flow events: each hop is a
-    // slice on the shard's track and arrows chain the causal path.
+    // Sampled query journeys ride along as flow events (each hop a slice
+    // on the shard's track, arrows chaining the causal path) and the
+    // merged timeline as stacked counter tracks per shard.
     log.write_chrome_json(trace_out, [&](std::ostream& out, bool any_prior) {
       obs::write_qtrace_flow_events(out, qtrace, any_prior);
+      obs::write_timeline_counter_events(out, timeline,
+                                         any_prior || !qtrace.empty());
     });
     if (!trace_out) {
       std::cerr << "measurement_pipeline: failed writing " << trace_json_path

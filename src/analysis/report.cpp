@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <cstdio>
 #include <fstream>
 
 #include "analysis/measures.hpp"
@@ -317,6 +318,24 @@ void PipelineReport::write_json(std::ostream& out) const {
   field("rule4_excluded", filters.rule4_excluded);
   field("rule5_excluded", filters.rule5_excluded);
   field("interarrival_queries", filters.interarrival_queries, true);
+  out << "  },\n  \"timeline\": {\n";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.9f", timeline_tick_seconds);
+  out << "    \"tick_seconds\": " << num << ",\n    \"series\": [";
+  for (std::size_t s = 0; s < obs::kTimelineSeriesCount; ++s) {
+    out << (s == 0 ? "" : ", ") << '"'
+        << obs::timeline_series_name(static_cast<obs::TimelineSeries>(s))
+        << '"';
+  }
+  out << "],\n    \"points\": [";
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const obs::TimelinePoint& point = timeline[i];
+    std::snprintf(num, sizeof(num), "%.9f", point.time);
+    out << (i == 0 ? "\n      [" : ",\n      [") << num << ", " << point.shard;
+    for (std::uint64_t value : point.values) out << ", " << value;
+    out << "]";
+  }
+  out << (timeline.empty() ? "]\n" : "\n    ]\n");
   out << "  },\n  \"metrics\": ";
   metrics.write_json(out);
   out << "\n}\n";

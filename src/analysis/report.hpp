@@ -13,6 +13,7 @@
 #include "analysis/dataset.hpp"
 #include "analysis/filters.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "sim/fault.hpp"
 
 namespace p2pgen::analysis {
@@ -89,13 +90,24 @@ struct PipelineReport {
   FilterReport filters;
   obs::MetricsSnapshot metrics;
 
+  /// Merged sim-time timeline (DESIGN.md §13); empty when timelines were
+  /// off.  Byte-identical across thread counts, interruption and the
+  /// materialized/streaming paths, so report diffs catch any drift in the
+  /// time-resolved view, not just the run totals.  Callers fill these
+  /// after capture() from whichever run path produced the merged stream.
+  std::vector<obs::TimelinePoint> timeline;
+  double timeline_tick_seconds = 0.0;
+
   /// Bundles the given reports with a snapshot of the global registry.
   static PipelineReport capture(const RobustnessReport& robustness,
                                 const FilterReport& filters);
 
   /// One JSON object:
-  ///   {"robustness":{...},"filters":{...},"metrics":{...}}
-  /// with every report row as a numeric field.
+  ///   {"robustness":{...},"filters":{...},"timeline":{...},"metrics":{...}}
+  /// with every report row as a numeric field.  The timeline block holds
+  /// tick_seconds, the series names, and one [time, shard, v0..vN] row
+  /// per merged tick (an empty run emits an empty points array, so the
+  /// report shape is independent of the timeline setting).
   void write_json(std::ostream& out) const;
 
   /// Prometheus text exposition of the metrics snapshot.  The robustness

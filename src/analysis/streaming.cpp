@@ -458,6 +458,28 @@ class StreamingPass {
       }
     }
 
+    // Timeline sidecars (DESIGN.md §13): identical replay contract for
+    // "timeline.bin" — merge in (time, shard) order, publish iff at
+    // least one sidecar exists, so the streaming run's timeline and its
+    // published aggregates are byte-identical to the materialized path.
+    {
+      std::vector<std::vector<obs::TimelinePoint>> per_shard(
+          shard_dirs_.size());
+      bool any_sidecar = false;
+      double tick_seconds = 0.0;
+      for (std::size_t k = 0; k < shard_dirs_.size(); ++k) {
+        if (obs::load_timeline(obs::timeline_sidecar_path(shard_dirs_[k]),
+                               per_shard[k], &tick_seconds)) {
+          any_sidecar = true;
+        }
+      }
+      if (any_sidecar) {
+        result.timeline = obs::merge_timeline(std::move(per_shard));
+        result.timeline_tick_seconds = tick_seconds;
+        obs::publish_timeline_metrics(result.timeline);
+      }
+    }
+
     publish_metrics(result.streaming);
     util::publish_pool_stats("pool.streaming", pool_.stats());
     return result;

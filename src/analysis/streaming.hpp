@@ -41,6 +41,7 @@
 #include "core/model.hpp"
 #include "geo/geoip.hpp"
 #include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 #include "trace/trace.hpp"
 
 namespace p2pgen::analysis {
@@ -116,6 +117,14 @@ struct StreamingResult {
   /// shard) order as the materialized path, so the published qtrace
   /// aggregates are identical to simulate_trace_durable's.
   std::vector<obs::QueryHopEvent> qtrace;
+
+  /// Merged sim-time timeline ticks, read back from the per-shard
+  /// "timeline.bin" sidecars under the same contract (empty when no
+  /// sidecar exists — timelines were off).  Byte-identical to the
+  /// materialized path's merged timeline at any thread count.
+  std::vector<obs::TimelinePoint> timeline;
+  /// Tick width of the loaded timeline sidecars (0 when none existed).
+  double timeline_tick_seconds = 0.0;
 };
 
 /// Runs the one-pass analysis over per-shard spool directories (order

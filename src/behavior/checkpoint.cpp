@@ -1,18 +1,27 @@
 #include "behavior/checkpoint.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <type_traits>
 
 #include "core/model_io.hpp"
 #include "obs/metrics.hpp"
+#include "obs/process.hpp"
 #include "obs/qtrace.hpp"
 #include "obs/span.hpp"
+#include "obs/timeline.hpp"
+#include "sim/simulator.hpp"
 #include "trace/trace_io.hpp"
 #include "util/thread_pool.hpp"
 
@@ -117,6 +126,16 @@ struct Manifest {
   }
 };
 
+/// Per-shard progress the heartbeat thread samples.  Written with relaxed
+/// stores from the shard worker (stride 1024 in the hot path), read with
+/// relaxed loads from the heartbeat thread — health telemetry, not a
+/// synchronization point, so a beat may be up to a stride stale.
+struct ShardProgress {
+  std::atomic<std::uint64_t> sim_time_bits{0};  ///< double bits, sim seconds
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<bool> done{false};
+};
+
 /// Streams a resumed shard: the first `prefix_records` events are the
 /// ones already durable in the spool, so they are digest-verified against
 /// the recovered prefix instead of re-written; everything after is
@@ -126,16 +145,27 @@ struct Manifest {
 class DurableSink final : public trace::TraceSink {
  public:
   /// `trace` may be null: the spool-only (streaming) path keeps nothing
-  /// in memory and the spool is the sole output.
+  /// in memory and the spool is the sole output.  `progress` may be null:
+  /// with a heartbeat running it receives relaxed sim-time/event samples.
   DurableSink(trace::Trace* trace, trace::SpoolWriter& writer,
-              unsigned shard_index)
+              unsigned shard_index, ShardProgress* progress = nullptr)
       : trace_(trace),
         writer_(writer),
         prefix_records_(writer.durable_records()),
         prefix_digest_(writer.open_digest()),
-        shard_index_(shard_index) {}
+        shard_index_(shard_index),
+        progress_(progress) {}
 
   void on_event(const trace::TraceEvent& event) override {
+    if (progress_ != nullptr) {
+      ++observed_;
+      if ((observed_ & 1023u) == 0) {
+        progress_->sim_time_bits.store(
+            std::bit_cast<std::uint64_t>(trace::event_time(event)),
+            std::memory_order_relaxed);
+        progress_->events.store(observed_, std::memory_order_relaxed);
+      }
+    }
     if (trace_ != nullptr) trace_->append(event);
     if (replayed_ < prefix_records_) {
       encode_buf_.clear();
@@ -161,9 +191,174 @@ class DurableSink final : public trace::TraceSink {
   std::uint64_t prefix_records_;
   std::uint64_t prefix_digest_;
   unsigned shard_index_;
+  ShardProgress* progress_;
   std::uint64_t replayed_ = 0;
+  std::uint64_t observed_ = 0;
   std::uint64_t replay_digest_ = trace::kFnvOffsetBasis;
   std::string encode_buf_;
+};
+
+/// The wall-clock run-health channel (DESIGN.md §13): a background thread
+/// rewriting "<dir>/heartbeat.json" atomically (tmp + rename, like the
+/// MANIFEST) every interval with per-shard sim-time progress, throughput,
+/// current + peak RSS and an ETA — what tools/runwatch.py tails.  Strictly
+/// a side channel: it only reads the relaxed atomics above and nothing the
+/// simulation reads back, so the trace is byte-identical with it on or
+/// off.  Write failures are swallowed — a full disk must not kill a run
+/// whose spools are still fine.
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter(std::string dir, double interval_seconds, unsigned n_shards,
+                  double horizon_seconds)
+      : dir_(std::move(dir)),
+        interval_(interval_seconds),
+        horizon_(horizon_seconds),
+        progress_(n_shards),
+        start_(std::chrono::steady_clock::now()) {
+    write_once();  // a run that dies immediately still leaves one beat
+    thread_ = std::thread([this] { run(); });
+  }
+  ~HeartbeatWriter() { stop(); }
+
+  ShardProgress& shard(std::size_t k) noexcept { return progress_[k]; }
+
+  /// Joins the writer thread and emits the final beat (idempotent).
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopped_) return;
+      stopped_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    write_once();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!cv_.wait_for(lock, std::chrono::duration<double>(interval_),
+                         [this] { return stopped_; })) {
+      lock.unlock();
+      write_once();
+      lock.lock();
+    }
+  }
+
+  // Called from the constructor, the writer thread, and stop() after the
+  // join — never concurrently, so rss_history_ needs no lock.
+  void write_once() {
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_)
+                            .count();
+    const std::uint64_t rss = obs::process_current_rss_bytes();
+    const std::uint64_t peak_rss = obs::process_peak_rss_bytes();
+    if (rss_history_.size() >= kMaxRssSamples) {
+      rss_history_.erase(rss_history_.begin());
+    }
+    rss_history_.push_back({wall, rss});
+
+    const unsigned n = static_cast<unsigned>(progress_.size());
+    double sim_done_seconds = 0.0;
+    std::uint64_t events_total = 0;
+    unsigned shards_done = 0;
+
+    std::ostringstream shards;
+    for (unsigned k = 0; k < n; ++k) {
+      const bool done = progress_[k].done.load(std::memory_order_relaxed);
+      double t = done ? horizon_
+                      : std::bit_cast<double>(progress_[k].sim_time_bits.load(
+                            std::memory_order_relaxed));
+      t = std::clamp(t, 0.0, horizon_);
+      const std::uint64_t events =
+          progress_[k].events.load(std::memory_order_relaxed);
+      sim_done_seconds += t;
+      events_total += events;
+      if (done) ++shards_done;
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "%s{\"index\": %u, \"done\": %s, \"sim_days\": %.4f, "
+                    "\"events\": %llu}",
+                    k == 0 ? "" : ", ", k, done ? "true" : "false",
+                    t / sim::kSecondsPerDay,
+                    static_cast<unsigned long long>(events));
+      shards << buf;
+    }
+
+    const double denom = horizon_ * static_cast<double>(n);
+    const double progress = denom > 0.0 ? sim_done_seconds / denom : 1.0;
+    const double eta = (progress > 0.0 && progress < 1.0)
+                           ? wall * (1.0 - progress) / progress
+                           : 0.0;
+
+    std::ostringstream out;
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"version\": 1,\n"
+        "  \"wall_seconds\": %.3f,\n"
+        "  \"n_shards\": %u,\n"
+        "  \"shards_done\": %u,\n"
+        "  \"horizon_days\": %.4f,\n"
+        "  \"sim_days_completed\": %.4f,\n"
+        "  \"progress\": %.6f,\n"
+        "  \"eta_seconds\": %.1f,\n"
+        "  \"events_total\": %llu,\n"
+        "  \"events_per_sec\": %.1f,\n"
+        "  \"rss_bytes\": %llu,\n"
+        "  \"peak_rss_bytes\": %llu,\n",
+        wall, n, shards_done, horizon_ / sim::kSecondsPerDay,
+        n > 0 ? sim_done_seconds / static_cast<double>(n) / sim::kSecondsPerDay
+              : 0.0,
+        progress, eta, static_cast<unsigned long long>(events_total),
+        wall > 0.0 ? static_cast<double>(events_total) / wall : 0.0,
+        static_cast<unsigned long long>(rss),
+        static_cast<unsigned long long>(peak_rss));
+    out << buf;
+    out << "  \"shards\": [" << shards.str() << "],\n";
+    out << "  \"rss_history\": [";
+    for (std::size_t i = 0; i < rss_history_.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s{\"wall_seconds\": %.3f, "
+                    "\"rss_bytes\": %llu}",
+                    i == 0 ? "" : ", ", rss_history_[i].wall_seconds,
+                    static_cast<unsigned long long>(rss_history_[i].rss_bytes));
+      out << buf;
+    }
+    out << "]\n}\n";
+
+    try {
+      const std::string tmp =
+          (fs::path(dir_) / "heartbeat.json.tmp").string();
+      const std::string final_path =
+          (fs::path(dir_) / "heartbeat.json").string();
+      {
+        std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+        f << out.str();
+        if (!f) return;
+      }
+      fs::rename(tmp, final_path);
+    } catch (...) {
+      // Telemetry only: a failed beat must never take the run down.
+    }
+  }
+
+  struct RssSample {
+    double wall_seconds;
+    std::uint64_t rss_bytes;
+  };
+  static constexpr std::size_t kMaxRssSamples = 4096;
+
+  std::string dir_;
+  double interval_;
+  double horizon_;
+  std::vector<ShardProgress> progress_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<RssSample> rss_history_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopped_ = false;
+  std::thread thread_;
 };
 
 void publish_recovery_metrics(const RecoverySummary& summary) {
@@ -238,7 +433,17 @@ void run_durable_shards(const core::WorkloadModel& model,
   if (shards_out != nullptr) shards_out->resize(n_shards);
   shard_stats.assign(n_shards, ShardStats{});
   const bool qtrace_on = base.qtrace.sample_rate > 0.0;
+  const bool timeline_on = base.timeline.tick_seconds > 0.0;
+  const double horizon =
+      (base.warmup_days + base.duration_days) * sim::kSecondsPerDay;
   std::mutex manifest_mutex;  // guards manifest + summary
+
+  std::unique_ptr<HeartbeatWriter> heartbeat;
+  if (durability.heartbeat_interval_seconds > 0.0) {
+    heartbeat = std::make_unique<HeartbeatWriter>(
+        durability.dir, durability.heartbeat_interval_seconds, n_shards,
+        horizon);
+  }
 
   util::ThreadPool pool(std::min(n_threads, n_shards));
   pool.run_indexed(n_shards, [&](std::size_t k) {
@@ -265,9 +470,24 @@ void run_durable_shards(const core::WorkloadModel& model,
           obs::load_qtrace(obs::qtrace_sidecar_path(spool_dir),
                            shard_stats[k].qtrace);
         }
+        if (timeline_on) {
+          // Same sidecar contract as qtrace: a missing timeline.bin means
+          // the shard finished before timelines were on, contributing no
+          // ticks.
+          obs::load_timeline(obs::timeline_sidecar_path(spool_dir),
+                             shard_stats[k].timeline);
+        }
         std::lock_guard<std::mutex> lock(manifest_mutex);
         summary.segments_scanned += report.segments_scanned;
         summary.records_recovered += report.records_recovered;
+      }
+      if (heartbeat != nullptr) {
+        ShardProgress& progress = heartbeat->shard(k);
+        progress.sim_time_bits.store(std::bit_cast<std::uint64_t>(horizon),
+                                     std::memory_order_relaxed);
+        progress.events.store(shard_stats[k].events,
+                              std::memory_order_relaxed);
+        progress.done.store(true, std::memory_order_relaxed);
       }
       // Spool-only mode reads nothing: the streaming analysis validates
       // the segments in its own single pass.
@@ -291,7 +511,8 @@ void run_durable_shards(const core::WorkloadModel& model,
     }
 
     DurableSink sink(shards_out != nullptr ? &(*shards_out)[k] : nullptr,
-                     writer, index);
+                     writer, index,
+                     heartbeat != nullptr ? &heartbeat->shard(k) : nullptr);
     simulate_shard_into(model, base, index, sink, &shard_stats[k]);
     writer.close();  // final fsync: the shard's redo log is complete
     if (qtrace_on) {
@@ -306,6 +527,22 @@ void run_durable_shards(const core::WorkloadModel& model,
         shard_stats[k].qtrace.shrink_to_fit();
       }
     }
+    if (timeline_on) {
+      // Identical protocol for the timeline sidecar.
+      obs::save_timeline(obs::timeline_sidecar_path(spool_dir),
+                         shard_stats[k].timeline, base.timeline.tick_seconds);
+      if (shards_out == nullptr) {
+        shard_stats[k].timeline.clear();
+        shard_stats[k].timeline.shrink_to_fit();
+      }
+    }
+    if (heartbeat != nullptr) {
+      ShardProgress& progress = heartbeat->shard(k);
+      progress.sim_time_bits.store(std::bit_cast<std::uint64_t>(horizon),
+                                   std::memory_order_relaxed);
+      progress.events.store(shard_stats[k].events, std::memory_order_relaxed);
+      progress.done.store(true, std::memory_order_relaxed);
+    }
 
     std::lock_guard<std::mutex> lock(manifest_mutex);
     summary.events_replayed += sink.replayed();
@@ -315,6 +552,7 @@ void run_durable_shards(const core::WorkloadModel& model,
   });
   util::publish_pool_stats("pool.sim", pool.stats());
   obs::Registry::global().counter("sim.shards_run").add(n_shards);
+  if (heartbeat != nullptr) heartbeat->stop();  // final (completed) beat
 
   publish_recovery_metrics(summary);
   if (summary_out != nullptr) *summary_out = summary;
@@ -347,7 +585,8 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
                                     const DurabilityConfig& durability,
                                     RecoverySummary* summary_out,
                                     std::vector<ShardStats>* stats,
-                                    std::vector<obs::QueryHopEvent>* qtrace) {
+                                    std::vector<obs::QueryHopEvent>* qtrace,
+                                    std::vector<obs::TimelinePoint>* timeline) {
   std::vector<trace::Trace> shards;
   std::vector<ShardStats> shard_stats;
   run_durable_shards(model, base, n_shards, n_threads, durability, summary_out,
@@ -373,6 +612,20 @@ trace::Trace simulate_trace_durable(const core::WorkloadModel& model,
         obs::merge_qtrace(std::move(per_shard));
     obs::publish_qtrace_metrics(merged_qtrace);
     if (qtrace != nullptr) *qtrace = std::move(merged_qtrace);
+  }
+
+  if (base.timeline.tick_seconds > 0.0) {
+    // Same contract for the timeline: sidecar buffers from resumed shards
+    // plus freshly recorded ones merge to the identical tick stream an
+    // uninterrupted run would have produced.
+    std::vector<std::vector<obs::TimelinePoint>> per_shard(n_shards);
+    for (unsigned k = 0; k < n_shards; ++k) {
+      per_shard[k] = std::move(shard_stats[k].timeline);
+    }
+    std::vector<obs::TimelinePoint> merged_timeline =
+        obs::merge_timeline(std::move(per_shard));
+    obs::publish_timeline_metrics(merged_timeline);
+    if (timeline != nullptr) *timeline = std::move(merged_timeline);
   }
 
   if (stats != nullptr) *stats = std::move(shard_stats);

@@ -50,6 +50,14 @@ struct DurabilityConfig {
   /// resuming against a different model/config/shard-count is refused
   /// instead of silently producing a franken-trace.
   bool resume = false;
+
+  /// Wall-clock run-health channel (DESIGN.md §13): when > 0, a
+  /// background thread rewrites "<dir>/heartbeat.json" atomically every
+  /// this many wall-seconds with per-shard sim-time progress, events/sec,
+  /// current + peak RSS and an ETA — what tools/runwatch.py tails while a
+  /// long run is going.  Wall-clock and therefore never deterministic;
+  /// it shares the observational contract (0 = off = byte-identical).
+  double heartbeat_interval_seconds = 0.0;
 };
 
 /// What recovery found and did, summed over shards.
@@ -90,11 +98,17 @@ bool checkpoint_exists(const std::string& dir);
 /// not the run was interrupted.  A done shard without a sidecar (written
 /// before tracing, or at rate 0) contributes no events; keep the
 /// sampling flags consistent across resume for meaningful aggregates.
+///
+/// Sim-time timelines (base.timeline.tick_seconds > 0) follow the exact
+/// same sidecar protocol with "timeline.bin": written atomically before
+/// the shard is marked done, reloaded for done shards on resume, merged
+/// in (time, shard) order and published — identical across interruption.
 trace::Trace simulate_trace_durable(
     const core::WorkloadModel& model, const TraceSimulationConfig& base,
     unsigned n_shards, unsigned n_threads, const DurabilityConfig& durability,
     RecoverySummary* summary = nullptr, std::vector<ShardStats>* stats = nullptr,
-    std::vector<obs::QueryHopEvent>* qtrace = nullptr);
+    std::vector<obs::QueryHopEvent>* qtrace = nullptr,
+    std::vector<obs::TimelinePoint>* timeline = nullptr);
 
 /// The durable run without the merge: every shard's events end up in its
 /// fsync'd spool (resume semantics identical to simulate_trace_durable),

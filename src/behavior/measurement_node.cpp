@@ -7,6 +7,7 @@
 #include <variant>
 
 #include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 #include "util/backoff.hpp"
 
 namespace p2pgen::behavior {
@@ -68,6 +69,10 @@ void MeasurementNode::on_handshake(sim::ConnId conn,
     if (config_.max_pending_handshakes > 0 &&
         accepted_pending_ >= config_.max_pending_handshakes) {
       ++shed_connections_;
+      if (timeline_ != nullptr) {
+        timeline_->count(network_.simulator().now(),
+                         obs::TimelineSeries::kShedConnections);
+      }
       refuse_connection(conn);
       pending_.erase(it);
       return;
@@ -284,6 +289,9 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
       qtracer_->record(now, qkey, obs::QueryHop::kShed, message.ttl,
                        message.hops);
     }
+    if (timeline_ != nullptr) {
+      timeline_->count(now, obs::TimelineSeries::kShedQueries);
+    }
     return;
   }
 
@@ -303,6 +311,9 @@ void MeasurementNode::handle_message(sim::ConnId conn, Session& session,
     if (traced && is_query) {
       qtracer_->record(now, qkey, obs::QueryHop::kDuplicateDropped,
                        message.ttl, message.hops);
+    }
+    if (timeline_ != nullptr) {
+      timeline_->count(now, obs::TimelineSeries::kDropDuplicate);
     }
   }
 

@@ -32,6 +32,7 @@
 
 namespace p2pgen::obs {
 class QueryTracer;
+class TimelineRecorder;
 }  // namespace p2pgen::obs
 
 namespace p2pgen::behavior {
@@ -188,6 +189,14 @@ class MeasurementNode final : public sim::Node {
     qtracer_ = tracer;
   }
 
+  /// Installs a sim-time timeline recorder (non-owning, nullable;
+  /// DESIGN.md §13).  The node counts its degradation sheds and
+  /// duplicate drops into the tick containing each event; strictly
+  /// observational like the tracer.
+  void set_timeline(obs::TimelineRecorder* timeline) noexcept {
+    timeline_ = timeline;
+  }
+
   /// Session deaths that requested replenishment (node below target),
   /// indexed by the trace::EndReason that killed the session.
   const std::array<std::uint64_t, 4>& replenish_by_reason() const noexcept {
@@ -262,6 +271,7 @@ class MeasurementNode final : public sim::Node {
   stats::Rng rng_;
   gnutella::RoutingTable routing_;
   obs::QueryTracer* qtracer_ = nullptr;
+  obs::TimelineRecorder* timeline_ = nullptr;
 
   sim::NodeId id_ = 0;
   bool attached_ = false;

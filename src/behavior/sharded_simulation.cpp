@@ -30,6 +30,7 @@ void fill_stats(ShardStats& stats, TraceSimulation& simulation,
   stats.replenish_spawns = node.replenish_spawns();
   stats.session_ends = node.session_ends();
   stats.qtrace = simulation.take_qtrace();
+  stats.timeline = simulation.take_timeline();
 }
 
 }  // namespace
@@ -86,7 +87,8 @@ trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
                                     const TraceSimulationConfig& base,
                                     unsigned n_shards, unsigned n_threads,
                                     std::vector<ShardStats>* stats,
-                                    std::vector<obs::QueryHopEvent>* qtrace) {
+                                    std::vector<obs::QueryHopEvent>* qtrace,
+                                    std::vector<obs::TimelinePoint>* timeline) {
   if (n_shards == 0) {
     throw std::invalid_argument("simulate_trace_sharded: n_shards must be > 0");
   }
@@ -115,6 +117,17 @@ trace::Trace simulate_trace_sharded(const core::WorkloadModel& model,
         obs::merge_qtrace(std::move(per_shard));
     obs::publish_qtrace_metrics(merged_qtrace);
     if (qtrace != nullptr) *qtrace = std::move(merged_qtrace);
+  }
+
+  if (base.timeline.tick_seconds > 0.0) {
+    std::vector<std::vector<obs::TimelinePoint>> per_shard(n_shards);
+    for (unsigned k = 0; k < n_shards; ++k) {
+      per_shard[k] = std::move(shard_stats[k].timeline);
+    }
+    std::vector<obs::TimelinePoint> merged_timeline =
+        obs::merge_timeline(std::move(per_shard));
+    obs::publish_timeline_metrics(merged_timeline);
+    if (timeline != nullptr) *timeline = std::move(merged_timeline);
   }
 
   if (stats != nullptr) *stats = std::move(shard_stats);

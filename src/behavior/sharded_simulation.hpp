@@ -26,6 +26,7 @@
 #include "behavior/trace_simulation.hpp"
 #include "geo/region.hpp"
 #include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 
 namespace p2pgen::behavior {
 
@@ -53,6 +54,11 @@ struct ShardStats {
   /// is off).  Time-ordered within the shard; obs::merge_qtrace pins the
   /// cross-shard order.
   std::vector<obs::QueryHopEvent> qtrace;
+
+  /// The shard's timeline ticks (empty when timelines are off).
+  /// Time-ordered within the shard; obs::merge_timeline pins the
+  /// cross-shard order.
+  std::vector<obs::TimelinePoint> timeline;
 };
 
 /// Seed of shard `shard_index` under `master_seed`.  Every shard —
@@ -86,12 +92,16 @@ void simulate_shard_into(const core::WorkloadModel& model,
 /// When base.qtrace.sample_rate > 0 the per-shard qtrace buffers are
 /// merged (obs::merge_qtrace) and their aggregates published to the
 /// global registry; pass `qtrace` to also receive the merged stream.
-/// The per-shard buffers are consumed by the merge — ShardStats.qtrace
-/// comes back empty from this entry point.
+/// Likewise, when base.timeline.tick_seconds > 0 the per-shard timeline
+/// buffers are merged (obs::merge_timeline) and published; pass
+/// `timeline` to receive that merged stream.  The per-shard buffers are
+/// consumed by the merges — ShardStats.qtrace / .timeline come back
+/// empty from this entry point.
 trace::Trace simulate_trace_sharded(
     const core::WorkloadModel& model, const TraceSimulationConfig& base,
     unsigned n_shards, unsigned n_threads,
     std::vector<ShardStats>* stats = nullptr,
-    std::vector<obs::QueryHopEvent>* qtrace = nullptr);
+    std::vector<obs::QueryHopEvent>* qtrace = nullptr,
+    std::vector<obs::TimelinePoint>* timeline = nullptr);
 
 }  // namespace p2pgen::behavior

@@ -107,10 +107,11 @@ TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
       fault_injector_(config.faults, config.seed ^ 0x0F0F0F0F0F0F0F0FULL),
       net_(sim_, config.network),
       geodb_(geo::GeoIpDatabase::synthetic()),
+      tsink_(gated_sink_, geodb_),
       allocator_(geodb_),
       sampler_(std::move(ground_truth), config.seed ^ 0x1234567890ABCDEFULL),
       planner_(sampler_, allocator_, config.background),
-      node_(net_, gated_sink_, config.node, config.seed ^ 0xFEDCBA0987654321ULL),
+      node_(net_, tsink_, config.node, config.seed ^ 0xFEDCBA0987654321ULL),
       rng_(config.seed),
       scenario_rng_(config.seed ^ 0x5C5C5C5C5C5C5C5CULL),
       outage_active_(config.outages.size(), 0) {
@@ -149,6 +150,65 @@ TraceSimulation::TraceSimulation(core::WorkloadModel ground_truth,
     qtracer_ = std::make_unique<obs::QueryTracer>(qconfig);
     net_.set_query_tracer(qtracer_.get());
     node_.set_query_tracer(qtracer_.get());
+  }
+  // Sim-time timelines (DESIGN.md §13): same discipline — only
+  // constructed when a tick rate is set, gated at the warm-up boundary.
+  if (config_.timeline.tick_seconds > 0.0) {
+    obs::TimelineConfig tconfig = config_.timeline;
+    tconfig.gate_time = config_.warmup_days * sim::kSecondsPerDay;
+    timeline_ = std::make_unique<obs::TimelineRecorder>(tconfig);
+    net_.set_timeline(timeline_.get());
+    node_.set_timeline(timeline_.get());
+    tsink_.set_recorder(timeline_.get());
+  }
+}
+
+void TraceSimulation::TimelineSink::on_event(const trace::TraceEvent& event) {
+  if (recorder_ != nullptr) observe(event);
+  inner_.on_event(event);
+}
+
+void TraceSimulation::TimelineSink::observe(const trace::TraceEvent& event) {
+  if (const auto* start = std::get_if<trace::SessionStart>(&event)) {
+    // Region attribution happens once per session, from the same GeoIP
+    // database the analysis layer uses; unknown prefixes land in kOther.
+    const auto region = geodb_.lookup(start->ip);
+    session_region_[start->session_id] =
+        region.value_or(geo::Region::kOther);
+    recorder_->count(start->time, obs::TimelineSeries::kSessionsStarted);
+    recorder_->level(start->time, obs::TimelineSeries::kActiveSessions, 1);
+    return;
+  }
+  if (const auto* message = std::get_if<trace::MessageEvent>(&event)) {
+    if (message->type == gnutella::MessageType::kQuery) {
+      recorder_->count(message->time, obs::TimelineSeries::kQueries);
+      auto region_series = obs::TimelineSeries::kQueriesOther;
+      const auto it = session_region_.find(message->session_id);
+      if (it != session_region_.end()) {
+        switch (it->second) {
+          case geo::Region::kNorthAmerica:
+            region_series = obs::TimelineSeries::kQueriesNorthAmerica;
+            break;
+          case geo::Region::kEurope:
+            region_series = obs::TimelineSeries::kQueriesEurope;
+            break;
+          case geo::Region::kAsia:
+            region_series = obs::TimelineSeries::kQueriesAsia;
+            break;
+          case geo::Region::kOther:
+            break;
+        }
+      }
+      recorder_->count(message->time, region_series);
+    } else if (message->type == gnutella::MessageType::kQueryHit) {
+      recorder_->count(message->time, obs::TimelineSeries::kQueryHits);
+    }
+    return;
+  }
+  if (const auto* end = std::get_if<trace::SessionEnd>(&event)) {
+    recorder_->count(end->time, obs::TimelineSeries::kSessionsEnded);
+    recorder_->level(end->time, obs::TimelineSeries::kActiveSessions, -1);
+    session_region_.erase(end->session_id);
   }
 }
 

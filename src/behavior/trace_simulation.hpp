@@ -22,6 +22,7 @@
 #include "core/generator.hpp"
 #include "geo/geoip.hpp"
 #include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 #include "sim/network.hpp"
 #include "trace/trace.hpp"
 
@@ -98,6 +99,14 @@ struct TraceSimulationConfig {
   /// TraceSimulation (set to the warm-up gate); only sample_rate is a
   /// user knob.
   obs::QtraceConfig qtrace{};
+
+  /// Sim-time metric timelines (obs/timeline.hpp, DESIGN.md §13).  Like
+  /// qtrace, strictly observational and deliberately EXCLUDED from
+  /// simulation_config_digest: configs differing only in the tick rate
+  /// share bench caches and durable-run identities.  gate_time is managed
+  /// by TraceSimulation (set to the warm-up gate); only tick_seconds is a
+  /// user knob.
+  obs::TimelineConfig timeline{};
 };
 
 /// Order-sensitive FNV-1a digest over every TraceSimulationConfig field
@@ -156,6 +165,16 @@ class TraceSimulation {
     return qtracer_ ? qtracer_->take() : std::vector<obs::QueryHopEvent>{};
   }
 
+  /// Takes the recorded timeline points (empty when timelines are off),
+  /// flushing the trailing ticks up to the simulation horizon first so
+  /// every shard emits the identical tick grid.  The per-shard buffer is
+  /// time-ordered; merge with obs::merge_timeline.
+  std::vector<obs::TimelinePoint> take_timeline() {
+    if (!timeline_) return {};
+    timeline_->finish(horizon_);
+    return timeline_->take();
+  }
+
  private:
   void schedule_next_arrival(const ClientPopulation& clients);
   void spawn_peer(const ClientPopulation& clients);
@@ -178,12 +197,38 @@ class TraceSimulation {
     double gate_;
   };
 
+  /// Observes the node's event stream for the timeline — query/QUERYHIT
+  /// arrivals with per-region attribution, session starts/ends, the
+  /// active-session level — and forwards every event unchanged.  Sits
+  /// UPSTREAM of the warm-up gate on purpose: the session-to-region map
+  /// and the active-session level must include warm-up sessions (the
+  /// recorder itself drops pre-gate counts).  With no recorder installed
+  /// it is a pure pass-through.
+  class TimelineSink : public trace::TraceSink {
+   public:
+    TimelineSink(trace::TraceSink& inner, const geo::GeoIpDatabase& geodb)
+        : inner_(inner), geodb_(geodb) {}
+    void set_recorder(obs::TimelineRecorder* recorder) noexcept {
+      recorder_ = recorder;
+    }
+    void on_event(const trace::TraceEvent& event) override;
+
+   private:
+    void observe(const trace::TraceEvent& event);
+
+    trace::TraceSink& inner_;
+    const geo::GeoIpDatabase& geodb_;
+    obs::TimelineRecorder* recorder_ = nullptr;
+    std::unordered_map<std::uint64_t, geo::Region> session_region_;
+  };
+
   TraceSimulationConfig config_;
   GatingSink gated_sink_;
   sim::Simulator sim_;
   sim::FaultInjector fault_injector_;
   sim::Network net_;
   geo::GeoIpDatabase geodb_;
+  TimelineSink tsink_;
   geo::IpAllocator allocator_;
   core::SessionSampler sampler_;
   PeerPlanner planner_;
@@ -192,6 +237,9 @@ class TraceSimulation {
   /// Constructed only when qtrace.sample_rate > 0; wired into the
   /// network and node so every instrumentation site is one null check.
   std::unique_ptr<obs::QueryTracer> qtracer_;
+  /// Constructed only when timeline.tick_seconds > 0; wired into the
+  /// network, the node and the timeline sink, same null-check discipline.
+  std::unique_ptr<obs::TimelineRecorder> timeline_;
 
   std::unordered_map<sim::NodeId, std::unique_ptr<SimulatedPeer>> peers_;
   /// Region of every live peer, ordered by NodeId so outage draws iterate

@@ -1,9 +1,15 @@
 #include "obs/process.hpp"
 
+#include <cstdio>
+
 #include "obs/metrics.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#endif
+
+#if defined(__linux__)
+#include <unistd.h>
 #endif
 
 namespace p2pgen::obs {
@@ -24,11 +30,32 @@ std::uint64_t process_peak_rss_bytes() {
 #endif
 }
 
+std::uint64_t process_current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm field 2 is the resident page count.
+  std::FILE* statm = std::fopen("/proc/self/statm", "r");
+  if (statm != nullptr) {
+    unsigned long long total = 0;
+    unsigned long long resident = 0;
+    const int fields = std::fscanf(statm, "%llu %llu", &total, &resident);
+    std::fclose(statm);
+    if (fields == 2) {
+      const long page = ::sysconf(_SC_PAGESIZE);
+      return static_cast<std::uint64_t>(resident) *
+             static_cast<std::uint64_t>(page > 0 ? page : 4096);
+    }
+  }
+#endif
+  return process_peak_rss_bytes();
+}
+
 void publish_process_metrics() {
   auto& registry = Registry::global();
   if (!registry.enabled()) return;
   registry.gauge("process.peak_rss_bytes")
       .record_max(static_cast<std::int64_t>(process_peak_rss_bytes()));
+  registry.gauge("process.rss_bytes")
+      .set(static_cast<std::int64_t>(process_current_rss_bytes()));
 }
 
 }  // namespace p2pgen::obs

@@ -18,9 +18,17 @@ namespace p2pgen::obs {
 /// wants and why per-phase deltas are meaningless.
 std::uint64_t process_peak_rss_bytes();
 
+/// Current (instantaneous) resident set size of the calling process, in
+/// bytes (/proc/self/statm on Linux; falls back to the peak elsewhere,
+/// 0 on platforms with neither).  Unlike the peak this goes *down* when
+/// memory is returned, so periodic samples of it — the heartbeat channel
+/// of behavior/checkpoint — show the live footprint of a long run.
+std::uint64_t process_current_rss_bytes();
+
 /// Records the current peak RSS in the global registry gauge
 /// "process.peak_rss_bytes" (record_max: snapshots taken later keep the
-/// high-water mark).  No-op while the registry is disabled.
+/// high-water mark) and the instantaneous RSS in "process.rss_bytes"
+/// (set: last sample wins).  No-op while the registry is disabled.
 void publish_process_metrics();
 
 }  // namespace p2pgen::obs

@@ -6,6 +6,7 @@
 
 #include "gnutella/codec.hpp"
 #include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 
 namespace p2pgen::sim {
 
@@ -220,6 +221,9 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
       qtracer_->record(sim_.now(), qkey, obs::QueryHop::kDropDeadLink, qttl,
                        qhops);
     }
+    if (timeline_) {
+      timeline_->count(sim_.now(), obs::TimelineSeries::kDropDeadLink);
+    }
     ++messages_dropped_;
     return;
   }
@@ -254,6 +258,9 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
         qtracer_->record(sim_.now(), qkey, obs::QueryHop::kDropLoss, qttl,
                          qhops);
       }
+      if (timeline_) {
+        timeline_->count(sim_.now(), obs::TimelineSeries::kDropLoss);
+      }
       ++messages_dropped_;
       return;
     }
@@ -273,6 +280,9 @@ void Network::send(ConnId conn, NodeId sender, gnutella::Message message) {
       if (traced) {
         qtracer_->record(sim_.now(), qkey, obs::QueryHop::kCorrupted, qttl,
                          qhops);
+      }
+      if (timeline_) {
+        timeline_->count(sim_.now(), obs::TimelineSeries::kDropCorrupted);
       }
       deliver_at = std::max(deliver_at, fifo);
       fifo = deliver_at;

@@ -29,6 +29,7 @@
 
 namespace p2pgen::obs {
 class QueryTracer;
+class TimelineRecorder;
 }  // namespace p2pgen::obs
 
 namespace p2pgen::sim {
@@ -98,6 +99,14 @@ class Network {
   /// with or without one.
   void set_query_tracer(obs::QueryTracer* tracer) noexcept {
     qtracer_ = tracer;
+  }
+
+  /// Installs a sim-time timeline recorder (non-owning, nullable;
+  /// DESIGN.md §13).  The transport counts fault-layer drops by reason
+  /// into the tick containing each drop; like the tracer it is strictly
+  /// observational.
+  void set_timeline(obs::TimelineRecorder* timeline) noexcept {
+    timeline_ = timeline;
   }
 
   /// Marks a node as immune to injected crashes (the measurement node:
@@ -186,6 +195,7 @@ class Network {
   std::unordered_map<ConnId, Connection> connections_;
   FaultInjector* injector_ = nullptr;
   obs::QueryTracer* qtracer_ = nullptr;
+  obs::TimelineRecorder* timeline_ = nullptr;
   ConnId next_conn_id_ = 1;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -196,6 +196,68 @@ TEST(MetricsRegistry, DeltaSubtractsABaselineSnapshot) {
   EXPECT_EQ(hist.count, 2u);
 }
 
+TEST(MetricsRegistry, DeltaSubtractsHistogramSums) {
+  obs::Registry registry;
+  auto h = registry.histogram("work.lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(20.0);
+  const auto baseline = registry.snapshot();
+  h.observe(2.0);
+
+  const auto delta = registry.delta(baseline);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms[0].sum, 2.0);
+  ASSERT_EQ(delta.histograms[0].buckets.size(), 3u);
+  EXPECT_EQ(delta.histograms[0].buckets[0], 0u);
+  EXPECT_EQ(delta.histograms[0].buckets[1], 1u);
+  EXPECT_EQ(delta.histograms[0].buckets[2], 0u);
+}
+
+TEST(MetricsRegistry, DeltaPassesReBucketedHistogramsThroughWhole) {
+  // A baseline whose histogram has foreign bounds (a re-bucketed metric,
+  // or a snapshot from another process) must never be subtracted
+  // bucket-by-bucket across shapes: the whole current state IS the delta.
+  obs::Registry registry;
+  auto h = registry.histogram("work.lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(20.0);
+  auto foreign = registry.snapshot();
+  foreign.histograms[0].bounds = {5.0};
+  foreign.histograms[0].buckets = {2, 1};
+
+  const auto delta = registry.delta(foreign);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 3u);
+  ASSERT_EQ(delta.histograms[0].buckets.size(), 3u);
+  EXPECT_EQ(delta.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(delta.histograms[0].buckets[1], 1u);
+  EXPECT_EQ(delta.histograms[0].buckets[2], 1u);
+}
+
+TEST(MetricsRegistry, DeltaClampsAfterAReset) {
+  // reset() between the snapshots makes current < baseline; the delta
+  // clamps to zero everywhere instead of wrapping unsigned values.
+  obs::Registry registry;
+  auto c = registry.counter("work.done");
+  auto h = registry.histogram("work.lat", {1.0, 10.0});
+  c.add(5);
+  h.observe(0.5);
+  h.observe(0.6);
+  const auto baseline = registry.snapshot();
+
+  registry.reset();
+  c.add(2);
+  h.observe(0.25);
+  const auto delta = registry.delta(baseline);
+  EXPECT_EQ(delta.counter_value("work.done"), 0u);  // 2 < 5, clamped
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].count, 0u);         // 1 < 2, clamped
+  EXPECT_EQ(delta.histograms[0].buckets[0], 0u);
+  EXPECT_DOUBLE_EQ(delta.histograms[0].sum, 0.0);
+}
+
 TEST(TraceLog, DisabledLogRecordsNothingThroughSpans) {
   obs::TraceLog log;
   ASSERT_FALSE(log.enabled());

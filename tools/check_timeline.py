@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Declarative watchdog over a measurement-run timeline.
+
+Takes the timeline dump of measurement_pipeline (--timeline=<dir>'s
+timeline.json, or a --metrics report — its "timeline" block is used) and
+asserts run-health invariants a CI job can gate on:
+
+  shape (always)           every shard emits the same contiguous tick
+                           grid and every tick carries every shard —
+                           a hole means a shard died or the merge broke.
+  --min-queries-per-tick=N the run-wide query count of every tick is at
+                           least N: the workload never silently stalls.
+  --outage=<start>:<end>   sim-second window (repeatable) exempt from
+                           the minimum — scenario outages are SUPPOSED
+                           to dent the query rate; the watchdog checks
+                           the dent stays inside its declared window.
+  --max-shed-fraction=<f>  shed_queries / (queries + shed_queries) over
+                           the whole run stays at or below f: graceful
+                           degradation never quietly becomes the norm.
+  --expect-diurnal-swing=<r> the mean queries-per-tick of the busiest
+                           hour of day is at least r times the quietest
+                           hour's: the diurnal structure the paper's §4
+                           conditions on actually shows up in the run.
+
+Prints every violation and exits 1 on any, 0 when all hold, 2 on usage
+or input errors.
+"""
+
+import json
+import sys
+
+QUERIES = "queries"
+SHED = "shed_queries"
+TICKS_PER_HOUR_DAY = 86400.0
+
+
+def load_timeline(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    block = data.get("timeline") if isinstance(data.get("timeline"), dict) \
+        else data
+    if not {"tick_seconds", "series", "points"} <= set(block):
+        raise ValueError(f"{path}: no timeline block found")
+    return block
+
+
+def check_shape(block, problems):
+    """Every shard emits the same contiguous tick grid."""
+    tick = block["tick_seconds"]
+    points = block["points"]
+    if not points:
+        problems.append("shape: timeline has no points at all")
+        return {}
+    per_shard = {}
+    for time, shard, *_ in points:
+        per_shard.setdefault(shard, []).append(time)
+    grids = {shard: tuple(times) for shard, times in per_shard.items()}
+    reference = next(iter(grids.values()))
+    for shard, grid in sorted(grids.items()):
+        if grid != reference:
+            problems.append(f"shape: shard {shard} tick grid differs from "
+                            f"shard {min(grids)}'s ({len(grid)} vs "
+                            f"{len(reference)} ticks)")
+    for i in range(1, len(reference)):
+        if abs((reference[i] - reference[i - 1]) - tick) > 1e-6:
+            problems.append(f"shape: tick grid has a hole between "
+                            f"t={reference[i - 1]} and t={reference[i]} "
+                            f"(expected step {tick})")
+            break
+    return per_shard
+
+
+def totals_by_tick(block, series_name):
+    """{tick_start: run-wide value} summed across shards."""
+    index = 2 + block["series"].index(series_name)
+    totals = {}
+    for point in block["points"]:
+        totals[point[0]] = totals.get(point[0], 0) + point[index]
+    return totals
+
+
+def in_outage(time, tick, outages):
+    """True when any part of [time, time+tick) overlaps an outage."""
+    return any(start < time + tick and time < end for start, end in outages)
+
+
+def check_min_queries(block, minimum, outages, problems):
+    tick = block["tick_seconds"]
+    for time, queries in sorted(totals_by_tick(block, QUERIES).items()):
+        if in_outage(time, tick, outages):
+            continue
+        if queries < minimum:
+            problems.append(f"min-queries: tick at t={time} has {queries} "
+                            f"queries < {minimum} (outside any declared "
+                            f"outage window)")
+
+
+def check_shed_fraction(block, maximum, problems):
+    queries = sum(totals_by_tick(block, QUERIES).values())
+    shed = sum(totals_by_tick(block, SHED).values())
+    offered = queries + shed
+    fraction = shed / offered if offered else 0.0
+    if fraction > maximum:
+        problems.append(f"shed-fraction: {shed} of {offered} offered "
+                        f"queries shed ({fraction:.4f} > {maximum})")
+
+
+def check_diurnal_swing(block, ratio, problems):
+    by_hour = {}
+    for time, queries in totals_by_tick(block, QUERIES).items():
+        hour = int((time % TICKS_PER_HOUR_DAY) // 3600)
+        by_hour.setdefault(hour, []).append(queries)
+    if len(by_hour) < 24:
+        problems.append(f"diurnal-swing: run covers only {len(by_hour)} "
+                        f"hour(s) of day; a swing needs the full cycle")
+        return
+    means = {h: sum(v) / len(v) for h, v in by_hour.items()}
+    peak_hour = max(means, key=means.get)
+    trough_hour = min(means, key=means.get)
+    swing = means[peak_hour] / max(means[trough_hour], 1e-9)
+    if swing < ratio:
+        problems.append(f"diurnal-swing: busiest hour {peak_hour:02d}h "
+                        f"({means[peak_hour]:.1f} queries/tick) is only "
+                        f"{swing:.2f}x the quietest hour {trough_hour:02d}h "
+                        f"({means[trough_hour]:.1f}); expected >= {ratio}")
+
+
+def main(argv):
+    path = None
+    min_queries = None
+    max_shed = None
+    swing = None
+    outages = []
+    for arg in argv[1:]:
+        if arg.startswith("--min-queries-per-tick="):
+            min_queries = int(arg.split("=", 1)[1])
+        elif arg.startswith("--max-shed-fraction="):
+            max_shed = float(arg.split("=", 1)[1])
+        elif arg.startswith("--expect-diurnal-swing="):
+            swing = float(arg.split("=", 1)[1])
+        elif arg.startswith("--outage="):
+            start, end = arg.split("=", 1)[1].split(":")
+            outages.append((float(start), float(end)))
+        elif arg.startswith("--"):
+            print(f"check_timeline: unknown flag {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(f"usage: {argv[0]} [--min-queries-per-tick=<n>] "
+              f"[--outage=<start>:<end>]... [--max-shed-fraction=<f>] "
+              f"[--expect-diurnal-swing=<r>] <timeline.json>",
+              file=sys.stderr)
+        return 2
+
+    try:
+        block = load_timeline(path)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"check_timeline: {error}", file=sys.stderr)
+        return 2
+
+    problems = []
+    check_shape(block, problems)
+    if not problems:  # value checks are meaningless over a broken grid
+        if min_queries is not None:
+            check_min_queries(block, min_queries, outages, problems)
+        if max_shed is not None:
+            check_shed_fraction(block, max_shed, problems)
+        if swing is not None:
+            check_diurnal_swing(block, swing, problems)
+
+    if problems:
+        print(f"{len(problems)} timeline invariant violation(s) in {path}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    ticks = len({p[0] for p in block["points"]})
+    shards = len({p[1] for p in block["points"]})
+    print(f"timeline healthy: {ticks} tick(s) x {shards} shard(s), all "
+          f"declared invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Tail the run-health heartbeat of a durable measurement run.
+
+measurement_pipeline --checkpoint-dir=<dir> --heartbeat=<secs> makes the
+durable runner rewrite <dir>/heartbeat.json atomically every few
+wall-seconds: per-shard sim-time progress, throughput, current + peak
+RSS and an ETA.  This tool renders that file for a human.
+
+  $ tools/runwatch.py <checkpoint-dir>            # one snapshot
+  $ tools/runwatch.py <checkpoint-dir> --watch    # refresh until done
+  $ tools/runwatch.py <dir> --watch --interval=5  # custom refresh
+
+A heartbeat older than --stale (default 3x its own write interval is
+unknowable, so a flat 60 s) is flagged: either the run died without its
+final beat, or it is wedged — both worth a look.  Exit 0 when the run
+completed (progress == 1), 3 when watching ended on a stale beat,
+2 on usage/IO errors.
+"""
+
+import json
+import os
+import sys
+import time
+
+
+def fmt_seconds(seconds):
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def fmt_bytes(n):
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024.0
+    return f"{n:.1f} GiB"
+
+
+def bar(fraction, width=30):
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render(beat, age_seconds, stale_after):
+    progress = beat.get("progress", 0.0)
+    lines = []
+    lines.append(f"[{bar(progress)}] {100.0 * progress:6.2f}%  "
+                 f"sim {beat.get('sim_days_completed', 0.0):.3f}/"
+                 f"{beat.get('horizon_days', 0.0):.3f} days")
+    lines.append(f"  wall {fmt_seconds(beat.get('wall_seconds', 0))}"
+                 f"  eta {fmt_seconds(beat.get('eta_seconds', 0))}"
+                 f"  {beat.get('events_per_sec', 0.0):,.0f} events/s"
+                 f"  ({beat.get('events_total', 0):,} total)")
+    lines.append(f"  rss {fmt_bytes(beat.get('rss_bytes', 0))}"
+                 f"  (peak {fmt_bytes(beat.get('peak_rss_bytes', 0))})"
+                 f"  shards {beat.get('shards_done', 0)}/"
+                 f"{beat.get('n_shards', 0)} done")
+    for shard in beat.get("shards", []):
+        state = "done" if shard.get("done") else "running"
+        lines.append(f"    shard {shard.get('index'):>3}: "
+                     f"{shard.get('sim_days', 0.0):7.3f} sim-days  "
+                     f"{shard.get('events', 0):>12,} events  {state}")
+    if age_seconds > stale_after and progress < 1.0:
+        lines.append(f"  !! heartbeat is {fmt_seconds(age_seconds)} old "
+                     f"(stale after {fmt_seconds(stale_after)}): the run "
+                     f"died without its final beat or is wedged")
+    return "\n".join(lines)
+
+
+def main(argv):
+    path = None
+    watch = False
+    interval = 2.0
+    stale_after = 60.0
+    for arg in argv[1:]:
+        if arg == "--watch":
+            watch = True
+        elif arg.startswith("--interval="):
+            interval = float(arg[len("--interval="):])
+        elif arg.startswith("--stale="):
+            stale_after = float(arg[len("--stale="):])
+        elif arg.startswith("--"):
+            print(f"runwatch: unknown flag {arg!r}", file=sys.stderr)
+            return 2
+        else:
+            path = arg
+    if path is None:
+        print(f"usage: {argv[0]} <checkpoint-dir> [--watch] "
+              f"[--interval=<secs>] [--stale=<secs>]", file=sys.stderr)
+        return 2
+    beat_path = os.path.join(path, "heartbeat.json")
+
+    while True:
+        try:
+            age = time.time() - os.stat(beat_path).st_mtime
+            with open(beat_path) as fh:
+                beat = json.load(fh)
+        except FileNotFoundError:
+            print(f"runwatch: no heartbeat at {beat_path} (is the run "
+                  f"using --heartbeat=<secs>?)", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as error:
+            # The writer renames atomically, so this means a damaged file,
+            # not a torn write.
+            print(f"runwatch: {beat_path} is not valid JSON: {error}",
+                  file=sys.stderr)
+            return 2
+        print(render(beat, age, stale_after))
+        if beat.get("progress", 0.0) >= 1.0:
+            return 0
+        if not watch:
+            return 0
+        if age > stale_after:
+            return 3
+        time.sleep(interval)
+        print()
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        # The reader (head, grep -q) went away; that is their call.
+        os._exit(0)
