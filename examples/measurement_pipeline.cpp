@@ -12,7 +12,8 @@
 //   $ ./measurement_pipeline [days] [arrival_rate] [faults] [shards]
 //       [threads] [--metrics=<path>] [--trace-json=<path>]
 //       [--checkpoint-dir=<dir>] [--checkpoint-interval=<records>]
-//       [--resume] [--streaming] [--scenario=<name-or-json-file>]
+//       [--resume] [--salvage] [--streaming]
+//       [--scenario=<name-or-json-file>]
 //       [--qtrace-sample=<rate>] [--query-trace=<dir>]
 //       [--timeline=<dir>] [--timeline-tick=<secs>] [--heartbeat=<secs>]
 //       [--list-scenarios]
@@ -41,6 +42,18 @@
 // to an uninterrupted one.  --checkpoint-interval sets the fsync cadence
 // in records (default 65536; smaller = less re-simulation after a kill).
 // --resume requires an existing, identity-matching checkpoint.
+//
+// --salvage (needs --checkpoint-dir=) tolerates media damage to the
+// checkpoint with bounded, accounted loss (DESIGN.md §14): damaged
+// unfinished spools are truncated and re-simulated (no loss), damaged
+// finished spools are read around the bad byte ranges, damaged sidecars
+// are rebuilt by replay, and sessions overlapping a loss window are
+// censored from the filters and fits — counted in the report's "gaps"
+// block, never silently mixed in.  With a clean checkpoint the output is
+// bit-identical to a strict run.  A run that stops cleanly on a write
+// error (disk full) exits with code 75 (EX_TEMPFAIL) after recording the
+// machine-readable reason in the MANIFEST; tools/supervise.py retries
+// such runs with --resume and bounded backoff.
 //
 // --qtrace-sample=<rate> turns on query-lifecycle tracing (DESIGN.md §12):
 // a deterministic FNV-sampled subset of queries records every hop of its
@@ -93,6 +106,7 @@
 #include <vector>
 
 #include "analysis/filters.hpp"
+#include "analysis/gaps.hpp"
 #include "analysis/model_fit.hpp"
 #include "analysis/parallel.hpp"
 #include "analysis/report.hpp"
@@ -195,6 +209,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(argv[i] + 22));
     } else if (std::strcmp(argv[i], "--resume") == 0) {
       durability.resume = true;
+    } else if (std::strcmp(argv[i], "--salvage") == 0) {
+      durability.salvage = true;
     } else if (std::strcmp(argv[i], "--streaming") == 0) {
       streaming_on = true;
     } else if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
@@ -233,6 +249,11 @@ int main(int argc, char** argv) {
   if (streaming_on && durability.dir.empty()) {
     std::cerr << "measurement_pipeline: --streaming needs --checkpoint-dir= "
                  "(the spool is the streaming pass's input)\n";
+    return 1;
+  }
+  if (durability.salvage && durability.dir.empty()) {
+    std::cerr << "measurement_pipeline: --salvage needs --checkpoint-dir= "
+                 "(there is no spool to salvage without one)\n";
     return 1;
   }
   if (!query_trace_dir.empty() && qtrace_sample <= 0.0) {
@@ -318,6 +339,9 @@ int main(int argc, char** argv) {
   std::vector<behavior::ShardStats> shard_stats;
   std::vector<obs::QueryHopEvent> qtrace;
   std::vector<obs::TimelinePoint> timeline;
+  // Salvage loss accounting: filled by whichever durable path ran (empty
+  // without --salvage or with a clean checkpoint).
+  trace::SalvageReport salvage_report;
   // Snapshot before any simulation runs: the robustness rows below are
   // read as a delta against this baseline, so they count only what THIS
   // run's shards published (not whatever else shares the registry).
@@ -338,15 +362,25 @@ int main(int argc, char** argv) {
                 << " truncated (" << recovery.bytes_truncated << " bytes), "
                 << recovery.events_replayed << " events replayed, "
                 << recovery.shards_completed_prior
-                << " shard(s) loaded complete\n";
+                << " shard(s) loaded complete, " << recovery.sidecars_rebuilt
+                << " sidecar set(s) rebuilt, " << recovery.spools_reset
+                << " spool(s) reset\n";
       analysis::StreamingOptions streaming_options;
       streaming_options.threads = threads;
+      streaming_options.salvage = durability.salvage;
       streaming = analysis::analyze_spools(
           spool_dirs, geo::GeoIpDatabase::synthetic(), streaming_options);
+    } catch (const behavior::CheckpointStopped& e) {
+      // Clean stop (disk full / write error): durable state is intact
+      // and the MANIFEST records why.  EX_TEMPFAIL tells supervisors
+      // (tools/supervise.py) this is retryable with --resume.
+      std::cerr << "measurement_pipeline: " << e.what() << "\n";
+      return 75;
     } catch (const std::exception& e) {
       std::cerr << "measurement_pipeline: " << e.what() << "\n";
       return 1;
     }
+    salvage_report = std::move(streaming->salvage);
     // Mirror the materialized path's merge counter so the metric surface
     // the equivalence CI diffs is the same on both.
     obs::Registry::global().counter("sim.merged_events").add(streaming->events);
@@ -363,19 +397,28 @@ int main(int argc, char** argv) {
       trace = behavior::simulate_trace_durable(
           core::WorkloadModel::paper_default(), config, shards, threads,
           durability, &recovery, &shard_stats, &qtrace, &timeline);
+    } catch (const behavior::CheckpointStopped& e) {
+      // Clean stop (disk full / write error): durable state is intact
+      // and the MANIFEST records why.  EX_TEMPFAIL tells supervisors
+      // (tools/supervise.py) this is retryable with --resume.
+      std::cerr << "measurement_pipeline: " << e.what() << "\n";
+      return 75;
     } catch (const std::exception& e) {
       // Identity mismatch / missing checkpoint: refuse cleanly instead
       // of splicing incompatible runs (or dumping a raw terminate).
       std::cerr << "measurement_pipeline: " << e.what() << "\n";
       return 1;
     }
+    salvage_report = std::move(recovery.salvage);
     std::cout << "  checkpoint dir:      " << durability.dir << "\n"
               << "  recovery: " << recovery.records_recovered
               << " records recovered, " << recovery.records_truncated
               << " truncated (" << recovery.bytes_truncated << " bytes), "
               << recovery.events_replayed << " events replayed, "
               << recovery.shards_completed_prior
-              << " shard(s) loaded complete\n";
+              << " shard(s) loaded complete, " << recovery.sidecars_rebuilt
+              << " sidecar set(s) rebuilt, " << recovery.spools_reset
+              << " spool(s) reset\n";
   } else if (shards > 1) {
     trace = behavior::simulate_trace_sharded(core::WorkloadModel::paper_default(),
                                              config, shards, threads,
@@ -534,7 +577,23 @@ int main(int argc, char** argv) {
   } else {
     dataset.emplace(
         analysis::build_dataset(trace, geo::GeoIpDatabase::synthetic()));
+    if (durability.salvage) {
+      // Sessions overlapping a salvaged gap window are censored BEFORE
+      // the filter rules: counted into the report, never mixed into the
+      // measures.  (The streaming path censors identically at emission.)
+      const analysis::GapIndex gaps(salvage_report);
+      analysis::censor_dataset(*dataset, gaps, salvage_report);
+      analysis::publish_salvage_metrics(salvage_report);
+    }
     report = analysis::apply_filters(*dataset);
+  }
+  if (durability.salvage && salvage_report.damaged()) {
+    std::cout << "  salvage: " << salvage_report.ranges.size()
+              << " damaged range(s), " << salvage_report.frames_lost
+              << " frame(s) lost (" << salvage_report.bytes_quarantined
+              << " bytes quarantined), " << salvage_report.censored_sessions
+              << " session(s) / " << salvage_report.censored_queries
+              << " query(ies) censored\n";
   }
   std::cout << "  initial sessions/queries: " << report.initial_sessions << " / "
             << report.initial_queries << "\n"
@@ -635,6 +694,8 @@ int main(int argc, char** argv) {
     auto pipeline = analysis::PipelineReport::capture(robustness, report);
     pipeline.timeline = timeline;
     pipeline.timeline_tick_seconds = timeline_tick_effective;
+    pipeline.salvage = salvage_report;
+    pipeline.salvage_trace_end = stats.last_time;
     std::ofstream json_out(metrics_path);
     pipeline.write_json(json_out);
     json_out << "\n";

@@ -1,0 +1,62 @@
+#include "analysis/gaps.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "trace/trace.hpp"
+
+namespace p2pgen::analysis {
+
+GapIndex::GapIndex(const trace::SalvageReport& report) {
+  for (const auto& range : report.ranges) {
+    const double after = std::isnan(range.time_after)
+                             ? std::numeric_limits<double>::infinity()
+                             : range.time_after;
+    windows_[range.shard].emplace_back(range.time_before, after);
+  }
+}
+
+bool GapIndex::intersects(unsigned shard, double start, double end) const {
+  const auto it = windows_.find(shard);
+  if (it == windows_.end()) return false;
+  for (const auto& [before, after] : it->second) {
+    if (end > before && start < after) return true;
+  }
+  return false;
+}
+
+bool GapIndex::intersects_session(const ObservedSession& session) const {
+  const auto shard =
+      static_cast<unsigned>(trace::shard_of_session(session.id));
+  return intersects(shard, session.start, session.end);
+}
+
+void censor_dataset(TraceDataset& dataset, const GapIndex& gaps,
+                    trace::SalvageReport& report) {
+  if (gaps.empty()) return;
+  auto it = std::remove_if(
+      dataset.sessions.begin(), dataset.sessions.end(),
+      [&](const ObservedSession& session) {
+        if (!gaps.intersects_session(session)) return false;
+        ++report.censored_sessions;
+        report.censored_queries += session.queries.size();
+        return true;
+      });
+  dataset.sessions.erase(it, dataset.sessions.end());
+}
+
+void publish_salvage_metrics(const trace::SalvageReport& report) {
+  if (!report.damaged()) return;
+  auto& registry = obs::Registry::global();
+  if (!registry.enabled()) return;
+  registry.counter("salvage.ranges").add(report.ranges.size());
+  registry.counter("salvage.frames_lost").add(report.frames_lost);
+  registry.counter("salvage.bytes_quarantined").add(report.bytes_quarantined);
+  registry.counter("salvage.records_recovered").add(report.records_recovered);
+  registry.counter("salvage.censored_sessions").add(report.censored_sessions);
+  registry.counter("salvage.censored_queries").add(report.censored_queries);
+}
+
+}  // namespace p2pgen::analysis

@@ -1,0 +1,68 @@
+// p2pgen — gap-aware censoring of salvaged traces (DESIGN.md §14).
+//
+// A salvage-mode read turns media damage into sim-time gap windows
+// (trace::SalvageRange): intervals where an unknown number of records is
+// missing.  Sessions whose lifetime overlaps a window are *censored* —
+// their query counts, durations and interarrivals may be truncated by the
+// damage, so feeding them to the filter rules or the appendix fits would
+// silently bias the characterization.  This module removes them from the
+// dataset BEFORE the filters run and counts exactly what was excluded, so
+// the loss is always accounted, never mixed in.
+//
+// The overlap test is open-interval: the boundary records that define a
+// window (the last record before the damage and the first one after it)
+// decoded fine, so a session merely touching a window edge lost nothing
+// and is kept.  The streaming pass relies on this: any window discovered
+// after a session has been emitted starts at or after that session's end,
+// which under the open-interval test can never overlap — so censoring at
+// emission time gives verdicts identical to the materialized path's
+// whole-report pass.
+#pragma once
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "trace/trace_io.hpp"
+
+namespace p2pgen::analysis {
+
+/// Sim-time gap windows of a salvage read, indexed by shard.  The shard
+/// of a session comes from its merged (namespaced) id, so the same index
+/// serves the materialized dataset and the streaming emitter.
+class GapIndex {
+ public:
+  GapIndex() = default;
+  explicit GapIndex(const trace::SalvageReport& report);
+
+  bool empty() const noexcept { return windows_.empty(); }
+
+  /// Open-interval overlap of [start, end] with any window on `shard`.
+  /// NaN window ends (still-open windows of a mid-run streaming peek) are
+  /// treated as +inf — conservative and, per the header note, never
+  /// reachable by an emittable session anyway.
+  bool intersects(unsigned shard, double start, double end) const;
+
+  /// Shard derived from the session's merged id (trace::shard_of_session).
+  bool intersects_session(const ObservedSession& session) const;
+
+ private:
+  std::unordered_map<unsigned, std::vector<std::pair<double, double>>>
+      windows_;
+};
+
+/// Removes every session overlapping a gap window from `dataset` —
+/// call BEFORE apply_filters — and accounts them in
+/// `report.censored_sessions` / `report.censored_queries` (pre-filter
+/// attached hop-1 queries).  Survivor order is preserved, so downstream
+/// results match a trace that never contained the censored sessions.
+void censor_dataset(TraceDataset& dataset, const GapIndex& gaps,
+                    trace::SalvageReport& report);
+
+/// Publishes `salvage.*` counters to the global registry.  Only when the
+/// report shows damage: a clean salvage run exposes the exact same metric
+/// surface as a strict run (part of the bit-identical contract).
+void publish_salvage_metrics(const trace::SalvageReport& report);
+
+}  // namespace p2pgen::analysis

@@ -1,5 +1,6 @@
 #include "analysis/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 
@@ -318,8 +319,36 @@ void PipelineReport::write_json(std::ostream& out) const {
   field("rule4_excluded", filters.rule4_excluded);
   field("rule5_excluded", filters.rule5_excluded);
   field("interarrival_queries", filters.interarrival_queries, true);
-  out << "  },\n  \"timeline\": {\n";
   char num[64];
+  // Salvage loss accounting (DESIGN.md §14).  Always present so report
+  // diffs across strict/salvage runs compare field-by-field; all-zero
+  // with an empty ranges array when nothing was damaged.  Open windows
+  // (+inf after a gap that ran to the end of a spool) are clamped to the
+  // trace end for display — the report stays plain finite JSON.
+  out << "  },\n  \"gaps\": {\n";
+  field("censored_sessions", salvage.censored_sessions);
+  field("censored_queries", salvage.censored_queries);
+  field("frames_lost", salvage.frames_lost);
+  field("bytes_quarantined", salvage.bytes_quarantined);
+  out << "    \"ranges\": [";
+  for (std::size_t i = 0; i < salvage.ranges.size(); ++i) {
+    const trace::SalvageRange& range = salvage.ranges[i];
+    double gap_end = range.time_after;
+    if (!std::isfinite(gap_end)) gap_end = salvage_trace_end;
+    double gap_begin = range.time_before;
+    if (!std::isfinite(gap_begin)) gap_begin = 0.0;
+    out << (i == 0 ? "\n      {" : ",\n      {") << "\"shard\": "
+        << range.shard << ", \"segment\": \"" << range.file
+        << "\", \"byte_begin\": " << range.byte_begin
+        << ", \"byte_end\": " << range.byte_end
+        << ", \"frames_lost\": " << range.frames_lost;
+    std::snprintf(num, sizeof(num), "%.9f", gap_begin);
+    out << ", \"gap_begin\": " << num;
+    std::snprintf(num, sizeof(num), "%.9f", gap_end);
+    out << ", \"gap_end\": " << num << "}";
+  }
+  out << (salvage.ranges.empty() ? "]\n" : "\n    ]\n");
+  out << "  },\n  \"timeline\": {\n";
   std::snprintf(num, sizeof(num), "%.9f", timeline_tick_seconds);
   out << "    \"tick_seconds\": " << num << ",\n    \"series\": [";
   for (std::size_t s = 0; s < obs::kTimelineSeriesCount; ++s) {

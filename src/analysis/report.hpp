@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
 #include "sim/fault.hpp"
+#include "trace/trace_io.hpp"
 
 namespace p2pgen::analysis {
 
@@ -97,6 +98,16 @@ struct PipelineReport {
   /// after capture() from whichever run path produced the merged stream.
   std::vector<obs::TimelinePoint> timeline;
   double timeline_tick_seconds = 0.0;
+
+  /// Salvage loss accounting (DESIGN.md §14): what a salvage-mode run
+  /// lost to media damage and censored from the analysis.  All-zero when
+  /// the run was strict or the spool was clean, so the report shape is
+  /// independent of the salvage setting.  Callers fill these after
+  /// capture() from whichever path produced them (RecoverySummary or
+  /// StreamingResult).
+  trace::SalvageReport salvage;
+  /// Trace end used to clamp open gap windows (+inf) for display only.
+  double salvage_trace_end = 0.0;
 
   /// Bundles the given reports with a snapshot of the global registry.
   static PipelineReport capture(const RobustnessReport& robustness,

@@ -1,5 +1,6 @@
 #include "analysis/streaming.hpp"
 
+#include <cmath>
 #include <deque>
 #include <limits>
 #include <map>
@@ -9,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/gaps.hpp"
 #include "gnutella/message.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -54,7 +56,8 @@ DecodedSegment decode_segment(const trace::SpoolReader& reader,
 
 /// Per-shard read state of the deterministic merge.
 struct ShardCursor {
-  explicit ShardCursor(const std::string& dir) : reader(dir) {}
+  ShardCursor(const std::string& dir, trace::SpoolReadMode mode)
+      : reader(dir, mode) {}
 
   trace::SpoolReader reader;
   std::uint64_t id_base = 0;          // shard * kShardSessionStride
@@ -62,6 +65,9 @@ struct ShardCursor {
   std::deque<DecodedSegment> ready;   // decoded, not yet fully consumed
   std::size_t event_pos = 0;          // position within ready.front()
   bool torn = false;                  // spool ended in a torn tail
+  /// Salvage mode: the shard's gap accounting, fed one segment at a time
+  /// in index order as decoded segments are pushed onto `ready`.
+  trace::SalvageAssembler assembler;
 
   bool exhausted() const noexcept {
     return ready.empty() && next_segment >= reader.segment_count();
@@ -91,9 +97,12 @@ class StreamingPass {
         options_(options),
         pool_(options.threads == 0 ? 1 : options.threads),
         shard_dirs_(shard_dirs) {
+    const trace::SpoolReadMode mode = options.salvage
+                                          ? trace::SpoolReadMode::kSalvage
+                                          : trace::SpoolReadMode::kStrict;
     cursors_.reserve(shard_dirs.size());
     for (std::size_t k = 0; k < shard_dirs.size(); ++k) {
-      cursors_.emplace_back(shard_dirs[k]);
+      cursors_.emplace_back(shard_dirs[k], mode);
       cursors_.back().id_base = static_cast<std::uint64_t>(k) *
                                 trace::kShardSessionStride;
     }
@@ -155,6 +164,17 @@ class StreamingPass {
       if (decoded[i].read.torn && !cur.torn) {
         cur.torn = true;
         ++stats_out_.shards_torn;
+      }
+      if (options_.salvage) {
+        // Feed the shard's gap accounting in segment-index order (the
+        // wave list preserves per-shard order), missing files included —
+        // the exact protocol read_spool_salvage follows, so both paths
+        // report identical gaps for identical damage.
+        for (const std::size_t hole :
+             cur.reader.missing_before(wave[i].second)) {
+          cur.assembler.add_missing_segment(trace::spool_segment_name(hole));
+        }
+        cur.assembler.add_segment(decoded[i].read);
       }
       cur.ready.push_back(std::move(decoded[i]));
     }
@@ -365,9 +385,42 @@ class StreamingPass {
     ++next_emit_;
   }
 
+  /// True when the session overlaps a salvage gap window of its shard
+  /// (open-interval, exactly GapIndex::intersects).  During the pass this
+  /// peeks at the assembler's in-progress report: a window discovered
+  /// later starts at or after this session's end (spool records are in
+  /// time order), which the open-interval test can never match — so the
+  /// mid-run verdicts equal the materialized path's whole-report pass.
+  bool gap_censored(const ObservedSession& session) const {
+    if (!options_.salvage) return false;
+    const auto shard =
+        static_cast<std::size_t>(trace::shard_of_session(session.id));
+    if (shard >= cursors_.size()) return false;
+    const trace::SalvageReport& report = salvage_finished_
+                                             ? shard_salvage_[shard]
+                                             : cursors_[shard].assembler.report();
+    for (const auto& range : report.ranges) {
+      const double after = std::isnan(range.time_after)
+                               ? std::numeric_limits<double>::infinity()
+                               : range.time_after;
+      if (session.end > range.time_before && session.start < after) {
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Runs the per-session tail of the materialized pipeline: the five
   /// filter rules, then every measure accumulator, in SessionStart order.
+  /// Sessions overlapping a salvage gap are censored instead: counted,
+  /// then dropped before any filter or measure sees them — identical to
+  /// censor_dataset() running ahead of apply_filters materialized.
   void emit(ObservedSession& session) {
+    if (gap_censored(session)) {
+      ++censored_sessions_;
+      censored_queries_ += session.queries.size();
+      return;
+    }
     apply_filters_to_session(session, options_.filters, filter_report_);
     // `stats_.last_time` is only consulted for sessions without an end,
     // which are emitted exclusively by the EOF flush — when it holds the
@@ -394,6 +447,16 @@ class StreamingPass {
   // ---- EOF / result assembly -------------------------------------------
 
   StreamingResult finalize() {
+    // Close the salvage accounting first: the EOF flush below emits
+    // still-open sessions whose censor verdict needs the finished gap
+    // windows (open ends patched to +inf).
+    if (options_.salvage) {
+      shard_salvage_.resize(cursors_.size());
+      for (std::size_t k = 0; k < cursors_.size(); ++k) {
+        shard_salvage_[k] = cursors_[k].assembler.finish();
+      }
+      salvage_finished_ = true;
+    }
     // Sessions still open when the trace stopped: truncate at trace_end
     // and mark removed, exactly like build_dataset's final pass, then
     // flush everything still tracked in sequence order.
@@ -480,6 +543,19 @@ class StreamingPass {
       }
     }
 
+    // Merge the per-shard gap reports in shard order (deterministic at
+    // any thread count) and publish — publish_salvage_metrics is a no-op
+    // on a clean run, keeping the metric surface identical to strict.
+    if (options_.salvage) {
+      for (std::size_t k = 0; k < shard_salvage_.size(); ++k) {
+        result.salvage.merge_shard(std::move(shard_salvage_[k]),
+                                   static_cast<unsigned>(k));
+      }
+      result.salvage.censored_sessions = censored_sessions_;
+      result.salvage.censored_queries = censored_queries_;
+      publish_salvage_metrics(result.salvage);
+    }
+
     publish_metrics(result.streaming);
     util::publish_pool_stats("pool.streaming", pool_.stats());
     return result;
@@ -536,6 +612,12 @@ class StreamingPass {
   LogQuantileSketch duration_sketch_;
   LogQuantileSketch interarrival_sketch_;
   StreamingStats stats_out_;
+
+  // Salvage censoring state (all inert unless options_.salvage).
+  std::vector<trace::SalvageReport> shard_salvage_;  ///< finished reports
+  bool salvage_finished_ = false;
+  std::uint64_t censored_sessions_ = 0;
+  std::uint64_t censored_queries_ = 0;
 };
 
 }  // namespace

@@ -43,6 +43,7 @@
 #include "obs/qtrace.hpp"
 #include "obs/timeline.hpp"
 #include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
 
 namespace p2pgen::analysis {
 
@@ -59,6 +60,14 @@ struct StreamingOptions {
   /// bounded by session concurrency; exceeding the cap throws rather than
   /// silently degrading to O(trace).
   std::size_t max_tracked_sessions = std::size_t{1} << 22;
+
+  /// Salvage mode (DESIGN.md §14): read the spools with
+  /// trace::SpoolReadMode::kSalvage — interior damage and missing segment
+  /// files become accounted gap windows instead of a thrown TraceIoError,
+  /// sessions overlapping a window are censored out of the filters and
+  /// fits (gaps.hpp), and the loss lands in StreamingResult::salvage.
+  /// With a clean spool this path is bit-identical to the default.
+  bool salvage = false;
 };
 
 /// Observability counters of one streaming pass (also published as
@@ -118,6 +127,14 @@ struct StreamingResult {
   /// aggregates are identical to simulate_trace_durable's.
   std::vector<obs::QueryHopEvent> qtrace;
 
+  /// Loss accounting of a salvage-mode pass: the gap windows the spool
+  /// reader quarantined (ranges tagged by shard, merged in shard order)
+  /// plus the sessions/queries censored from the analysis because they
+  /// overlapped one.  Empty when options.salvage was off or the spools
+  /// were clean.  Matches the materialized path's report (RecoverySummary
+  /// salvage + censor_dataset counters) for identical damage.
+  trace::SalvageReport salvage;
+
   /// Merged sim-time timeline ticks, read back from the per-shard
   /// "timeline.bin" sidecars under the same contract (empty when no
   /// sidecar exists — timelines were off).  Byte-identical to the
@@ -131,8 +148,9 @@ struct StreamingResult {
 /// defines the shard index used for session-id namespacing — pass
 /// behavior::checkpoint_shard_dirs() output).  Throws TraceIoError on
 /// interior spool damage (torn tails of a last segment are tolerated,
-/// exactly like read_spool) and std::runtime_error if the tracked-session
-/// cap is exceeded.
+/// exactly like read_spool) unless options.salvage is set — then damage
+/// becomes accounted gaps in StreamingResult::salvage — and throws
+/// std::runtime_error if the tracked-session cap is exceeded.
 StreamingResult analyze_spools(const std::vector<std::string>& shard_dirs,
                                const geo::GeoIpDatabase& geodb,
                                const StreamingOptions& options = {});

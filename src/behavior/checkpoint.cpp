@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
@@ -75,6 +76,8 @@ struct Manifest {
   std::uint64_t identity = 0;
   unsigned n_shards = 0;
   std::vector<char> done;  // done[k] != 0: shard k's spool is complete
+  std::string stop_reason;  // "" unless the run checkpointed-and-stopped
+  std::string stop_detail;  // single-line human-readable failure site
 
   void write(const std::string& dir) const {
     std::ostringstream out;
@@ -83,6 +86,14 @@ struct Manifest {
     out << "shards " << n_shards << "\n";
     for (unsigned k = 0; k < n_shards; ++k) {
       if (done[k]) out << "done " << k << "\n";
+    }
+    if (!stop_reason.empty()) {
+      out << "stopped " << stop_reason << "\n";
+      if (!stop_detail.empty()) {
+        std::string detail = stop_detail;
+        std::replace(detail.begin(), detail.end(), '\n', ' ');
+        out << "stopped_detail " << detail << "\n";
+      }
     }
     const std::string tmp = (fs::path(dir) / "MANIFEST.tmp").string();
     const std::string final_path = (fs::path(dir) / kManifestName).string();
@@ -117,6 +128,13 @@ struct Manifest {
         unsigned k = 0;
         f >> k;
         if (k < m.done.size()) m.done[k] = 1;
+      } else if (key == "stopped") {
+        f >> m.stop_reason;
+      } else if (key == "stopped_detail") {
+        std::getline(f, m.stop_detail);
+        if (!m.stop_detail.empty() && m.stop_detail.front() == ' ') {
+          m.stop_detail.erase(0, 1);
+        }
       } else {
         throw std::runtime_error("checkpoint: unknown manifest key '" + key +
                                  "' in " + path);
@@ -136,6 +154,21 @@ struct ShardProgress {
   std::atomic<bool> done{false};
 };
 
+/// Internal: a sibling shard hit an unrecoverable write error, so this
+/// shard should stop at its next stride.  Caught inside the shard lambda
+/// — it never escapes to the pool.
+struct ShardStopRequested {};
+
+/// Cross-shard clean-stop coordination: the first shard to hit a write
+/// error records why; every DurableSink polls `requested` each 1024
+/// events and unwinds, leaving all spools durable at a clean prefix.
+struct StopState {
+  std::atomic<bool> requested{false};
+  std::mutex mutex;  // guards reason/detail
+  std::string reason;
+  std::string detail;
+};
+
 /// Streams a resumed shard: the first `prefix_records` events are the
 /// ones already durable in the spool, so they are digest-verified against
 /// the recovered prefix instead of re-written; everything after is
@@ -148,22 +181,28 @@ class DurableSink final : public trace::TraceSink {
   /// in memory and the spool is the sole output.  `progress` may be null:
   /// with a heartbeat running it receives relaxed sim-time/event samples.
   DurableSink(trace::Trace* trace, trace::SpoolWriter& writer,
-              unsigned shard_index, ShardProgress* progress = nullptr)
+              unsigned shard_index, ShardProgress* progress = nullptr,
+              const std::atomic<bool>* stop_requested = nullptr)
       : trace_(trace),
         writer_(writer),
         prefix_records_(writer.durable_records()),
         prefix_digest_(writer.open_digest()),
         shard_index_(shard_index),
-        progress_(progress) {}
+        progress_(progress),
+        stop_requested_(stop_requested) {}
 
   void on_event(const trace::TraceEvent& event) override {
-    if (progress_ != nullptr) {
-      ++observed_;
-      if ((observed_ & 1023u) == 0) {
+    ++observed_;
+    if ((observed_ & 1023u) == 0) {
+      if (progress_ != nullptr) {
         progress_->sim_time_bits.store(
             std::bit_cast<std::uint64_t>(trace::event_time(event)),
             std::memory_order_relaxed);
         progress_->events.store(observed_, std::memory_order_relaxed);
+      }
+      if (stop_requested_ != nullptr &&
+          stop_requested_->load(std::memory_order_relaxed)) {
+        throw ShardStopRequested{};
       }
     }
     if (trace_ != nullptr) trace_->append(event);
@@ -192,6 +231,7 @@ class DurableSink final : public trace::TraceSink {
   std::uint64_t prefix_digest_;
   unsigned shard_index_;
   ShardProgress* progress_;
+  const std::atomic<bool>* stop_requested_;
   std::uint64_t replayed_ = 0;
   std::uint64_t observed_ = 0;
   std::uint64_t replay_digest_ = trace::kFnvOffsetBasis;
@@ -204,8 +244,10 @@ class DurableSink final : public trace::TraceSink {
 /// current + peak RSS and an ETA — what tools/runwatch.py tails.  Strictly
 /// a side channel: it only reads the relaxed atomics above and nothing the
 /// simulation reads back, so the trace is byte-identical with it on or
-/// off.  Write failures are swallowed — a full disk must not kill a run
-/// whose spools are still fine.
+/// off.  Write failures do not kill the run — a full disk must not take
+/// down a simulation whose spools are still fine — but they are counted
+/// (write_errors(), the "write_errors" JSON field and the
+/// "heartbeat.write_errors" obs counter) instead of vanishing.
 class HeartbeatWriter {
  public:
   HeartbeatWriter(std::string dir, double interval_seconds, unsigned n_shards,
@@ -222,6 +264,11 @@ class HeartbeatWriter {
 
   ShardProgress& shard(std::size_t k) noexcept { return progress_[k]; }
 
+  /// Beats that failed to land on disk (counted, never fatal).
+  std::uint64_t write_errors() const noexcept {
+    return write_errors_.load(std::memory_order_relaxed);
+  }
+
   /// Joins the writer thread and emits the final beat (idempotent).
   void stop() {
     {
@@ -232,6 +279,10 @@ class HeartbeatWriter {
     cv_.notify_all();
     thread_.join();
     write_once();
+    auto& registry = obs::Registry::global();
+    if (registry.enabled() && write_errors() > 0) {
+      registry.counter("heartbeat.write_errors").add(write_errors());
+    }
   }
 
  private:
@@ -307,14 +358,17 @@ class HeartbeatWriter {
         "  \"events_total\": %llu,\n"
         "  \"events_per_sec\": %.1f,\n"
         "  \"rss_bytes\": %llu,\n"
-        "  \"peak_rss_bytes\": %llu,\n",
+        "  \"peak_rss_bytes\": %llu,\n"
+        "  \"write_errors\": %llu,\n",
         wall, n, shards_done, horizon_ / sim::kSecondsPerDay,
         n > 0 ? sim_done_seconds / static_cast<double>(n) / sim::kSecondsPerDay
               : 0.0,
         progress, eta, static_cast<unsigned long long>(events_total),
         wall > 0.0 ? static_cast<double>(events_total) / wall : 0.0,
         static_cast<unsigned long long>(rss),
-        static_cast<unsigned long long>(peak_rss));
+        static_cast<unsigned long long>(peak_rss),
+        static_cast<unsigned long long>(
+            write_errors_.load(std::memory_order_relaxed)));
     out << buf;
     out << "  \"shards\": [" << shards.str() << "],\n";
     out << "  \"rss_history\": [";
@@ -335,11 +389,16 @@ class HeartbeatWriter {
       {
         std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
         f << out.str();
-        if (!f) return;
+        if (!f) {
+          write_errors_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
       }
       fs::rename(tmp, final_path);
     } catch (...) {
-      // Telemetry only: a failed beat must never take the run down.
+      // Telemetry only: a failed beat must never take the run down —
+      // but it must not vanish either.
+      write_errors_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -358,6 +417,7 @@ class HeartbeatWriter {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopped_ = false;
+  std::atomic<std::uint64_t> write_errors_{0};
   std::thread thread_;
 };
 
@@ -379,6 +439,8 @@ void publish_recovery_metrics(const RecoverySummary& summary) {
       .add(summary.checkpoints_loaded);
   registry.counter("recovery.shards_completed_prior")
       .add(summary.shards_completed_prior);
+  registry.counter("recovery.sidecars_rebuilt").add(summary.sidecars_rebuilt);
+  registry.counter("recovery.spools_reset").add(summary.spools_reset);
 }
 
 /// The shared durable shard runner.  With `shards_out` it behaves like
@@ -417,6 +479,13 @@ void run_durable_shards(const core::WorkloadModel& model,
     if (manifest.n_shards != n_shards) {
       throw std::runtime_error("checkpoint: shard count mismatch");
     }
+    if (!manifest.stop_reason.empty()) {
+      // This run supersedes the recorded clean stop: clear it so status
+      // tools stop reporting a condition that is being resumed past.
+      manifest.stop_reason.clear();
+      manifest.stop_detail.clear();
+      manifest.write(durability.dir);
+    }
   } else {
     if (durability.resume) {
       throw std::runtime_error("checkpoint: --resume requested but no "
@@ -437,6 +506,10 @@ void run_durable_shards(const core::WorkloadModel& model,
   const double horizon =
       (base.warmup_days + base.duration_days) * sim::kSecondsPerDay;
   std::mutex manifest_mutex;  // guards manifest + summary
+  StopState stop;
+  // Per-shard salvage reports, merged in shard order after the pool so
+  // the combined range list is deterministic at any thread count.
+  std::vector<trace::SalvageReport> shard_salvage(n_shards);
 
   std::unique_ptr<HeartbeatWriter> heartbeat;
   if (durability.heartbeat_interval_seconds > 0.0) {
@@ -450,36 +523,171 @@ void run_durable_shards(const core::WorkloadModel& model,
     const unsigned index = static_cast<unsigned>(k);
     const std::string spool_dir = shard_dir(durability.dir, index);
 
+    // Done shards normally load from their spool + sidecars and return.
+    // A damaged sidecar drops through to the simulate path below, which
+    // deterministically rebuilds it by replaying the shard (both sidecars
+    // are pure functions of (model, config, shard seed)).
+    bool rebuilding_sidecars = false;
     if (manifest.done[k]) {
       // Finished before the crash: its spool holds the whole shard
       // trace, fsync'd before the manifest marked it done.
       shard_stats[k].seed = shard_seed(base.seed, index);
-      if (shards_out != nullptr) {
-        trace::SpoolRecoveryReport report;
-        (*shards_out)[k] = trace::read_spool(spool_dir, &report);
-        if (report.torn) {
-          throw std::runtime_error(
-              "checkpoint: completed shard " + std::to_string(index) +
-              " has a torn spool — completed data should never tear");
-        }
-        shard_stats[k].events = (*shards_out)[k].size();
-        if (qtrace_on) {
-          // A checkpoint written before tracing (or at rate 0) simply has
-          // no sidecar; the shard contributes no hop events, exactly as
-          // the streaming replay will also conclude.
+      // Probe the sidecars first (cheap CRC pass): if one is damaged the
+      // spool is consumed by the replay-rebuild instead of read here.
+      if (qtrace_on) {
+        // A checkpoint written before tracing (or at rate 0) simply has
+        // no sidecar (load returns false); the shard contributes no hop
+        // events, exactly as the streaming replay will also conclude.
+        try {
           obs::load_qtrace(obs::qtrace_sidecar_path(spool_dir),
                            shard_stats[k].qtrace);
+        } catch (const std::exception&) {
+          shard_stats[k].qtrace.clear();
+          rebuilding_sidecars = true;
         }
-        if (timeline_on) {
-          // Same sidecar contract as qtrace: a missing timeline.bin means
-          // the shard finished before timelines were on, contributing no
-          // ticks.
+      }
+      if (timeline_on) {
+        // Same sidecar contract as qtrace: a missing timeline.bin means
+        // the shard finished before timelines were on, contributing no
+        // ticks.
+        try {
           obs::load_timeline(obs::timeline_sidecar_path(spool_dir),
                              shard_stats[k].timeline);
+        } catch (const std::exception&) {
+          shard_stats[k].timeline.clear();
+          rebuilding_sidecars = true;
+        }
+      }
+      if (!rebuilding_sidecars) {
+        if (shards_out != nullptr) {
+          if (durability.salvage) {
+            trace::SalvageReport report;
+            (*shards_out)[k] = trace::read_spool_salvage(spool_dir, &report);
+            shard_stats[k].events = (*shards_out)[k].size();
+            std::lock_guard<std::mutex> lock(manifest_mutex);
+            summary.records_recovered += report.records_recovered;
+            shard_salvage[k] = std::move(report);
+          } else {
+            trace::SpoolRecoveryReport report;
+            (*shards_out)[k] = trace::read_spool(spool_dir, &report);
+            if (report.torn) {
+              throw std::runtime_error(
+                  "checkpoint: completed shard " + std::to_string(index) +
+                  " has a torn spool — completed data should never tear");
+            }
+            shard_stats[k].events = (*shards_out)[k].size();
+            std::lock_guard<std::mutex> lock(manifest_mutex);
+            summary.segments_scanned += report.segments_scanned;
+            summary.records_recovered += report.records_recovered;
+          }
+        }
+        if (heartbeat != nullptr) {
+          ShardProgress& progress = heartbeat->shard(k);
+          progress.sim_time_bits.store(std::bit_cast<std::uint64_t>(horizon),
+                                       std::memory_order_relaxed);
+          progress.events.store(shard_stats[k].events,
+                                std::memory_order_relaxed);
+          progress.done.store(true, std::memory_order_relaxed);
+        }
+        // Spool-only mode reads nothing: the streaming analysis validates
+        // the segments in its own single pass.
+        std::lock_guard<std::mutex> lock(manifest_mutex);
+        ++summary.checkpoints_loaded;
+        ++summary.shards_completed_prior;
+        return;
+      }
+      std::lock_guard<std::mutex> lock(manifest_mutex);
+      ++summary.sidecars_rebuilt;
+    } else if (durability.salvage) {
+      // Unfinished shard under salvage: a damaged spool here costs
+      // nothing — truncate to the clean prefix and let the replay
+      // regenerate the rest exactly.
+      const std::uint64_t dropped =
+          trace::truncate_spool_to_valid_prefix(spool_dir);
+      if (dropped > 0) {
+        std::lock_guard<std::mutex> lock(manifest_mutex);
+        ++summary.spools_reset;
+        summary.bytes_truncated += dropped;
+      }
+    }
+
+    try {
+      trace::SpoolConfig spool_config;
+      spool_config.sync_interval_records = durability.sync_interval_records;
+      spool_config.segment_max_records = durability.segment_max_records;
+      std::unique_ptr<trace::SpoolWriter> writer;
+      try {
+        writer = std::make_unique<trace::SpoolWriter>(spool_dir, spool_config);
+      } catch (const trace::TraceIoError& e) {
+        if (!(rebuilding_sidecars && durability.salvage)) throw;
+        // Done shard, damaged sidecars AND a damaged spool: the replay
+        // rebuild is impossible (it digest-verifies against the spool).
+        // The best recoverable state is empty sidecars — the loss is
+        // already accounted by the spool's salvage report.
+        if (qtrace_on) {
+          obs::save_qtrace(obs::qtrace_sidecar_path(spool_dir), {});
+        }
+        if (timeline_on) {
+          obs::save_timeline(obs::timeline_sidecar_path(spool_dir), {},
+                             base.timeline.tick_seconds);
+        }
+        if (shards_out != nullptr) {
+          trace::SalvageReport report;
+          (*shards_out)[k] = trace::read_spool_salvage(spool_dir, &report);
+          shard_stats[k].events = (*shards_out)[k].size();
+          std::lock_guard<std::mutex> lock(manifest_mutex);
+          summary.records_recovered += report.records_recovered;
+          shard_salvage[k] = std::move(report);
+        }
+        if (heartbeat != nullptr) {
+          ShardProgress& progress = heartbeat->shard(k);
+          progress.sim_time_bits.store(std::bit_cast<std::uint64_t>(horizon),
+                                       std::memory_order_relaxed);
+          progress.events.store(shard_stats[k].events,
+                                std::memory_order_relaxed);
+          progress.done.store(true, std::memory_order_relaxed);
         }
         std::lock_guard<std::mutex> lock(manifest_mutex);
-        summary.segments_scanned += report.segments_scanned;
-        summary.records_recovered += report.records_recovered;
+        ++summary.checkpoints_loaded;
+        ++summary.shards_completed_prior;
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(manifest_mutex);
+        summary.segments_scanned += writer->recovery().segments_scanned;
+        summary.records_recovered += writer->durable_records();
+        summary.records_truncated += writer->recovery().records_truncated;
+        summary.bytes_truncated += writer->recovery().bytes_truncated;
+        if (writer->durable_records() > 0) ++summary.checkpoints_loaded;
+      }
+
+      DurableSink sink(shards_out != nullptr ? &(*shards_out)[k] : nullptr,
+                       *writer, index,
+                       heartbeat != nullptr ? &heartbeat->shard(k) : nullptr,
+                       &stop.requested);
+      simulate_shard_into(model, base, index, sink, &shard_stats[k]);
+      writer->close();  // final fsync: the shard's redo log is complete
+      if (qtrace_on) {
+        // The sidecar is durable before the manifest marks the shard done,
+        // so a done shard always has its (possibly empty) qtrace next to
+        // its spool.  Spool-only mode drops the in-memory copy right away:
+        // the streaming pass reads it back from disk.
+        obs::save_qtrace(obs::qtrace_sidecar_path(spool_dir),
+                         shard_stats[k].qtrace);
+        if (shards_out == nullptr) {
+          shard_stats[k].qtrace.clear();
+          shard_stats[k].qtrace.shrink_to_fit();
+        }
+      }
+      if (timeline_on) {
+        // Identical protocol for the timeline sidecar.
+        obs::save_timeline(obs::timeline_sidecar_path(spool_dir),
+                           shard_stats[k].timeline,
+                           base.timeline.tick_seconds);
+        if (shards_out == nullptr) {
+          shard_stats[k].timeline.clear();
+          shard_stats[k].timeline.shrink_to_fit();
+        }
       }
       if (heartbeat != nullptr) {
         ShardProgress& progress = heartbeat->shard(k);
@@ -489,70 +697,61 @@ void run_durable_shards(const core::WorkloadModel& model,
                               std::memory_order_relaxed);
         progress.done.store(true, std::memory_order_relaxed);
       }
-      // Spool-only mode reads nothing: the streaming analysis validates
-      // the segments in its own single pass.
+
       std::lock_guard<std::mutex> lock(manifest_mutex);
-      ++summary.checkpoints_loaded;
-      ++summary.shards_completed_prior;
-      return;
-    }
-
-    trace::SpoolConfig spool_config;
-    spool_config.sync_interval_records = durability.sync_interval_records;
-    spool_config.segment_max_records = durability.segment_max_records;
-    trace::SpoolWriter writer(spool_dir, spool_config);
-    {
-      std::lock_guard<std::mutex> lock(manifest_mutex);
-      summary.segments_scanned += writer.recovery().segments_scanned;
-      summary.records_recovered += writer.durable_records();
-      summary.records_truncated += writer.recovery().records_truncated;
-      summary.bytes_truncated += writer.recovery().bytes_truncated;
-      if (writer.durable_records() > 0) ++summary.checkpoints_loaded;
-    }
-
-    DurableSink sink(shards_out != nullptr ? &(*shards_out)[k] : nullptr,
-                     writer, index,
-                     heartbeat != nullptr ? &heartbeat->shard(k) : nullptr);
-    simulate_shard_into(model, base, index, sink, &shard_stats[k]);
-    writer.close();  // final fsync: the shard's redo log is complete
-    if (qtrace_on) {
-      // The sidecar is durable before the manifest marks the shard done,
-      // so a done shard always has its (possibly empty) qtrace next to
-      // its spool.  Spool-only mode drops the in-memory copy right away:
-      // the streaming pass reads it back from disk.
-      obs::save_qtrace(obs::qtrace_sidecar_path(spool_dir),
-                       shard_stats[k].qtrace);
-      if (shards_out == nullptr) {
-        shard_stats[k].qtrace.clear();
-        shard_stats[k].qtrace.shrink_to_fit();
+      summary.events_replayed += sink.replayed();
+      manifest.done[k] = 1;
+      manifest.write(durability.dir);
+      ++summary.checkpoints_written;
+    } catch (const trace::SpoolWriteError& e) {
+      // Disk full or another media write error: record why once, ask
+      // every other shard to stop at its next stride, and unwind.  The
+      // spool keeps its durable prefix; resume continues from there.
+      std::lock_guard<std::mutex> lock(stop.mutex);
+      if (!stop.requested.exchange(true)) {
+        stop.reason = e.error_code() == ENOSPC ? "enospc" : "io-error";
+        stop.detail = e.what();
       }
+    } catch (const ShardStopRequested&) {
+      // A sibling recorded the reason; this shard's spool is durable up
+      // to its last sync, which is all a clean stop promises.
     }
-    if (timeline_on) {
-      // Identical protocol for the timeline sidecar.
-      obs::save_timeline(obs::timeline_sidecar_path(spool_dir),
-                         shard_stats[k].timeline, base.timeline.tick_seconds);
-      if (shards_out == nullptr) {
-        shard_stats[k].timeline.clear();
-        shard_stats[k].timeline.shrink_to_fit();
-      }
-    }
-    if (heartbeat != nullptr) {
-      ShardProgress& progress = heartbeat->shard(k);
-      progress.sim_time_bits.store(std::bit_cast<std::uint64_t>(horizon),
-                                   std::memory_order_relaxed);
-      progress.events.store(shard_stats[k].events, std::memory_order_relaxed);
-      progress.done.store(true, std::memory_order_relaxed);
-    }
-
-    std::lock_guard<std::mutex> lock(manifest_mutex);
-    summary.events_replayed += sink.replayed();
-    manifest.done[k] = 1;
-    manifest.write(durability.dir);
-    ++summary.checkpoints_written;
   });
   util::publish_pool_stats("pool.sim", pool.stats());
   obs::Registry::global().counter("sim.shards_run").add(n_shards);
   if (heartbeat != nullptr) heartbeat->stop();  // final (completed) beat
+
+  // Merge per-shard salvage reports in shard order: deterministic range
+  // ordering at any thread count.
+  for (unsigned k = 0; k < n_shards; ++k) {
+    summary.salvage.merge_shard(std::move(shard_salvage[k]), k);
+  }
+
+  if (stop.requested.load(std::memory_order_relaxed)) {
+    std::string reason;
+    std::string detail;
+    {
+      std::lock_guard<std::mutex> lock(stop.mutex);
+      reason = stop.reason;
+      detail = stop.detail;
+    }
+    if (reason.empty()) reason = "io-error";  // defensive: should be set
+    {
+      std::lock_guard<std::mutex> lock(manifest_mutex);
+      manifest.stop_reason = reason;
+      manifest.stop_detail = detail;
+      try {
+        manifest.write(durability.dir);
+      } catch (...) {
+        // Manifest rewrite can itself hit the full disk; the stop still
+        // propagates through the exception below.
+      }
+    }
+    publish_recovery_metrics(summary);
+    if (summary_out != nullptr) *summary_out = summary;
+    throw CheckpointStopped(
+        "checkpoint: run stopped cleanly (" + reason + "): " + detail, reason);
+  }
 
   publish_recovery_metrics(summary);
   if (summary_out != nullptr) *summary_out = summary;
@@ -577,6 +776,29 @@ std::uint64_t run_identity_digest(const core::WorkloadModel& model,
 
 bool checkpoint_exists(const std::string& dir) {
   return fs::exists(fs::path(dir) / kManifestName);
+}
+
+CheckpointStatus read_checkpoint_status(const std::string& dir) {
+  const Manifest manifest = Manifest::read(dir);
+  CheckpointStatus status;
+  status.n_shards = manifest.n_shards;
+  for (const auto done : manifest.done) {
+    if (done) ++status.shards_done;
+  }
+  status.complete =
+      manifest.n_shards > 0 && status.shards_done == manifest.n_shards;
+  status.stop_reason = manifest.stop_reason;
+  status.stop_detail = manifest.stop_detail;
+  return status;
+}
+
+void write_checkpoint_stop_reason(const std::string& dir,
+                                  const std::string& reason,
+                                  const std::string& detail) {
+  Manifest manifest = Manifest::read(dir);
+  manifest.stop_reason = reason;
+  manifest.stop_detail = detail;
+  manifest.write(dir);
 }
 
 trace::Trace simulate_trace_durable(const core::WorkloadModel& model,

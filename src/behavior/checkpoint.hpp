@@ -58,6 +58,16 @@ struct DurabilityConfig {
   /// long run is going.  Wall-clock and therefore never deterministic;
   /// it shares the observational contract (0 = off = byte-identical).
   double heartbeat_interval_seconds = 0.0;
+
+  /// Salvage mode (DESIGN.md §14): tolerate media damage with bounded,
+  /// *accounted* loss instead of refusing to run.  A damaged spool of an
+  /// unfinished shard is truncated to its clean prefix and re-simulated
+  /// (no loss at all); a damaged spool of a *finished* shard is read in
+  /// salvage mode — the lost frames and their sim-time gap windows land
+  /// in RecoverySummary::salvage for the analysis layer to censor
+  /// against.  With zero damage this path is bit-identical to the
+  /// default strict one.
+  bool salvage = false;
 };
 
 /// What recovery found and did, summed over shards.
@@ -70,7 +80,49 @@ struct RecoverySummary {
   std::uint64_t checkpoints_written = 0; ///< durable sync points persisted
   std::uint64_t checkpoints_loaded = 0;  ///< shards with recovered state
   std::uint64_t shards_completed_prior = 0;  ///< loaded wholly from spool
+  std::uint64_t sidecars_rebuilt = 0;    ///< damaged sidecars regenerated
+  std::uint64_t spools_reset = 0;  ///< damaged unfinished spools truncated
+  /// Loss accounting from salvage-mode reads of finished shards' spools
+  /// (ranges tagged with their shard; empty when nothing was damaged).
+  trace::SalvageReport salvage;
 };
+
+/// Thrown when the durable run checkpoints and stops *cleanly* instead
+/// of crashing — disk full (ENOSPC) or another unrecoverable write error
+/// on the redo log.  Everything written so far is durable, the MANIFEST
+/// carries the machine-readable reason() ("enospc" / "io-error"), and a
+/// later --resume continues exactly where the run stopped.
+class CheckpointStopped : public std::runtime_error {
+ public:
+  CheckpointStopped(const std::string& what, std::string reason)
+      : std::runtime_error(what), reason_(std::move(reason)) {}
+
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string reason_;
+};
+
+/// Machine-readable state of a checkpoint directory, as recorded in its
+/// MANIFEST — what tools/runwatch.py and tools/supervise.py key off.
+struct CheckpointStatus {
+  unsigned n_shards = 0;
+  unsigned shards_done = 0;
+  bool complete = false;      ///< every shard marked done
+  std::string stop_reason;    ///< "" unless the run stopped cleanly
+  std::string stop_detail;    ///< human-readable failure site
+};
+
+/// Reads the MANIFEST under `dir`.  Throws std::runtime_error when there
+/// is no checkpoint there or the manifest is malformed.
+CheckpointStatus read_checkpoint_status(const std::string& dir);
+
+/// Records a clean-stop reason in the MANIFEST (atomic rewrite).  The
+/// durable runner calls this when it stops on a write error; exposed so
+/// tests and tools can exercise the same path.  Resuming clears it.
+void write_checkpoint_stop_reason(const std::string& dir,
+                                  const std::string& reason,
+                                  const std::string& detail);
 
 /// Identity of a durable run: FNV-1a over the serialized model, every
 /// simulation-config field that influences the trace, the fault-layer

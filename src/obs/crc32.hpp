@@ -1,0 +1,57 @@
+// p2pgen — CRC32 (IEEE 802.3, the zlib polynomial), local to obs/.
+//
+// The qtrace/timeline sidecars carry a CRC32 trailer (format v2) so a
+// resume can tell a damaged sidecar from a valid one and rebuild it
+// instead of aborting.  The observability layer deliberately does not
+// link the trace library, so this is a small header-only copy of the
+// same polynomial trace::crc32 uses — the two must stay interchangeable
+// byte-for-byte on identical input.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace p2pgen::obs {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Streaming form: seed with crc32_init(), fold chunks in order with
+/// crc32_update(), finish with crc32_final().
+inline constexpr std::uint32_t crc32_init() noexcept { return 0xFFFFFFFFu; }
+
+inline std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                  std::size_t n) noexcept {
+  const auto& table = detail::crc32_table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+inline constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+/// One-shot convenience over a whole buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n) noexcept {
+  return crc32_final(crc32_update(crc32_init(), data, n));
+}
+
+}  // namespace p2pgen::obs

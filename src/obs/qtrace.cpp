@@ -8,6 +8,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/crc32.hpp"
 #include "obs/metrics.hpp"
 
 namespace p2pgen::obs {
@@ -71,7 +72,9 @@ double bits_double(std::uint64_t bits) noexcept {
 /// Record: u64 time_bits | u64 query | u64 value_bits | u32 shard |
 ///         u8 hop | u8 ttl | u8 hops | u8 pad(0)
 constexpr char kQtraceMagic[4] = {'p', '2', 'p', 'q'};
-constexpr std::uint32_t kQtraceFormatVersion = 1;
+// v2 appends a CRC32 trailer over the record bytes so a resume can tell
+// a damaged sidecar from a valid one (and rebuild it, DESIGN.md §14).
+constexpr std::uint32_t kQtraceFormatVersion = 2;
 constexpr std::size_t kQtraceRecordBytes = 32;
 
 void put_u32(unsigned char* out, std::uint32_t v) noexcept {
@@ -361,12 +364,20 @@ void save_qtrace(const std::string& path,
       throw std::runtime_error("qtrace: short write to " + tmp);
     }
     unsigned char record[kQtraceRecordBytes];
+    std::uint32_t crc = crc32_init();
     for (const QueryHopEvent& event : events) {
       encode_record(record, event);
+      crc = crc32_update(crc, record, sizeof(record));
       if (std::fwrite(record, 1, sizeof(record), file.get()) !=
           sizeof(record)) {
         throw std::runtime_error("qtrace: short write to " + tmp);
       }
+    }
+    unsigned char trailer[4];
+    put_u32(trailer, crc32_final(crc));
+    if (std::fwrite(trailer, 1, sizeof(trailer), file.get()) !=
+        sizeof(trailer)) {
+      throw std::runtime_error("qtrace: short write to " + tmp);
     }
     if (std::fflush(file.get()) != 0 || file.close() != 0) {
       throw std::runtime_error("qtrace: flush failed for " + tmp);
@@ -397,12 +408,22 @@ bool load_qtrace(const std::string& path, std::vector<QueryHopEvent>& out) {
   const std::uint64_t count = get_u64(header + 8);
   out.reserve(static_cast<std::size_t>(count));
   unsigned char record[kQtraceRecordBytes];
+  std::uint32_t crc = crc32_init();
   for (std::uint64_t i = 0; i < count; ++i) {
     if (std::fread(record, 1, sizeof(record), file.get()) !=
         sizeof(record)) {
       throw std::runtime_error("qtrace: truncated record in " + path);
     }
+    crc = crc32_update(crc, record, sizeof(record));
     out.push_back(decode_record(record));
+  }
+  unsigned char trailer[4];
+  if (std::fread(trailer, 1, sizeof(trailer), file.get()) !=
+      sizeof(trailer)) {
+    throw std::runtime_error("qtrace: truncated checksum in " + path);
+  }
+  if (get_u32(trailer) != crc32_final(crc)) {
+    throw std::runtime_error("qtrace: checksum mismatch in " + path);
   }
   if (std::fread(record, 1, 1, file.get()) == 1) {
     throw std::runtime_error("qtrace: trailing bytes in " + path);

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/crc32.hpp"
 #include "obs/metrics.hpp"
 
 namespace p2pgen::obs {
@@ -44,7 +45,9 @@ double bits_double(std::uint64_t bits) noexcept {
 /// Record: u64 time_bits | u32 shard | u32 pad(0) |
 ///         kTimelineSeriesCount * u64 values
 constexpr char kTimelineMagic[4] = {'p', '2', 'p', 't'};
-constexpr std::uint32_t kTimelineFormatVersion = 1;
+// v2 appends a CRC32 trailer over the record bytes so a resume can tell
+// a damaged sidecar from a valid one (and rebuild it, DESIGN.md §14).
+constexpr std::uint32_t kTimelineFormatVersion = 2;
 constexpr std::size_t kTimelineHeaderBytes = 32;
 constexpr std::size_t kTimelineRecordBytes = 16 + 8 * kTimelineSeriesCount;
 
@@ -284,12 +287,20 @@ void save_timeline(const std::string& path,
       throw std::runtime_error("timeline: short write to " + tmp);
     }
     unsigned char record[kTimelineRecordBytes];
+    std::uint32_t crc = crc32_init();
     for (const TimelinePoint& point : points) {
       encode_record(record, point);
+      crc = crc32_update(crc, record, sizeof(record));
       if (std::fwrite(record, 1, sizeof(record), file.get()) !=
           sizeof(record)) {
         throw std::runtime_error("timeline: short write to " + tmp);
       }
+    }
+    unsigned char trailer[4];
+    put_u32(trailer, crc32_final(crc));
+    if (std::fwrite(trailer, 1, sizeof(trailer), file.get()) !=
+        sizeof(trailer)) {
+      throw std::runtime_error("timeline: short write to " + tmp);
     }
     if (std::fflush(file.get()) != 0 || file.close() != 0) {
       throw std::runtime_error("timeline: flush failed for " + tmp);
@@ -327,12 +338,22 @@ bool load_timeline(const std::string& path, std::vector<TimelinePoint>& out,
   const std::uint64_t count = get_u64(header + 24);
   out.reserve(static_cast<std::size_t>(count));
   unsigned char record[kTimelineRecordBytes];
+  std::uint32_t crc = crc32_init();
   for (std::uint64_t i = 0; i < count; ++i) {
     if (std::fread(record, 1, sizeof(record), file.get()) !=
         sizeof(record)) {
       throw std::runtime_error("timeline: truncated record in " + path);
     }
+    crc = crc32_update(crc, record, sizeof(record));
     out.push_back(decode_record(record));
+  }
+  unsigned char trailer[4];
+  if (std::fread(trailer, 1, sizeof(trailer), file.get()) !=
+      sizeof(trailer)) {
+    throw std::runtime_error("timeline: truncated checksum in " + path);
+  }
+  if (get_u32(trailer) != crc32_final(crc)) {
+    throw std::runtime_error("timeline: checksum mismatch in " + path);
   }
   if (std::fread(record, 1, 1, file.get()) == 1) {
     throw std::runtime_error("timeline: trailing bytes in " + path);

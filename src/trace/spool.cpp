@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -55,6 +58,17 @@ void fsync_directory(const std::string& dir) {
 SpoolScan scan_spool_impl(const std::string& dir, bool truncate_tail,
                           const SpoolPayloadFn& on_payload) {
   const std::vector<std::string> paths = spool_segment_paths(dir);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::size_t index = 0;
+    (void)parse_spool_segment_index(fs::path(paths[i]).filename().string(),
+                                    index);
+    if (index != i) {
+      // A hole in the numbering means a whole segment file vanished —
+      // interior loss, never a torn tail.
+      throw TraceIoError(
+          "spool: missing segment " + spool_segment_name(i) + " in " + dir, 0);
+    }
+  }
 
   SpoolScan scan;
   for (std::size_t i = 0; i < paths.size(); ++i) {
@@ -116,6 +130,138 @@ Trace read_spool(const std::string& dir, SpoolRecoveryReport* report) {
   return trace;
 }
 
+void SalvageAssembler::add_segment(const SegmentReadResult& segment) {
+  // A decodable first record closes every gap window still open from
+  // earlier segments: it is the first data seen after those losses.
+  if (!std::isnan(segment.first_record_time)) {
+    for (const std::size_t i : open_) {
+      report_.ranges[i].time_after = segment.first_record_time;
+    }
+    open_.clear();
+  }
+  for (SalvageRange range : segment.salvaged) {
+    if (std::isnan(range.time_before)) {
+      // The gap starts before any record of its own segment; the last
+      // record of the preceding segments bounds it (0 when none ever).
+      range.time_before = have_last_time_ ? last_time_ : 0.0;
+    }
+    report_.frames_lost += range.frames_lost;
+    report_.bytes_quarantined += range.byte_end - range.byte_begin;
+    if (std::isnan(range.time_after)) {
+      open_.push_back(report_.ranges.size());
+    }
+    report_.ranges.push_back(std::move(range));
+  }
+  if (segment.torn) {
+    // A torn tail under salvage is loss like any other: records past
+    // first_bad_offset are gone, and whether more follow depends on the
+    // next segment (finish() closes the window at +inf otherwise).
+    SalvageRange range;
+    range.file = segment.file;
+    range.byte_begin = segment.first_bad_offset;
+    range.byte_end = segment.file_size;
+    range.frames_lost = 1;
+    range.time_before = std::isnan(segment.last_record_time)
+                            ? (have_last_time_ ? last_time_ : 0.0)
+                            : segment.last_record_time;
+    range.time_after = std::numeric_limits<double>::quiet_NaN();
+    range.detail = "spool: torn tail";
+    report_.frames_lost += range.frames_lost;
+    report_.bytes_quarantined += range.byte_end - range.byte_begin;
+    open_.push_back(report_.ranges.size());
+    report_.ranges.push_back(std::move(range));
+  }
+  report_.records_recovered += segment.records;
+  if (!std::isnan(segment.last_record_time)) {
+    last_time_ = segment.last_record_time;
+    have_last_time_ = true;
+  }
+}
+
+void SalvageAssembler::add_missing_segment(const std::string& basename) {
+  SalvageRange range;
+  range.file = basename;
+  range.byte_begin = 0;
+  range.byte_end = 0;  // the file is gone; its size is unknowable
+  range.frames_lost = 1;
+  range.time_before = have_last_time_ ? last_time_ : 0.0;
+  range.time_after = std::numeric_limits<double>::quiet_NaN();
+  range.detail = "spool: missing segment file";
+  report_.frames_lost += range.frames_lost;
+  open_.push_back(report_.ranges.size());
+  report_.ranges.push_back(std::move(range));
+}
+
+SalvageReport SalvageAssembler::finish() {
+  for (const std::size_t i : open_) {
+    // No data ever followed: the loss ran to the end of the spool.
+    report_.ranges[i].time_after = std::numeric_limits<double>::infinity();
+  }
+  open_.clear();
+  // Any NaN time_after still inside a segment (undecodable boundary
+  // record) widens to +inf too — conservative, never understated.
+  for (auto& range : report_.ranges) {
+    if (std::isnan(range.time_after)) {
+      range.time_after = std::numeric_limits<double>::infinity();
+    }
+  }
+  return std::move(report_);
+}
+
+Trace read_spool_salvage(const std::string& dir, SalvageReport* report) {
+  SpoolReader reader(dir, SpoolReadMode::kSalvage);
+  SalvageAssembler assembler;
+  Trace trace;
+  for (std::size_t i = 0; i < reader.segment_count(); ++i) {
+    for (const std::size_t index : reader.missing_before(i)) {
+      assembler.add_missing_segment(spool_segment_name(index));
+    }
+    const SegmentReadResult segment = reader.read_segment(
+        i, [&trace](const std::uint8_t* data, std::size_t n) {
+          trace.append(decode_event_binary(data, n));
+        });
+    assembler.add_segment(segment);
+  }
+  SalvageReport local = assembler.finish();
+  if (report != nullptr) *report = std::move(local);
+  return trace;
+}
+
+std::uint64_t truncate_spool_to_valid_prefix(const std::string& dir) {
+  const std::vector<std::string> paths = spool_segment_paths(dir);
+  std::uint64_t dropped = 0;
+  std::size_t cut = paths.size();  // first list position to delete outright
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::size_t index = 0;
+    (void)parse_spool_segment_index(fs::path(paths[i]).filename().string(),
+                                    index);
+    if (index != i) {
+      cut = i;  // hole in the numbering: the prefix ends at the hole
+      break;
+    }
+    const SegmentReadResult seg =
+        read_spool_segment(paths[i], /*allow_damage=*/true, nullptr, nullptr);
+    if (!seg.torn) continue;
+    // Keep this segment's valid frame prefix, drop the rest of the file
+    // and every later segment.
+    dropped += seg.file_size - seg.valid_end;
+    if (seg.valid_end <= kSpoolHeaderBytes) {
+      cut = i;  // nothing (or just a header) survives: drop the file too
+      dropped -= seg.file_size - seg.valid_end;
+    } else {
+      fs::resize_file(paths[i], seg.valid_end);
+      cut = i + 1;
+    }
+    break;
+  }
+  for (std::size_t i = cut; i < paths.size(); ++i) {
+    dropped += static_cast<std::uint64_t>(fs::file_size(paths[i]));
+    fs::remove(paths[i]);
+  }
+  if (cut < paths.size() || dropped > 0) fsync_directory(dir);
+  return dropped;
+}
+
 struct SpoolWriter::Impl {
   std::FILE* file = nullptr;
   std::string path;
@@ -165,16 +311,20 @@ SpoolWriter::~SpoolWriter() {
 void SpoolWriter::open_segment(std::size_t index, bool fresh) {
   const std::string path =
       (fs::path(dir_) / spool_segment_name(index)).string();
+  errno = 0;
   std::FILE* f = std::fopen(path.c_str(), fresh ? "wb" : "ab");
-  if (f == nullptr) throw std::runtime_error("spool: cannot open " + path);
+  if (f == nullptr) {
+    throw SpoolWriteError("spool: cannot open " + path, errno);
+  }
   impl_->file = f;
   impl_->path = path;
   if (fresh) {
     current_segment_records_ = 0;
+    errno = 0;
     std::fwrite(kSpoolMagic, 1, sizeof(kSpoolMagic), f);
     std::fwrite(&kSpoolVersion, 1, sizeof(kSpoolVersion), f);
     if (std::ferror(f) != 0) {
-      throw std::runtime_error("spool: header write failed: " + path);
+      throw SpoolWriteError("spool: header write failed: " + path, errno);
     }
     fsync_directory(dir_);
   }
@@ -195,11 +345,12 @@ void SpoolWriter::append(const TraceEvent& event) {
   const auto len = static_cast<std::uint32_t>(frame_buf_.size());
   const std::uint32_t crc = crc32(frame_buf_.data(), frame_buf_.size());
   std::FILE* f = impl_->file;
+  errno = 0;
   std::fwrite(&len, 1, sizeof(len), f);
   std::fwrite(&crc, 1, sizeof(crc), f);
   std::fwrite(frame_buf_.data(), 1, frame_buf_.size(), f);
   if (std::ferror(f) != 0) {
-    throw std::runtime_error("spool: write failed: " + impl_->path);
+    throw SpoolWriteError("spool: write failed: " + impl_->path, errno);
   }
   ++appended_;
   ++current_segment_records_;
@@ -213,12 +364,14 @@ void SpoolWriter::append(const TraceEvent& event) {
 
 void SpoolWriter::sync() {
   if (closed_ || impl_->file == nullptr) return;
+  errno = 0;
   if (std::fflush(impl_->file) != 0) {
-    throw std::runtime_error("spool: flush failed: " + impl_->path);
+    throw SpoolWriteError("spool: flush failed: " + impl_->path, errno);
   }
 #if defined(__unix__) || defined(__APPLE__)
+  errno = 0;
   if (::fsync(::fileno(impl_->file)) != 0) {
-    throw std::runtime_error("spool: fsync failed: " + impl_->path);
+    throw SpoolWriteError("spool: fsync failed: " + impl_->path, errno);
   }
 #endif
   unsynced_ = 0;

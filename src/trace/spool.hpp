@@ -21,13 +21,18 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "trace/trace.hpp"
+#include "trace/trace_io.hpp"
 
 namespace p2pgen::trace {
+
+struct SegmentReadResult;  // spool_reader.hpp
 
 /// FNV-1a 64-bit, the digest the whole repo uses for byte-identity.
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
@@ -87,6 +92,70 @@ SpoolScan scan_spool(const std::string& dir, bool truncate_tail);
 /// on a torn tail (the report says what was dropped); throws TraceIoError
 /// on interior damage or an undecodable (CRC-valid but malformed) record.
 Trace read_spool(const std::string& dir, SpoolRecoveryReport* report = nullptr);
+
+/// Salvage-mode spool read (DESIGN.md §14): interior damage — corrupt
+/// frames, damaged headers, even whole missing segment files — is
+/// resynced past and quarantined instead of thrown.  Every lost byte
+/// range lands in `report` with its inferred sim-time gap window.  On a
+/// clean spool the returned trace and its digest are bit-identical to
+/// read_spool()'s and report->damaged() is false.
+Trace read_spool_salvage(const std::string& dir,
+                         SalvageReport* report = nullptr);
+
+/// Stitches per-segment salvage results into one spool-level report.
+/// Feed segments in stream (index) order; gap time windows that touch a
+/// segment boundary (NaN ends from the segment reader) are patched from
+/// the neighboring segments' boundary record times.  finish() closes any
+/// still-open window at +inf (the damage ran to the end of the spool).
+/// Used by both spool paths — read_spool_salvage() and the streaming
+/// analysis — so the two report identical gaps for identical damage.
+class SalvageAssembler {
+ public:
+  /// Accounts one segment read in salvage mode (in index order).
+  void add_segment(const SegmentReadResult& segment);
+
+  /// Accounts a whole missing segment file as one unbounded-loss gap.
+  void add_missing_segment(const std::string& basename);
+
+  /// Closes open gap windows and returns the assembled report.
+  SalvageReport finish();
+
+  /// Peek at the report assembled so far (open windows still carry NaN
+  /// ends).  The streaming pass censors sessions against this mid-run;
+  /// any window discovered after a session ends starts at or after that
+  /// session's end, so the mid-run view and the finished view give the
+  /// same overlap verdicts.
+  const SalvageReport& report() const noexcept { return report_; }
+
+ private:
+  SalvageReport report_;
+  double last_time_ = 0.0;  ///< last decodable record time seen so far
+  bool have_last_time_ = false;
+  std::vector<std::size_t> open_;  ///< ranges still awaiting a time_after
+};
+
+/// Truncates the spool to its longest clean prefix: the first damaged or
+/// missing frame and *everything after it* (including later segments) is
+/// removed, so a deterministic replay can regenerate the rest.  Returns
+/// the number of bytes dropped.  The checkpoint layer uses this for
+/// damaged spools of *unfinished* shards, where re-simulation recovers
+/// the loss exactly instead of leaving a gap.
+std::uint64_t truncate_spool_to_valid_prefix(const std::string& dir);
+
+/// Thrown by SpoolWriter on a failed/short write or sync.  Carries errno
+/// so the checkpoint layer can tell disk-full (ENOSPC) from other media
+/// errors and turn it into a clean checkpoint-and-stop.
+class SpoolWriteError : public std::runtime_error {
+ public:
+  SpoolWriteError(const std::string& what, int error_code)
+      : std::runtime_error(what), error_code_(error_code) {}
+
+  /// The errno captured at the failure site (0 when unavailable).
+  int error_code() const noexcept { return error_code_; }
+
+ private:
+  int error_code_;
+};
 
 /// Append handle on a spool directory.  Construction runs the recovery
 /// scan (truncating a torn tail) and positions after the last valid

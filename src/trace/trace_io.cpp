@@ -261,34 +261,55 @@ Trace read_binary(std::istream& in) {
   return trace;
 }
 
-Trace read_trace_lenient(std::istream& in, TraceRecoveryReport* report) {
+void SalvageReport::merge_shard(SalvageReport&& other, unsigned shard) {
+  records_recovered += other.records_recovered;
+  frames_lost += other.frames_lost;
+  bytes_quarantined += other.bytes_quarantined;
+  censored_sessions += other.censored_sessions;
+  censored_queries += other.censored_queries;
+  for (auto& range : other.ranges) {
+    range.shard = shard;
+    ranges.push_back(std::move(range));
+  }
+}
+
+Trace read_trace_lenient(std::istream& in, SalvageReport* report) {
   ByteSource source(in);
   const std::uint32_t version = read_header(source);  // header damage: throws
   Trace trace;
-  TraceRecoveryReport local;
+  SalvageReport local;
+  double last_time = 0.0;
   while (true) {
     const std::uint64_t record_offset = source.offset();
     std::uint8_t kind_byte = 0;
     try {
       if (!source.get_record_kind(kind_byte)) break;  // clean EOF
-      trace.append(read_event(source, static_cast<RecordKind>(kind_byte),
-                              version, record_offset));
+      TraceEvent event = read_event(source, static_cast<RecordKind>(kind_byte),
+                                    version, record_offset);
+      last_time = event_time(event);
+      trace.append(std::move(event));
     } catch (const TraceIoError& e) {
-      // Torn or corrupt record: keep the prefix, size the dropped tail.
-      local.truncated = true;
-      local.first_bad_offset = record_offset;
-      local.error = e.what();
-      const std::uint64_t total = source.offset() + source.drain_remaining();
-      local.bytes_truncated = total - record_offset;
+      // Torn or corrupt record: keep the prefix, quarantine the tail as
+      // one trailing range.  A flat stream has no frame boundaries to
+      // resync on, so the damage always runs to the end (+inf).
+      SalvageRange range;
+      range.byte_begin = record_offset;
+      range.byte_end = source.offset() + source.drain_remaining();
+      range.frames_lost = 1;  // lower bound: at least the record we hit
+      range.time_before = last_time;
+      range.detail = e.what();
+      local.frames_lost = range.frames_lost;
+      local.bytes_quarantined = range.byte_end - range.byte_begin;
+      local.ranges.push_back(std::move(range));
       break;
     }
   }
-  local.records_kept = trace.size();
+  local.records_recovered = trace.size();
   if (report != nullptr) *report = local;
   return trace;
 }
 
-Trace load_trace_lenient(const std::string& path, TraceRecoveryReport* report) {
+Trace load_trace_lenient(const std::string& path, SalvageReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("trace: cannot open " + path);
   return read_trace_lenient(in, report);

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "trace/trace.hpp"
 
@@ -42,27 +44,62 @@ void write_binary(const Trace& trace, std::ostream& out);
 /// clean EOF.
 Trace read_binary(std::istream& in);
 
-/// What a lenient read salvaged from a damaged stream.
-struct TraceRecoveryReport {
-  std::uint64_t records_kept = 0;      ///< events in the returned prefix
-  std::uint64_t bytes_truncated = 0;   ///< bytes dropped from first_bad_offset on
-  std::uint64_t first_bad_offset = 0;  ///< offset of the first damaged record
-  bool truncated = false;              ///< false: the whole stream was valid
-  std::string error;                   ///< the strict reader's message (if truncated)
+/// One quarantined byte range of a damaged stream.  Every recovery path
+/// in the repo — the spool salvage reader, the lenient trace reader and
+/// the checkpoint layer — accounts loss in this one shape, so byte
+/// offsets mean the same thing everywhere.
+struct SalvageRange {
+  std::string file;    ///< segment/file basename ("" for plain streams)
+  unsigned shard = 0;  ///< filled in by multi-shard consumers
+  std::uint64_t byte_begin = 0;   ///< offset of the first damaged byte
+  std::uint64_t byte_end = 0;     ///< resync point (one past the damage)
+  /// Frames skipped inside [byte_begin, byte_end).  Exact when the
+  /// damaged frame's length header survived (payload/CRC corruption);
+  /// otherwise a lower bound — resync cannot count boundaries it never
+  /// saw.  At least 1 for every range.
+  std::uint64_t frames_lost = 0;
+  /// Inferred sim-time gap window: the time of the last valid record
+  /// before the damage (0 when the damage starts before any record) and
+  /// of the first valid record after it (+inf when the damage ran to the
+  /// end of the stream).  NaN only transiently inside the segment reader,
+  /// before SalvageAssembler patches across segment boundaries.
+  double time_before = 0.0;
+  double time_after = std::numeric_limits<double>::infinity();
+  std::string detail;  ///< what the decoder said about the first bad frame
+};
+
+/// Unified loss accounting for a salvaged read.  damaged() == false means
+/// the read was bit-identical to a strict one.
+struct SalvageReport {
+  std::uint64_t records_recovered = 0;  ///< valid records fed downstream
+  std::uint64_t frames_lost = 0;        ///< sum over ranges (lower bound)
+  std::uint64_t bytes_quarantined = 0;  ///< sum of range byte widths
+  std::vector<SalvageRange> ranges;     ///< in (shard, file, byte) order
+  /// Gap-censoring counts, filled by the analysis layer: sessions whose
+  /// lifetime intersects a gap window are excluded from filter rules and
+  /// fits, counted here instead of silently mixed in.
+  std::uint64_t censored_sessions = 0;
+  std::uint64_t censored_queries = 0;
+
+  bool damaged() const noexcept { return !ranges.empty(); }
+
+  /// Folds `other` (a per-shard report) onto this one, tagging its
+  /// ranges with `shard`.  Call in ascending shard order so the combined
+  /// range list stays in (shard, file, byte) order.
+  void merge_shard(SalvageReport&& other, unsigned shard);
 };
 
 /// Reads as much of a binary trace as is intact: the valid record prefix
-/// is returned and the torn/corrupt tail is described in `report` instead
-/// of thrown.  A damaged *header* is still a hard TraceIoError — a stream
-/// that does not even start as a trace has no salvageable prefix.  For a
-/// fully valid stream the result is identical to read_binary() and
-/// report->truncated is false.
-Trace read_trace_lenient(std::istream& in,
-                         TraceRecoveryReport* report = nullptr);
+/// is returned and the torn/corrupt tail is described in `report` (one
+/// trailing SalvageRange) instead of thrown.  A damaged *header* is still
+/// a hard TraceIoError — a stream that does not even start as a trace has
+/// no salvageable prefix.  For a fully valid stream the result is
+/// identical to read_binary() and report->damaged() is false.
+Trace read_trace_lenient(std::istream& in, SalvageReport* report = nullptr);
 
 /// File-path convenience for read_trace_lenient.
 Trace load_trace_lenient(const std::string& path,
-                         TraceRecoveryReport* report = nullptr);
+                         SalvageReport* report = nullptr);
 
 /// Appends the binary encoding of one event — exactly the record the
 /// stream format uses, without the file header — to `out`.  The

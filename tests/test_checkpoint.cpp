@@ -9,13 +9,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "behavior/trace_simulation.hpp"
+#include "obs/qtrace.hpp"
+#include "obs/timeline.hpp"
 #include "stats/rng.hpp"
+#include "trace/spool_reader.hpp"
 #include "trace/trace_io.hpp"
 
 #if defined(__unix__)
@@ -306,6 +312,309 @@ TEST(Replenish, DurableRunWithReplenishStillResumesByteIdentical) {
   EXPECT_EQ(serialize(resumed), serialize(plain));
   fs::remove_all(dir);
 }
+
+// Salvage-mode durability and sidecar self-healing (DESIGN.md §14) ------
+
+std::vector<char> read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// XORs one byte of `path` in place (offset < file size).
+void flip_byte(const std::string& path, std::uint64_t offset,
+               unsigned char mask) {
+  std::vector<char> bytes = read_bytes(path);
+  ASSERT_LT(offset, bytes.size()) << path;
+  bytes[offset] = static_cast<char>(bytes[offset] ^ mask);
+  write_bytes(path, bytes);
+}
+
+/// Byte offset (and size through `frame_size`) of frame `n` of a spool
+/// segment, walked from the length headers.
+std::uint64_t nth_frame_offset(const std::string& segment_path, std::size_t n,
+                               std::uint64_t* frame_size) {
+  const std::vector<char> bytes = read_bytes(segment_path);
+  std::uint64_t pos = trace::kSpoolHeaderBytes;
+  for (std::size_t i = 0;; ++i) {
+    EXPECT_LE(pos + 8, bytes.size()) << "segment has fewer than " << n
+                                     << " frames";
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    if (i == n) {
+      if (frame_size != nullptr) *frame_size = 8 + len;
+      return pos;
+    }
+    pos += 8 + len;
+  }
+}
+
+behavior::TraceSimulationConfig sidecar_config() {
+  auto config = tiny_fault_config();
+  config.qtrace.sample_rate = 1.0;
+  config.timeline.tick_seconds = 60.0;
+  return config;
+}
+
+TEST(CheckpointSalvage, DamagedSidecarsAreRebuiltDeterministically) {
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = sidecar_config();
+  const std::string dir = fresh_dir("sidecar");
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  std::vector<obs::QueryHopEvent> qtrace_first;
+  std::vector<obs::TimelinePoint> timeline_first;
+  const trace::Trace first = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, nullptr, nullptr, &qtrace_first,
+      &timeline_first);
+  ASSERT_FALSE(qtrace_first.empty());
+  ASSERT_FALSE(timeline_first.empty());
+
+  // Bit-flip one byte inside each sidecar of shard 0: the CRC trailer
+  // must reject the load, and the resume must rebuild both by replaying
+  // the shard (digest-verified against its intact spool).
+  const std::string shard0 = behavior::checkpoint_shard_dirs(dir, 2)[0];
+  const std::string qtrace_path = obs::qtrace_sidecar_path(shard0);
+  const std::string timeline_path = obs::timeline_sidecar_path(shard0);
+  flip_byte(qtrace_path, fs::file_size(qtrace_path) / 2, 0x40);
+  flip_byte(timeline_path, fs::file_size(timeline_path) / 2, 0x40);
+
+  durability.resume = true;
+  behavior::RecoverySummary summary;
+  std::vector<obs::QueryHopEvent> qtrace_second;
+  std::vector<obs::TimelinePoint> timeline_second;
+  const trace::Trace second = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, &summary, nullptr, &qtrace_second,
+      &timeline_second);
+  EXPECT_EQ(serialize(second), serialize(first));
+  EXPECT_EQ(summary.sidecars_rebuilt, 1u);  // one shard, both its sidecars
+  EXPECT_GT(summary.events_replayed, 0u);   // the rebuild is a real replay
+  EXPECT_FALSE(summary.salvage.damaged());
+
+  // The rebuilt streams are value-identical: compare their canonical
+  // serialized form.
+  const std::string tmp_a = ::testing::TempDir() + "/p2pgen_sidecar_a.bin";
+  const std::string tmp_b = ::testing::TempDir() + "/p2pgen_sidecar_b.bin";
+  obs::save_qtrace(tmp_a, qtrace_first);
+  obs::save_qtrace(tmp_b, qtrace_second);
+  EXPECT_EQ(read_bytes(tmp_a), read_bytes(tmp_b));
+  obs::save_timeline(tmp_a, timeline_first, config.timeline.tick_seconds);
+  obs::save_timeline(tmp_b, timeline_second, config.timeline.tick_seconds);
+  EXPECT_EQ(read_bytes(tmp_a), read_bytes(tmp_b));
+
+  // The rebuild rewrote valid sidecars: a further resume loads cleanly.
+  behavior::RecoverySummary again;
+  (void)behavior::simulate_trace_durable(model, config, 2, 2, durability,
+                                         &again);
+  EXPECT_EQ(again.sidecars_rebuilt, 0u);
+  EXPECT_EQ(again.shards_completed_prior, 2u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointSalvage, StopReasonRoundTripsAndResumeClearsIt) {
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("stopreason");
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  (void)behavior::simulate_trace_durable(model, config, 2, 1, durability);
+
+  behavior::write_checkpoint_stop_reason(dir, "enospc",
+                                         "spool: short write (disk full?)");
+  behavior::CheckpointStatus status = behavior::read_checkpoint_status(dir);
+  EXPECT_EQ(status.n_shards, 2u);
+  EXPECT_EQ(status.shards_done, 2u);
+  EXPECT_TRUE(status.complete);
+  EXPECT_EQ(status.stop_reason, "enospc");
+  EXPECT_EQ(status.stop_detail, "spool: short write (disk full?)");
+
+  // Resuming a stopped run means the operator fixed the cause; a stale
+  // stop must not spook the next runwatch/supervise.
+  durability.resume = true;
+  (void)behavior::simulate_trace_durable(model, config, 2, 1, durability);
+  status = behavior::read_checkpoint_status(dir);
+  EXPECT_TRUE(status.complete);
+  EXPECT_TRUE(status.stop_reason.empty());
+  EXPECT_TRUE(status.stop_detail.empty());
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointSalvage, CleanCheckpointSalvageResumeIsBitIdenticalToStrict) {
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("salvage_clean");
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  const trace::Trace first =
+      behavior::simulate_trace_durable(model, config, 3, 2, durability);
+
+  durability.resume = true;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    behavior::DurabilityConfig strict = durability;
+    const trace::Trace a = behavior::simulate_trace_durable(model, config, 3,
+                                                            threads, strict);
+    behavior::DurabilityConfig salvage = durability;
+    salvage.salvage = true;
+    behavior::RecoverySummary summary;
+    const trace::Trace b = behavior::simulate_trace_durable(
+        model, config, 3, threads, salvage, &summary);
+    EXPECT_EQ(serialize(a), serialize(first)) << threads << " threads";
+    EXPECT_EQ(serialize(b), serialize(first)) << threads << " threads";
+    EXPECT_FALSE(summary.salvage.damaged());
+    EXPECT_EQ(summary.salvage.frames_lost, 0u);
+    EXPECT_EQ(summary.spools_reset, 0u);
+    EXPECT_EQ(summary.sidecars_rebuilt, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointSalvage, DamagedDoneSpoolLosesOnlyTheDamagedFrame) {
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("salvage_done");
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  const trace::Trace first =
+      behavior::simulate_trace_durable(model, config, 2, 2, durability);
+
+  // One corrupted payload byte in an interior frame of shard 1's spool.
+  const std::string shard1 = behavior::checkpoint_shard_dirs(dir, 2)[1];
+  const std::string segment = trace::spool_segment_paths(shard1).front();
+  std::uint64_t frame_size = 0;
+  const std::uint64_t offset = nth_frame_offset(segment, 10, &frame_size);
+  flip_byte(segment, offset + 12, 0x20);
+
+  // Strict resume refuses: a completed shard's spool must never tear.
+  durability.resume = true;
+  EXPECT_THROW(
+      behavior::simulate_trace_durable(model, config, 2, 2, durability),
+      std::runtime_error);
+
+  // Salvage resume completes with exactly that frame's record lost, the
+  // loss quarantined and tagged with its shard and sim-time gap window.
+  durability.salvage = true;
+  behavior::RecoverySummary summary;
+  const trace::Trace salvaged = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, &summary);
+  EXPECT_EQ(salvaged.size(), first.size() - 1);
+  EXPECT_TRUE(summary.salvage.damaged());
+  EXPECT_EQ(summary.salvage.frames_lost, 1u);
+  ASSERT_EQ(summary.salvage.ranges.size(), 1u);
+  const trace::SalvageRange& range = summary.salvage.ranges[0];
+  EXPECT_EQ(range.shard, 1u);
+  EXPECT_EQ(range.byte_begin, offset);
+  EXPECT_EQ(range.byte_end, offset + frame_size);
+  EXPECT_LE(range.time_before, range.time_after);
+
+  // The same damage salvages identically on a second resume.
+  behavior::RecoverySummary again;
+  const trace::Trace repeat = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, &again);
+  EXPECT_EQ(serialize(repeat), serialize(salvaged));
+  EXPECT_EQ(again.salvage.frames_lost, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointSalvage, DamagedUnfinishedSpoolIsTruncatedAndResimulated) {
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("salvage_unfinished");
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  durability.segment_max_records = 512;  // several segments per shard
+  const trace::Trace first =
+      behavior::simulate_trace_durable(model, config, 2, 2, durability);
+
+  // Rewrite the MANIFEST with shard 1 no longer done (as if the run was
+  // killed mid-shard), then damage an interior segment of its spool.
+  const std::string manifest_path = dir + "/MANIFEST";
+  {
+    std::ifstream in(manifest_path);
+    std::ostringstream kept;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line != "done 1") kept << line << "\n";
+    }
+    std::ofstream out(manifest_path, std::ios::trunc);
+    out << kept.str();
+  }
+  const std::string shard1 = behavior::checkpoint_shard_dirs(dir, 2)[1];
+  const std::vector<std::string> segments = trace::spool_segment_paths(shard1);
+  ASSERT_GT(segments.size(), 2u);
+  flip_byte(segments[0], trace::kSpoolHeaderBytes + 100, 0x11);
+
+  // Strict resume refuses the interior damage outright.
+  durability.resume = true;
+  EXPECT_THROW(
+      behavior::simulate_trace_durable(model, config, 2, 2, durability),
+      std::runtime_error);
+
+  // Salvage resume truncates the unfinished spool to its clean prefix
+  // and re-simulates: byte-identical output, ZERO loss, no gap windows.
+  durability.salvage = true;
+  behavior::RecoverySummary summary;
+  const trace::Trace resumed = behavior::simulate_trace_durable(
+      model, config, 2, 2, durability, &summary);
+  EXPECT_EQ(serialize(resumed), serialize(first));
+  EXPECT_EQ(summary.spools_reset, 1u);
+  EXPECT_GT(summary.bytes_truncated, 0u);
+  EXPECT_GT(summary.events_replayed, 0u);
+  EXPECT_FALSE(summary.salvage.damaged());
+  fs::remove_all(dir);
+}
+
+#if defined(__unix__)
+TEST(CheckpointSalvage, WriteErrorCheckpointsAndStopsCleanly) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "running as root: permission bits are not enforced";
+  }
+  const auto model = core::WorkloadModel::paper_default();
+  const auto config = tiny_fault_config();
+  const trace::Trace plain =
+      behavior::simulate_trace_sharded(model, config, 2, 2);
+
+  // Shard 1's spool directory is unwritable: the first append fails the
+  // way a full or failing volume would, and the run must checkpoint and
+  // stop cleanly with the reason in the MANIFEST.
+  const std::string dir = fresh_dir("cleanstop");
+  const std::string shard1 = behavior::checkpoint_shard_dirs(dir, 2)[1];
+  fs::create_directories(shard1);
+  fs::permissions(shard1, fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  try {
+    (void)behavior::simulate_trace_durable(model, config, 2, 2, durability);
+    FAIL() << "expected CheckpointStopped";
+  } catch (const behavior::CheckpointStopped& stopped) {
+    EXPECT_EQ(stopped.reason(), "io-error");
+  }
+  behavior::CheckpointStatus status = behavior::read_checkpoint_status(dir);
+  EXPECT_EQ(status.stop_reason, "io-error");
+  EXPECT_FALSE(status.stop_detail.empty());
+  EXPECT_FALSE(status.complete);
+
+  // "Free disk space" and resume: the run completes byte-identically and
+  // the stale stop reason is cleared.
+  fs::permissions(shard1, fs::perms::owner_all, fs::perm_options::replace);
+  durability.resume = true;
+  const trace::Trace resumed =
+      behavior::simulate_trace_durable(model, config, 2, 2, durability);
+  EXPECT_EQ(serialize(resumed), serialize(plain));
+  status = behavior::read_checkpoint_status(dir);
+  EXPECT_TRUE(status.complete);
+  EXPECT_TRUE(status.stop_reason.empty());
+  fs::remove_all(dir);
+}
+#endif  // defined(__unix__)
 
 }  // namespace
 }  // namespace p2pgen

@@ -152,6 +152,55 @@ TEST(QtraceSidecar, RoundTripsMissingFileAndCorruption) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(QtraceSidecar, ChecksumTrailerDetectsSingleBitFlips) {
+  const std::string dir = ::testing::TempDir() + "/p2pgen_qtrace_crc";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = obs::qtrace_sidecar_path(dir);
+
+  std::vector<obs::QueryHopEvent> events(3);
+  events[0].time = 1.5;
+  events[0].query = 0x1111;
+  events[1].time = 2.5;
+  events[1].query = 0x2222;
+  events[2].time = 3.5;
+  events[2].query = 0x3333;
+  obs::save_qtrace(path, events);
+  const auto size = std::filesystem::file_size(path);
+
+  const auto flip = [&](std::uint64_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  };
+
+  std::vector<obs::QueryHopEvent> out;
+  // A flip in a record body only the trailer can catch (the framing is
+  // still perfectly well-formed).
+  flip(size - 8);
+  EXPECT_THROW(obs::load_qtrace(path, out), std::runtime_error);
+  flip(size - 8);  // restore
+  EXPECT_TRUE(obs::load_qtrace(path, out));
+  EXPECT_EQ(out.size(), 3u);
+
+  // A flip in the trailer itself.
+  flip(size - 2);
+  EXPECT_THROW(obs::load_qtrace(path, out), std::runtime_error);
+  flip(size - 2);
+
+  // A sidecar whose checksum was cut off must not load as valid.
+  std::error_code ec;
+  std::filesystem::resize_file(path, size - 2, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_THROW(obs::load_qtrace(path, out), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Contracts against the real pipeline.
 

@@ -8,12 +8,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define P2PGEN_TEST_HAVE_UNISTD 1
+#else
+#define P2PGEN_TEST_HAVE_UNISTD 0
+#endif
+
 #include "stats/rng.hpp"
+#include "trace/spool_reader.hpp"
 #include "trace/trace_io.hpp"
 
 namespace p2pgen {
@@ -301,12 +314,12 @@ TEST(TraceLenient, FullFileMatchesStrictReader) {
   const trace::Trace original = make_trace(16, 8);
   const std::string bytes = serialize(original);
   std::istringstream in(bytes);
-  trace::TraceRecoveryReport report;
+  trace::SalvageReport report;
   const trace::Trace loaded = trace::read_trace_lenient(in, &report);
   EXPECT_EQ(serialize(loaded), bytes);
-  EXPECT_FALSE(report.truncated);
-  EXPECT_EQ(report.records_kept, original.size());
-  EXPECT_EQ(report.bytes_truncated, 0u);
+  EXPECT_FALSE(report.damaged());
+  EXPECT_EQ(report.records_recovered, original.size());
+  EXPECT_EQ(report.bytes_quarantined, 0u);
 }
 
 TEST(TraceLenient, FuzzTruncationKeepsValidPrefixWhereStrictThrows) {
@@ -334,14 +347,16 @@ TEST(TraceLenient, FuzzTruncationKeepsValidPrefixWhereStrictThrows) {
       }
     }
     std::istringstream in(torn);
-    trace::TraceRecoveryReport report;
+    trace::SalvageReport report;
     const trace::Trace recovered = trace::read_trace_lenient(in, &report);
     ASSERT_LE(recovered.size(), original.size());
-    EXPECT_EQ(report.records_kept, recovered.size());
-    EXPECT_EQ(report.truncated, strict_threw);
+    EXPECT_EQ(report.records_recovered, recovered.size());
+    EXPECT_EQ(report.damaged(), strict_threw);
     if (strict_threw) {
-      EXPECT_GT(report.bytes_truncated, 0u);
-      EXPECT_FALSE(report.error.empty());
+      EXPECT_GT(report.bytes_quarantined, 0u);
+      ASSERT_EQ(report.ranges.size(), 1u);
+      EXPECT_FALSE(report.ranges[0].detail.empty());
+      EXPECT_GE(report.ranges[0].byte_end, report.ranges[0].byte_begin);
     }
     for (std::size_t i = 0; i < recovered.size(); ++i) {
       trace::Trace a, b;
@@ -361,12 +376,324 @@ TEST(TraceLenient, LoadFileVariantReportsTruncation) {
     out.write(bytes.data(),
               static_cast<std::streamsize>(bytes.size() - 5));
   }
-  trace::TraceRecoveryReport report;
+  trace::SalvageReport report;
   const trace::Trace recovered = trace::load_trace_lenient(path, &report);
-  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.damaged());
   EXPECT_LT(recovered.size(), original.size());
-  EXPECT_EQ(report.records_kept, recovered.size());
+  EXPECT_EQ(report.records_recovered, recovered.size());
 }
+
+// Salvage-mode spool reads (DESIGN.md §14) --------------------------------
+//
+// The fuzz loops below are the ASan/UBSan workout for the resync scanner:
+// random single- and multi-range damage must never crash, never surface a
+// wrong record, and lose ONLY the frames that overlap a damaged byte
+// range — every loss accounted as a quarantined SalvageRange with its
+// sim-time gap window.
+
+std::vector<char> read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(in),
+                           std::istreambuf_iterator<char>());
+}
+
+void write_file_bytes(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+std::string serialize_event(const trace::TraceEvent& event) {
+  trace::Trace one;
+  one.append(event);
+  return serialize(one);
+}
+
+/// (offset, total frame size incl. the 8-byte [len][crc] header) of every
+/// frame in a clean segment, parsed independently of the reader.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> frame_spans(
+    const std::vector<char>& bytes) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  std::uint64_t pos = trace::kSpoolHeaderBytes;
+  while (pos + 8 <= bytes.size()) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    spans.emplace_back(pos, 8 + static_cast<std::uint64_t>(len));
+    pos += 8 + len;
+  }
+  EXPECT_EQ(pos, bytes.size());  // a clean segment is exactly framed
+  return spans;
+}
+
+/// A multi-segment spool plus everything the loss-bound checks need: the
+/// pristine bytes of each segment and the (segment, frame span) of every
+/// record in stream order.
+struct SalvageFixture {
+  std::string dir;
+  trace::Trace original;
+  std::vector<std::string> segment_paths;
+  std::vector<std::vector<char>> pristine;
+  /// record index -> (segment list position, frame offset, frame size)
+  std::vector<std::tuple<std::size_t, std::uint64_t, std::uint64_t>> frames;
+};
+
+SalvageFixture make_salvage_fixture(const std::string& name,
+                                    std::size_t sessions, std::uint64_t seed,
+                                    std::uint64_t segment_max_records) {
+  SalvageFixture fx;
+  fx.dir = temp_spool_dir(name);
+  fx.original = make_trace(sessions, seed);
+  trace::SpoolConfig config;
+  config.segment_max_records = segment_max_records;
+  spool_trace(fx.original, fx.dir, config);
+  fx.segment_paths = trace::spool_segment_paths(fx.dir);
+  EXPECT_GT(fx.segment_paths.size(), 2u);
+  for (std::size_t s = 0; s < fx.segment_paths.size(); ++s) {
+    fx.pristine.push_back(read_file_bytes(fx.segment_paths[s]));
+    for (const auto& [off, size] : frame_spans(fx.pristine.back())) {
+      fx.frames.emplace_back(s, off, size);
+    }
+  }
+  EXPECT_EQ(fx.frames.size(), fx.original.size());
+  return fx;
+}
+
+/// Asserts `recovered` is exactly `original` minus the records in `lost`.
+void expect_exactly_undamaged(const trace::Trace& original,
+                              const trace::Trace& recovered,
+                              const std::set<std::size_t>& lost) {
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    if (lost.count(i) != 0) continue;
+    ASSERT_LT(r, recovered.size()) << "undamaged record " << i << " lost";
+    ASSERT_EQ(serialize_event(recovered.events()[r]),
+              serialize_event(original.events()[i]))
+        << "recovered record " << r << " != original record " << i;
+    ++r;
+  }
+  EXPECT_EQ(r, recovered.size()) << "salvage surfaced extra records";
+}
+
+TEST(SpoolSalvage, CleanSpoolIsBitIdenticalToStrict) {
+  const SalvageFixture fx = make_salvage_fixture("salvage_clean", 24, 11, 16);
+  const trace::Trace strict = trace::read_spool(fx.dir);
+  trace::SalvageReport report;
+  const trace::Trace salvaged = trace::read_spool_salvage(fx.dir, &report);
+  EXPECT_EQ(serialize(salvaged), serialize(strict));
+  EXPECT_EQ(serialize(salvaged), serialize(fx.original));
+  EXPECT_FALSE(report.damaged());
+  EXPECT_TRUE(report.ranges.empty());
+  EXPECT_EQ(report.records_recovered, fx.original.size());
+  EXPECT_EQ(report.frames_lost, 0u);
+  EXPECT_EQ(report.bytes_quarantined, 0u);
+}
+
+TEST(SpoolSalvage, SingleInteriorFrameCorruptionLosesOnlyThatFrame) {
+  const SalvageFixture fx =
+      make_salvage_fixture("salvage_single", 24, 12, 16);
+  // An interior frame of an interior segment, with same-segment neighbors
+  // on both sides so the gap window is pinned by this segment alone.
+  const std::size_t record = 16 + 7;
+  const auto [seg, off, size] = fx.frames[record];
+  ASSERT_EQ(seg, 1u);
+
+  std::vector<char> damaged = fx.pristine[seg];
+  damaged[off + 10] ^= 0x5a;  // one payload byte
+  write_file_bytes(fx.segment_paths[seg], damaged);
+
+  EXPECT_THROW(trace::read_spool(fx.dir), trace::TraceIoError);
+
+  trace::SalvageReport report;
+  const trace::Trace recovered = trace::read_spool_salvage(fx.dir, &report);
+  expect_exactly_undamaged(fx.original, recovered, {record});
+  EXPECT_EQ(report.records_recovered, fx.original.size() - 1);
+  EXPECT_EQ(report.frames_lost, 1u);
+  ASSERT_EQ(report.ranges.size(), 1u);
+  const trace::SalvageRange& range = report.ranges[0];
+  EXPECT_EQ(range.file, trace::spool_segment_name(1));
+  EXPECT_EQ(range.byte_begin, off);
+  EXPECT_EQ(range.byte_end, off + size);
+  EXPECT_EQ(range.frames_lost, 1u);
+  // The gap window is [previous record's time, next record's time]: the
+  // tightest sim-time interval the damage can hide events in.
+  EXPECT_DOUBLE_EQ(range.time_before,
+                   trace::event_time(fx.original.events()[record - 1]));
+  EXPECT_DOUBLE_EQ(range.time_after,
+                   trace::event_time(fx.original.events()[record + 1]));
+  EXPECT_EQ(report.bytes_quarantined, size);
+}
+
+TEST(SpoolSalvage, FuzzMultiRangeCorruptionNeverLosesAnUndamagedFrame) {
+  const SalvageFixture fx = make_salvage_fixture("salvage_fuzz", 24, 13, 16);
+  stats::Rng rng(4242);
+  for (int round = 0; round < 48; ++round) {
+    // 1-3 damage ranges of 1-16 bytes each, anywhere past the header.
+    std::vector<std::vector<char>> bytes = fx.pristine;
+    std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> damage(
+        bytes.size());
+    const int n_ranges = 1 + static_cast<int>(rng.next_u64() % 3);
+    for (int d = 0; d < n_ranges; ++d) {
+      const std::size_t seg = rng.next_u64() % bytes.size();
+      const std::uint64_t seg_size = bytes[seg].size();
+      const std::uint64_t begin =
+          trace::kSpoolHeaderBytes +
+          rng.next_u64() % (seg_size - trace::kSpoolHeaderBytes);
+      const std::uint64_t end =
+          std::min(seg_size, begin + 1 + rng.next_u64() % 16);
+      for (std::uint64_t b = begin; b < end; ++b) {
+        bytes[seg][b] = static_cast<char>(
+            bytes[seg][b] ^ static_cast<char>(1 + rng.next_u64() % 255));
+      }
+      damage[seg].emplace_back(begin, end);
+    }
+    for (std::size_t s = 0; s < bytes.size(); ++s) {
+      write_file_bytes(fx.segment_paths[s], bytes[s]);
+    }
+    // Expected loss: exactly the frames whose bytes overlap a damage range.
+    std::set<std::size_t> lost;
+    for (std::size_t r = 0; r < fx.frames.size(); ++r) {
+      const auto& [seg, off, size] = fx.frames[r];
+      for (const auto& [begin, end] : damage[seg]) {
+        if (begin < off + size && end > off) lost.insert(r);
+      }
+    }
+    ASSERT_FALSE(lost.empty());
+
+    trace::SalvageReport report;
+    trace::Trace recovered;
+    ASSERT_NO_THROW(recovered = trace::read_spool_salvage(fx.dir, &report))
+        << "round " << round;
+    expect_exactly_undamaged(fx.original, recovered, lost);
+    EXPECT_TRUE(report.damaged()) << "round " << round;
+    EXPECT_EQ(report.records_recovered, fx.original.size() - lost.size());
+    // frames_lost is exact when length headers survive, a floor when a
+    // range swallows several frames — never an overcount.
+    EXPECT_GE(report.frames_lost, 1u);
+    std::ostringstream dump;
+    for (const auto& range : report.ranges) {
+      dump << "  " << range.file << " [" << range.byte_begin << ", "
+           << range.byte_end << ") frames_lost=" << range.frames_lost
+           << " detail=" << range.detail << "\n";
+    }
+    for (std::size_t s = 0; s < damage.size(); ++s) {
+      for (const auto& [begin, end] : damage[s]) {
+        dump << "  damage seg " << s << " [" << begin << ", " << end << ")\n";
+      }
+    }
+    EXPECT_LE(report.frames_lost, lost.size()) << dump.str();
+    EXPECT_GT(report.bytes_quarantined, 0u);
+  }
+  // Restore the pristine spool and require bit-identity with strict again:
+  // the salvage reader holds no sticky state across damage.
+  for (std::size_t s = 0; s < fx.pristine.size(); ++s) {
+    write_file_bytes(fx.segment_paths[s], fx.pristine[s]);
+  }
+  trace::SalvageReport report;
+  EXPECT_EQ(serialize(trace::read_spool_salvage(fx.dir, &report)),
+            serialize(fx.original));
+  EXPECT_FALSE(report.damaged());
+}
+
+TEST(SpoolSalvage, MissingInteriorSegmentBecomesAnAccountedGap) {
+  const SalvageFixture fx =
+      make_salvage_fixture("salvage_missing", 24, 14, 16);
+  fs::remove(fx.segment_paths[1]);
+
+  EXPECT_THROW(trace::read_spool(fx.dir), trace::TraceIoError);
+
+  std::set<std::size_t> lost;
+  for (std::size_t r = 16; r < 32; ++r) lost.insert(r);
+  trace::SalvageReport report;
+  const trace::Trace recovered = trace::read_spool_salvage(fx.dir, &report);
+  expect_exactly_undamaged(fx.original, recovered, lost);
+  ASSERT_EQ(report.ranges.size(), 1u);
+  const trace::SalvageRange& range = report.ranges[0];
+  EXPECT_EQ(range.file, trace::spool_segment_name(1));
+  EXPECT_GE(range.frames_lost, 1u);
+  // The assembler patches the gap window from the neighboring segments'
+  // boundary records.
+  EXPECT_DOUBLE_EQ(range.time_before,
+                   trace::event_time(fx.original.events()[15]));
+  EXPECT_DOUBLE_EQ(range.time_after,
+                   trace::event_time(fx.original.events()[32]));
+}
+
+TEST(SpoolSalvage, DamagedHeaderLosesNoRecords) {
+  const SalvageFixture fx = make_salvage_fixture("salvage_header", 24, 15, 16);
+  std::vector<char> damaged = fx.pristine[1];
+  damaged[0] ^= 0x7f;  // break the magic of an interior segment
+  write_file_bytes(fx.segment_paths[1], damaged);
+
+  EXPECT_THROW(trace::read_spool(fx.dir), trace::TraceIoError);
+
+  trace::SalvageReport report;
+  const trace::Trace recovered = trace::read_spool_salvage(fx.dir, &report);
+  // Only header bytes were damaged; every record survives, the loss
+  // accounting still quarantines the 8 unreadable bytes.
+  EXPECT_EQ(serialize(recovered), serialize(fx.original));
+  EXPECT_EQ(report.records_recovered, fx.original.size());
+  EXPECT_TRUE(report.damaged());
+  ASSERT_EQ(report.ranges.size(), 1u);
+  EXPECT_EQ(report.ranges[0].file, trace::spool_segment_name(1));
+  EXPECT_EQ(report.ranges[0].byte_begin, 0u);
+  EXPECT_EQ(report.ranges[0].byte_end, trace::kSpoolHeaderBytes);
+}
+
+TEST(SpoolSalvage, TruncateToValidPrefixEnablesStrictReplay) {
+  const SalvageFixture fx =
+      make_salvage_fixture("salvage_truncate", 24, 16, 16);
+  const std::size_t record = 16 + 7;
+  const auto [seg, off, size] = fx.frames[record];
+  std::vector<char> damaged = fx.pristine[seg];
+  damaged[off + 4] ^= 0x11;  // break the frame checksum
+  write_file_bytes(fx.segment_paths[seg], damaged);
+
+  // Expected drop: the damaged segment past the last clean frame, plus
+  // every later segment in full.
+  std::uint64_t expected = fx.pristine[seg].size() - off;
+  for (std::size_t s = seg + 1; s < fx.pristine.size(); ++s) {
+    expected += fx.pristine[s].size();
+  }
+  EXPECT_EQ(trace::truncate_spool_to_valid_prefix(fx.dir), expected);
+
+  // The remaining prefix is strictly clean and replay can regenerate the
+  // rest exactly.
+  trace::SpoolRecoveryReport report;
+  const trace::Trace prefix = trace::read_spool(fx.dir, &report);
+  EXPECT_FALSE(report.torn);
+  ASSERT_EQ(prefix.size(), record);
+  trace::SpoolConfig config;
+  config.segment_max_records = 16;
+  {
+    trace::SpoolWriter writer(fx.dir, config);
+    ASSERT_EQ(writer.durable_records(), record);
+    for (std::size_t i = record; i < fx.original.size(); ++i) {
+      writer.append(fx.original.events()[i]);
+    }
+    writer.close();
+  }
+  EXPECT_EQ(serialize(trace::read_spool(fx.dir)), serialize(fx.original));
+}
+
+#if P2PGEN_TEST_HAVE_UNISTD
+TEST(SpoolSalvage, WriteErrorsCarryErrno) {
+  if (::geteuid() == 0) {
+    GTEST_SKIP() << "running as root: permission bits are not enforced";
+  }
+  const std::string dir = temp_spool_dir("salvage_eacces");
+  fs::permissions(dir, fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+  try {
+    trace::SpoolWriter writer(dir);
+    fs::permissions(dir, fs::perms::owner_all, fs::perm_options::replace);
+    FAIL() << "SpoolWriter opened a segment in an unwritable directory";
+  } catch (const trace::SpoolWriteError& error) {
+    EXPECT_EQ(error.error_code(), EACCES);
+  }
+  fs::permissions(dir, fs::perms::owner_all, fs::perm_options::replace);
+}
+#endif
 
 }  // namespace
 }  // namespace p2pgen

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +20,7 @@
 
 #include "analysis/dataset.hpp"
 #include "analysis/filters.hpp"
+#include "analysis/gaps.hpp"
 #include "analysis/measures.hpp"
 #include "analysis/model_fit.hpp"
 #include "behavior/checkpoint.hpp"
@@ -26,6 +29,7 @@
 #include "scenario/curated.hpp"
 #include "stats/rng.hpp"
 #include "trace/spool.hpp"
+#include "trace/spool_reader.hpp"
 #include "trace/trace_io.hpp"
 
 namespace p2pgen {
@@ -358,6 +362,216 @@ TEST(Streaming, ExceedingTheTrackedSessionCapThrows) {
                                         geo::GeoIpDatabase::synthetic(),
                                         options),
                std::runtime_error);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Salvage mode (DESIGN.md §14): gap-aware one-pass analysis.
+
+/// XORs one byte of `path` in place.
+void flip_file_byte(const std::string& path, std::uint64_t offset,
+                    unsigned char mask) {
+  std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(file.good()) << path;
+  file.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  file.get(byte);
+  file.seekp(static_cast<std::streamoff>(offset));
+  file.put(static_cast<char>(byte ^ mask));
+  ASSERT_TRUE(file.good()) << path;
+}
+
+/// Byte offset of frame `n` of a spool segment, walked from the length
+/// headers (frame size through `frame_size`).
+std::uint64_t nth_frame_offset(const std::string& segment_path, std::size_t n,
+                               std::uint64_t* frame_size) {
+  std::ifstream in(segment_path, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  std::uint64_t pos = trace::kSpoolHeaderBytes;
+  for (std::size_t i = 0;; ++i) {
+    EXPECT_LE(pos + 8, bytes.size());
+    std::uint32_t len = 0;
+    std::memcpy(&len, bytes.data() + pos, sizeof(len));
+    if (i == n) {
+      if (frame_size != nullptr) *frame_size = 8 + len;
+      return pos;
+    }
+    pos += 8 + len;
+  }
+}
+
+void expect_salvage_reports_equal(const trace::SalvageReport& got,
+                                  const trace::SalvageReport& want) {
+  EXPECT_EQ(got.records_recovered, want.records_recovered);
+  EXPECT_EQ(got.frames_lost, want.frames_lost);
+  EXPECT_EQ(got.bytes_quarantined, want.bytes_quarantined);
+  EXPECT_EQ(got.censored_sessions, want.censored_sessions);
+  EXPECT_EQ(got.censored_queries, want.censored_queries);
+  ASSERT_EQ(got.ranges.size(), want.ranges.size());
+  for (std::size_t i = 0; i < got.ranges.size(); ++i) {
+    const trace::SalvageRange& a = got.ranges[i];
+    const trace::SalvageRange& b = want.ranges[i];
+    EXPECT_EQ(a.file, b.file) << "range " << i;
+    EXPECT_EQ(a.shard, b.shard) << "range " << i;
+    EXPECT_EQ(a.byte_begin, b.byte_begin) << "range " << i;
+    EXPECT_EQ(a.byte_end, b.byte_end) << "range " << i;
+    EXPECT_EQ(a.frames_lost, b.frames_lost) << "range " << i;
+    EXPECT_EQ(a.time_before, b.time_before) << "range " << i;
+    EXPECT_EQ(a.time_after, b.time_after) << "range " << i;
+  }
+}
+
+TEST(StreamingSalvage, CleanSpoolSalvagePassIsBitIdenticalToStrict) {
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("salvage_clean");
+  const auto spool_dirs = build_checkpoint(config, 2, dir);
+
+  analysis::StreamingOptions strict;
+  const auto want = analysis::analyze_spools(
+      spool_dirs, geo::GeoIpDatabase::synthetic(), strict);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    analysis::StreamingOptions options;
+    options.threads = threads;
+    options.salvage = true;
+    const auto got = analysis::analyze_spools(
+        spool_dirs, geo::GeoIpDatabase::synthetic(), options);
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    EXPECT_EQ(got.trace_digest, want.trace_digest);
+    EXPECT_EQ(got.events, want.events);
+    expect_stats_equal(got.stats, want.stats);
+    expect_filters_equal(got.filters, want.filters);
+    expect_measures_equal(got.measures, want.measures);
+    EXPECT_EQ(model_string(got.model), model_string(want.model));
+    EXPECT_FALSE(got.salvage.damaged());
+    EXPECT_EQ(got.salvage.censored_sessions, 0u);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(StreamingSalvage, MatchesMaterializedGapCensoredAnalysisOnDamage) {
+  const auto config = tiny_fault_config();
+  const std::string dir = fresh_dir("salvage_damage");
+  // Small segments so the damage below lands in an INTERIOR segment —
+  // mid-damage to a single-segment spool is a (tolerated) torn tail.
+  behavior::DurabilityConfig build;
+  build.dir = dir;
+  build.segment_max_records = 512;
+  const auto spool_dirs = behavior::simulate_to_spools(
+      core::WorkloadModel::paper_default(), config, 2, 2, build);
+
+  // One corrupted payload byte in an interior frame of shard 1's spool.
+  ASSERT_GT(segment_paths(spool_dirs[1]).size(), 2u);
+  const std::string segment = segment_paths(spool_dirs[1]).front();
+  flip_file_byte(segment, nth_frame_offset(segment, 10, nullptr) + 12, 0x20);
+
+  // Strict refuses on both paths.
+  EXPECT_THROW(
+      analysis::analyze_spools(spool_dirs, geo::GeoIpDatabase::synthetic()),
+      std::runtime_error);
+
+  // Materialized gap-censored oracle: salvage resume of the SAME
+  // checkpoint, dataset censored against the recovered gap windows.
+  behavior::DurabilityConfig durability;
+  durability.dir = dir;
+  durability.segment_max_records = 512;
+  durability.resume = true;
+  durability.salvage = true;
+  behavior::RecoverySummary summary;
+  const trace::Trace salvaged = behavior::simulate_trace_durable(
+      core::WorkloadModel::paper_default(), config, 2, 2, durability,
+      &summary);
+  ASSERT_TRUE(summary.salvage.damaged());
+  analysis::TraceDataset dataset =
+      analysis::build_dataset(salvaged, geo::GeoIpDatabase::synthetic());
+  trace::SalvageReport want_salvage = summary.salvage;
+  const analysis::GapIndex gaps(want_salvage);
+  analysis::censor_dataset(dataset, gaps, want_salvage);
+  EXPECT_GT(want_salvage.censored_sessions, 0u);
+  Materialized want;
+  want.stats = salvaged.stats();
+  want.digest = trace::binary_digest(salvaged);
+  want.events = salvaged.size();
+  want.filters = analysis::apply_filters(dataset);
+  want.measures = analysis::session_measures(dataset);
+  want.model = analysis::fit_workload_model(dataset);
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    analysis::StreamingOptions options;
+    options.threads = threads;
+    options.salvage = true;
+    const auto got = analysis::analyze_spools(
+        spool_dirs, geo::GeoIpDatabase::synthetic(), options);
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    expect_streaming_matches(got, want);
+    expect_salvage_reports_equal(got.salvage, want_salvage);
+  }
+  fs::remove_all(dir);
+}
+
+/// Concurrent long-lived sessions: 8 sessions all open for the whole
+/// trace, querying round-robin — so a mid-trace gap intersects every one
+/// of them while their start/end records survive.
+trace::Trace overlapping_trace() {
+  trace::Trace out;
+  double now = 0.0;
+  stats::Rng rng(31);
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    trace::SessionStart start;
+    start.time = (now += 1.0);
+    start.session_id = id;
+    start.ip = static_cast<std::uint32_t>(rng.next_u64());
+    start.ultrapeer = false;
+    start.user_agent = "LimeWire/4.2";
+    out.append(trace::TraceEvent(start));
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      trace::MessageEvent msg;
+      msg.time = (now += 1.0);
+      msg.session_id = id;
+      msg.type = gnutella::MessageType::kQuery;
+      msg.ttl = 3;
+      msg.hops = 1;
+      msg.query = "metallica track " + std::to_string(rng.next_u64() % 7);
+      msg.guid_hash = rng.next_u64();
+      out.append(trace::TraceEvent(msg));
+    }
+  }
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    trace::SessionEnd end;
+    end.time = (now += 1.0);
+    end.session_id = id;
+    end.reason = trace::EndReason::kBye;
+    out.append(trace::TraceEvent(end));
+  }
+  return out;
+}
+
+TEST(StreamingSalvage, MissingSegmentIsCensoredNotSilentlySkipped) {
+  const std::string dir = fresh_dir("salvage_missing");
+  const trace::Trace original = overlapping_trace();
+  spool_trace(original, dir, 16);
+  const auto segments = segment_paths(dir);
+  ASSERT_GT(segments.size(), 6u);
+  fs::remove(segments[5]);  // 16 mid-trace query records vanish
+
+  EXPECT_THROW(
+      analysis::analyze_spools({dir}, geo::GeoIpDatabase::synthetic()),
+      trace::TraceIoError);
+
+  analysis::StreamingOptions options;
+  options.salvage = true;
+  const auto got =
+      analysis::analyze_spools({dir}, geo::GeoIpDatabase::synthetic(), options);
+  EXPECT_EQ(got.events, original.size() - 16);
+  ASSERT_EQ(got.salvage.ranges.size(), 1u);
+  EXPECT_EQ(got.salvage.ranges[0].file, trace::spool_segment_name(5));
+  // Every session was open across the gap: all are censored (counted,
+  // never silently mixed into the filter/measure surface).
+  EXPECT_EQ(got.salvage.censored_sessions, 8u);
+  EXPECT_GT(got.salvage.censored_queries, 0u);
+  EXPECT_EQ(got.filters.initial_sessions, 0u);
   fs::remove_all(dir);
 }
 

@@ -158,6 +158,55 @@ TEST(TimelineSidecar, RoundTripsMissingFileAndCorruption) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(TimelineSidecar, ChecksumTrailerDetectsSingleBitFlips) {
+  const std::string dir = ::testing::TempDir() + "/p2pgen_timeline_crc";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const std::string path = obs::timeline_sidecar_path(dir);
+
+  std::vector<obs::TimelinePoint> points(3);
+  points[0].time = 600.0;
+  points[0].values[idx(TimelineSeries::kQueries)] = 11;
+  points[1].time = 1200.0;
+  points[1].values[idx(TimelineSeries::kQueries)] = 22;
+  points[2].time = 1800.0;
+  points[2].values[idx(TimelineSeries::kQueries)] = 33;
+  obs::save_timeline(path, points, 600.0);
+  const auto size = std::filesystem::file_size(path);
+
+  const auto flip = [&](std::uint64_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  };
+
+  std::vector<obs::TimelinePoint> out;
+  // A flip in a record body only the trailer can catch (the framing is
+  // still perfectly well-formed).
+  flip(size - 8);
+  EXPECT_THROW(obs::load_timeline(path, out), std::runtime_error);
+  flip(size - 8);  // restore
+  EXPECT_TRUE(obs::load_timeline(path, out));
+  EXPECT_EQ(out.size(), 3u);
+
+  // A flip in the trailer itself.
+  flip(size - 2);
+  EXPECT_THROW(obs::load_timeline(path, out), std::runtime_error);
+  flip(size - 2);
+
+  // A sidecar whose checksum was cut off must not load as valid.
+  std::error_code ec;
+  std::filesystem::resize_file(path, size - 2, ec);
+  ASSERT_FALSE(ec);
+  EXPECT_THROW(obs::load_timeline(path, out), std::runtime_error);
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // Contracts against the real pipeline.
 

@@ -24,6 +24,13 @@ The "timeline" block (tick_seconds, series names, and every
 [time, shard, v0..vN] point) is part of the default comparison surface:
 timelines are deterministic, so the two reports must agree bit for bit.
 
+The "gaps" block (salvage loss accounting: censored session/query
+counts, frames lost, bytes quarantined and every damaged range) is
+compared the same way — salvage reads are deterministic, so a strict
+run and a --salvage run over a CLEAN checkpoint must both report the
+all-zero block, and two salvage runs over the same damage must agree on
+every range.  Reports from before the block have nothing to compare.
+
 --require=<prefix> (repeatable) asserts that at least one counter or
 histogram under that namespace exists in BOTH reports.  Without it, a
 subsystem that silently stopped publishing (on both paths at once)
@@ -84,6 +91,22 @@ def diff_histograms(a, b, problems):
             if left.get(field) != right.get(field):
                 problems.append(f"histograms.{key}.{field}: "
                                 f"{left.get(field)!r} != {right.get(field)!r}")
+
+
+def diff_gaps(a, b, problems):
+    """Exact diff of the salvage "gaps" blocks (scalar rows + ranges)."""
+    for key in sorted((set(a) | set(b)) - {"ranges"}):
+        left, right = a.get(key), b.get(key)
+        if left != right:
+            problems.append(f"gaps.{key}: {left!r} != {right!r}")
+    ranges_a, ranges_b = a.get("ranges", []), b.get("ranges", [])
+    if len(ranges_a) != len(ranges_b):
+        problems.append(f"gaps.ranges: {len(ranges_a)} range(s) != "
+                        f"{len(ranges_b)} range(s)")
+        return
+    for i, (ra, rb) in enumerate(zip(ranges_a, ranges_b)):
+        if ra != rb:
+            problems.append(f"gaps.ranges[{i}]: {ra!r} != {rb!r}")
 
 
 def timeline_block(report):
@@ -216,6 +239,16 @@ def main(argv):
             problems.append(f"timeline block missing from {missing}")
         else:
             diff_timeline(mat_timeline, str_timeline, problems)
+    # Salvage gaps are deterministic too: exact comparison, same
+    # before-the-block presence handling as the timeline.
+    mat_gaps = materialized.get("gaps")
+    str_gaps = streaming.get("gaps")
+    if mat_gaps is not None or str_gaps is not None:
+        if mat_gaps is None or str_gaps is None:
+            missing = paths[0] if mat_gaps is None else paths[1]
+            problems.append(f"gaps block missing from {missing}")
+        else:
+            diff_gaps(mat_gaps, str_gaps, problems)
 
     for prefix in required:
         check_required(prefix, set(mat_counters) | set(mat_histograms),

@@ -14,7 +14,15 @@ A heartbeat older than --stale (default 3x its own write interval is
 unknowable, so a flat 60 s) is flagged: either the run died without its
 final beat, or it is wedged — both worth a look.  Exit 0 when the run
 completed (progress == 1), 3 when watching ended on a stale beat,
-2 on usage/IO errors.
+4 when the MANIFEST records a clean checkpoint-and-stop, 2 on usage/IO
+errors.
+
+The MANIFEST is also consulted: a run that checkpointed and stopped
+cleanly on a write error (disk full) records "stopped <reason>" there,
+and this tool surfaces the reason + detail so the stale-heartbeat alarm
+does not misread a deliberate stop as a wedge.  Heartbeat beats that
+failed to reach disk are counted by the writer ("write_errors" in the
+beat itself) and shown when nonzero.
 """
 
 import json
@@ -45,7 +53,30 @@ def bar(fraction, width=30):
     return "#" * filled + "-" * (width - filled)
 
 
-def render(beat, age_seconds, stale_after):
+def read_stop_reason(checkpoint_dir):
+    """(reason, detail) recorded by a clean checkpoint-and-stop, else None.
+
+    The MANIFEST is a simple "key value" text file; a stopped run carries
+    a "stopped <reason>" line and optionally "stopped_detail <one line>".
+    """
+    manifest_path = os.path.join(checkpoint_dir, "MANIFEST")
+    reason = None
+    detail = ""
+    try:
+        with open(manifest_path) as fh:
+            for line in fh:
+                if line.startswith("stopped_detail "):
+                    detail = line[len("stopped_detail "):].strip()
+                elif line.startswith("stopped "):
+                    reason = line[len("stopped "):].strip()
+    except OSError:
+        return None
+    if reason is None:
+        return None
+    return reason, detail
+
+
+def render(beat, age_seconds, stale_after, stop=None):
     progress = beat.get("progress", 0.0)
     lines = []
     lines.append(f"[{bar(progress)}] {100.0 * progress:6.2f}%  "
@@ -64,7 +95,16 @@ def render(beat, age_seconds, stale_after):
         lines.append(f"    shard {shard.get('index'):>3}: "
                      f"{shard.get('sim_days', 0.0):7.3f} sim-days  "
                      f"{shard.get('events', 0):>12,} events  {state}")
-    if age_seconds > stale_after and progress < 1.0:
+    write_errors = beat.get("write_errors", 0)
+    if write_errors:
+        lines.append(f"  !! {write_errors} heartbeat write error(s): beats "
+                     f"failed to reach disk (full/failing volume?)")
+    if stop is not None:
+        reason, detail = stop
+        lines.append(f"  !! run checkpointed and STOPPED: {reason}"
+                     + (f" ({detail})" if detail else "")
+                     + " — durable state is intact, resume with --resume")
+    elif age_seconds > stale_after and progress < 1.0:
         lines.append(f"  !! heartbeat is {fmt_seconds(age_seconds)} old "
                      f"(stale after {fmt_seconds(stale_after)}): the run "
                      f"died without its final beat or is wedged")
@@ -109,9 +149,14 @@ def main(argv):
             print(f"runwatch: {beat_path} is not valid JSON: {error}",
                   file=sys.stderr)
             return 2
-        print(render(beat, age, stale_after))
+        stop = read_stop_reason(path)
+        print(render(beat, age, stale_after, stop))
         if beat.get("progress", 0.0) >= 1.0:
             return 0
+        if stop is not None:
+            # A deliberate checkpoint-and-stop, not a wedge: report it
+            # distinctly so supervisors branch on the right condition.
+            return 4
         if not watch:
             return 0
         if age > stale_after:

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Supervise a durable measurement run: auto-resume clean stops.
+
+measurement_pipeline exits with code 75 (EX_TEMPFAIL) when the durable
+runner checkpoints and stops cleanly on a write error — disk full, or
+another media failure on the redo log — after recording the
+machine-readable reason in the checkpoint MANIFEST.  Everything written
+so far is durable, so the right reaction is usually "free some space and
+run it again with --resume".  This tool automates exactly that loop with
+bounded retries and exponential backoff:
+
+  $ tools/supervise.py --checkpoint-dir=out/ckpt -- \\
+        ./build/examples/measurement_pipeline 2 1.0 none 4 4 \\
+        --checkpoint-dir=out/ckpt --salvage
+
+Behavior:
+  * the command runs as given on the first attempt;
+  * on exit 75 the supervisor waits (backoff doubling from --backoff up
+    to --backoff-max), appends --resume if the command does not already
+    carry it, and retries — at most --max-retries times;
+  * any other exit code (success included) ends the loop immediately and
+    is passed through as the supervisor's own exit code;
+  * with --checkpoint-dir the MANIFEST stop reason is printed before
+    each retry, so logs show WHY the run stopped (enospc / io-error).
+
+Exit code: the supervised command's last exit code, or 75 if the retry
+budget ran out while the run was still stopping cleanly.
+"""
+
+import os
+import subprocess
+import sys
+import time
+
+EX_TEMPFAIL = 75
+
+
+def read_stop_reason(checkpoint_dir):
+    """(reason, detail) from the MANIFEST's clean-stop record, else None."""
+    manifest_path = os.path.join(checkpoint_dir, "MANIFEST")
+    reason = None
+    detail = ""
+    try:
+        with open(manifest_path) as fh:
+            for line in fh:
+                if line.startswith("stopped_detail "):
+                    detail = line[len("stopped_detail "):].strip()
+                elif line.startswith("stopped "):
+                    reason = line[len("stopped "):].strip()
+    except OSError:
+        return None
+    if reason is None:
+        return None
+    return reason, detail
+
+
+def main(argv):
+    max_retries = 5
+    backoff = 2.0
+    backoff_max = 120.0
+    checkpoint_dir = None
+    command = None
+    args = argv[1:]
+    for i, arg in enumerate(args):
+        if arg == "--":
+            command = args[i + 1:]
+            args = args[:i]
+            break
+    for arg in args:
+        if arg.startswith("--max-retries="):
+            max_retries = int(arg[len("--max-retries="):])
+        elif arg.startswith("--backoff="):
+            backoff = float(arg[len("--backoff="):])
+        elif arg.startswith("--backoff-max="):
+            backoff_max = float(arg[len("--backoff-max="):])
+        elif arg.startswith("--checkpoint-dir="):
+            checkpoint_dir = arg[len("--checkpoint-dir="):]
+        else:
+            print(f"supervise: unknown flag {arg!r}", file=sys.stderr)
+            return 2
+    if not command:
+        print(f"usage: {argv[0]} [--max-retries=<n>] [--backoff=<secs>] "
+              f"[--backoff-max=<secs>] [--checkpoint-dir=<dir>] "
+              f"-- <command> [args...]", file=sys.stderr)
+        return 2
+
+    delay = backoff
+    for attempt in range(max_retries + 1):
+        cmd = list(command)
+        if attempt > 0 and "--resume" not in cmd:
+            cmd.append("--resume")
+        if attempt > 0:
+            print(f"supervise: attempt {attempt + 1}/{max_retries + 1}: "
+                  f"{' '.join(cmd)}", flush=True)
+        code = subprocess.call(cmd)
+        if code != EX_TEMPFAIL:
+            if attempt > 0:
+                print(f"supervise: command exited {code} after "
+                      f"{attempt} resume(s)", flush=True)
+            return code
+        stop = read_stop_reason(checkpoint_dir) if checkpoint_dir else None
+        why = f" (MANIFEST: {stop[0]}" + (f" — {stop[1]})" if stop[1]
+                                          else ")") if stop else ""
+        if attempt == max_retries:
+            print(f"supervise: retry budget exhausted after "
+                  f"{max_retries} resume(s); run is still stopping "
+                  f"cleanly{why}", file=sys.stderr)
+            return EX_TEMPFAIL
+        print(f"supervise: run checkpointed and stopped{why}; resuming in "
+              f"{delay:.0f}s", flush=True)
+        time.sleep(delay)
+        delay = min(delay * 2.0, backoff_max)
+    return EX_TEMPFAIL  # unreachable
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
